@@ -1,0 +1,83 @@
+"""TXT-ERRBOUND — matching the range to the SPAD dead time bounds the error rate.
+
+Paper, Section 3: "When coupling the TDC with a SPAD, the range must be
+adapted to the SPAD's dead time so as to keep potential errors due to jitter
+and afterpulse probability below a certain bound.  On the TDC side the shorter
+the range the higher the throughput."  This benchmark sweeps the symbol range
+(via the guard interval) at a fixed 32 ns SPAD dead time and measures both the
+throughput and the simulated + analytic BER, exposing the trade-off the
+sentence describes.  A second sweep shows the received-photon waterfall.
+"""
+
+import pytest
+
+from repro.analysis.report import ExperimentReport, ReportTable
+from repro.analysis.units import NS, PS, format_si
+from repro.core.ber import analytic_bit_error_rate, ber_vs_photons, monte_carlo_bit_error_rate
+from repro.core.config import LinkConfig
+
+GUARDS = [0.0, 8 * NS, 24 * NS, 64 * NS]
+BITS = 4_000
+
+
+def run_sweeps():
+    range_rows = []
+    for guard in GUARDS:
+        config = LinkConfig(
+            ppm_bits=4, slot_duration=500 * PS, spad_dead_time=32 * NS,
+            extra_guard=guard, mean_detected_photons=50.0,
+        )
+        estimate = monte_carlo_bit_error_rate(config, bits=BITS, seed=int(guard * 1e9) + 1)
+        range_rows.append((config, estimate, analytic_bit_error_rate(config)))
+
+    waterfall = ber_vs_photons(
+        LinkConfig(ppm_bits=4, slot_duration=1 * NS, spad_dead_time=32 * NS),
+        photon_levels=[0.5, 2.0, 5.0, 20.0, 80.0],
+        bits_per_point=2_000,
+        seed=11,
+    )
+    return range_rows, waterfall
+
+
+def test_ber_versus_range_and_photons(benchmark):
+    range_rows, waterfall = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+
+    report = ExperimentReport(
+        "TXT-ERRBOUND",
+        "Error rate versus PPM range (at fixed SPAD dead time) and received pulse energy",
+        paper_claim="the range must be adapted to the SPAD's dead time to bound jitter/afterpulse "
+                    "errors; the shorter the range the higher the throughput",
+    )
+    table = ReportTable(columns=["symbol range", "throughput", "simulated BER", "analytic BER"])
+    for config, estimate, analytic in range_rows:
+        table.add_row(
+            format_si(config.symbol_duration, "s"),
+            format_si(config.raw_bit_rate, "bit/s"),
+            f"{estimate.ber:.2e} ± {estimate.confidence_95:.1e}",
+            f"{analytic:.2e}",
+        )
+    report.add_table(table, caption="Range/guard sweep at a 32 ns SPAD dead time (K=4, 500 ps slots)")
+
+    photon_table = ReportTable(columns=["mean detected photons / pulse", "simulated BER"])
+    for photons, estimate in waterfall:
+        photon_table.add_row(photons, f"{estimate.ber:.2e}")
+    report.add_table(photon_table, caption="Received-energy waterfall (K=4, 1 ns slots)")
+
+    shortest = range_rows[0]
+    longest = range_rows[-1]
+    report.add_comparison(
+        "throughput vs range", "shorter range -> higher throughput",
+        f"{format_si(shortest[0].raw_bit_rate, 'bit/s')} at {format_si(shortest[0].symbol_duration, 's')} "
+        f"vs {format_si(longest[0].raw_bit_rate, 'bit/s')} at {format_si(longest[0].symbol_duration, 's')}",
+    )
+    report.add_comparison(
+        "error vs range", "longer range -> errors below the bound",
+        f"BER {shortest[1].ber:.2e} (short) vs {longest[1].ber:.2e} (long)",
+    )
+    print()
+    print(report.render())
+
+    # Shape assertions.
+    assert shortest[0].raw_bit_rate > longest[0].raw_bit_rate
+    assert longest[1].ber <= shortest[1].ber + 0.01
+    assert waterfall[0][1].ber > waterfall[-1][1].ber

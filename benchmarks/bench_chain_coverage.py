@@ -1,0 +1,51 @@
+"""TXT-CHAIN — fine-chain sizing for the 200 MHz proof of concept (paper Section 3).
+
+Paper: "The system clock for our proof-of-concept is 200 MHz.  The fine chain
+must hence cover at least 5 ns.  From experimentation, a chain of 96 elements
+was sufficient to cover this time window with a maximum of 93 elements used at
+20 degC."  This benchmark measures the element count exercised by the 5 ns
+window across temperature on the behavioural carry-chain model.
+"""
+
+import pytest
+
+from repro.analysis.report import ExperimentReport, ReportTable
+from repro.analysis.units import NS
+from repro.simulation.randomness import RandomSource
+from repro.tdc.fpga import VIRTEX2PRO_PROFILE, build_fpga_delay_line
+
+TEMPERATURES = [0.0, 20.0, 40.0, 60.0, 85.0]
+
+
+def run_coverage():
+    results = {}
+    for temperature in TEMPERATURES:
+        line = build_fpga_delay_line(
+            VIRTEX2PRO_PROFILE, random_source=RandomSource(42), temperature=temperature
+        )
+        results[temperature] = (line.elements_used_for(5 * NS), line.covers(5 * NS))
+    return results
+
+
+def test_chain_coverage_versus_temperature(benchmark):
+    results = benchmark.pedantic(run_coverage, rounds=1, iterations=1)
+
+    report = ExperimentReport(
+        "TXT-CHAIN",
+        "96-element carry chain covering the 5 ns window (200 MHz clock)",
+        paper_claim="96 elements suffice; a maximum of 93 elements used at 20 degC",
+    )
+    table = ReportTable(columns=["temperature [degC]", "elements used for 5 ns", "covers window"])
+    for temperature, (used, covers) in results.items():
+        table.add_row(temperature, used, covers)
+    report.add_table(table)
+    used_20c = results[20.0][0]
+    report.add_comparison("elements used at 20 degC", "93 (of 96 instantiated)", str(used_20c))
+    report.add_comparison("chain covers 5 ns at every corner", "yes", str(all(c for _, c in results.values())))
+    print()
+    print(report.render())
+
+    assert all(covers for _, covers in results.values())
+    assert 90 <= used_20c <= 96
+    # Hotter silicon is slower, so fewer elements are needed.
+    assert results[85.0][0] < results[0.0][0]

@@ -1,0 +1,64 @@
+"""EXT-CLOCK — optical clock distribution (the paper's announced future work).
+
+Conclusions: "Further work ... including high-speed local clock
+synchronization, expected to drastically reduce clock distribution power costs
+with minimal or no area impact."  This benchmark compares a buffered H-tree
+against an optical broadcast clock (one micro-LED, per-region SPAD receivers)
+across frequency and reports the power saving, the residual skew and the area
+of the added optical receivers.
+"""
+
+import pytest
+
+from repro.analysis.report import ExperimentReport, ReportTable
+from repro.analysis.units import MHZ, format_si
+from repro.core.area import link_area
+from repro.core.clocking import (
+    ElectricalClockTree,
+    OpticalClockDistribution,
+    compare_clock_distribution,
+)
+
+FREQUENCIES = [100 * MHZ, 200 * MHZ, 400 * MHZ, 800 * MHZ]
+
+
+def run_clock_comparison():
+    tree = ElectricalClockTree()
+    optical = OpticalClockDistribution()
+    return [compare_clock_distribution(frequency, tree, optical) for frequency in FREQUENCIES], optical
+
+
+def test_optical_clock_distribution(benchmark):
+    comparisons, optical = benchmark.pedantic(run_clock_comparison, rounds=1, iterations=1)
+
+    report = ExperimentReport(
+        "EXT-CLOCK",
+        "Electrical H-tree versus optical broadcast clock distribution",
+        paper_claim="expected to drastically reduce clock distribution power costs with "
+                    "minimal or no area impact",
+    )
+    table = ReportTable(columns=["frequency", "H-tree power", "optical power", "saving"])
+    for comparison in comparisons:
+        table.add_row(
+            format_si(comparison.frequency, "Hz"),
+            format_si(comparison.electrical_power, "W"),
+            format_si(comparison.optical_power, "W"),
+            f"{comparison.power_saving * 100:.0f} %",
+        )
+    report.add_table(table)
+
+    receiver_area = optical.regions * link_area().receiver_area
+    report.add_comparison("clock power", "drastically reduced",
+                          f"{comparisons[1].power_saving * 100:.0f} % saving at 200 MHz")
+    report.add_comparison("area impact", "minimal or none",
+                          f"{receiver_area * 1e12:.0f} um^2 of SPAD receivers over the whole die "
+                          f"({optical.regions} regions)")
+    report.add_text(
+        f"Residual region-to-region skew bound (uncorrelated SPAD jitter, ±3σ): "
+        f"{format_si(optical.skew_bound(), 's')}"
+    )
+    print()
+    print(report.render())
+
+    assert all(comparison.power_saving > 0.3 for comparison in comparisons)
+    assert receiver_area < 1e-6  # well below 1 mm^2 of added silicon

@@ -1,0 +1,66 @@
+"""FIG4 — Throughput TP(N, C) and SPAD detection cycle DC(N, C) (paper Figure 4).
+
+Figure 4 shades the achievable throughput in bits per second over the (N, C)
+plane and overlays contours of the SPAD detection cycle the design must match.
+This benchmark regenerates both surfaces from the Section 3 equations and
+prints them as heatmaps plus the Pareto frontier of the trade-off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plotting import ascii_heatmap
+from repro.analysis.report import ExperimentReport, ReportTable
+from repro.analysis.units import PS, format_si
+from repro.core.design_space import DesignSpace, figure4_grid
+
+
+def run_grid():
+    return figure4_grid(element_delay=54 * PS)
+
+
+def test_fig4_throughput_and_detection_cycle(benchmark):
+    n_values, c_values, tp, dc = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+
+    report = ExperimentReport(
+        "FIG4",
+        "TP(N, C) [bit/s] and DC(N, C) [s] over the TDC design space",
+        paper_claim="Throughput peaks at small ranges (several Gbit/s) and falls as the "
+                    "range is extended to match longer SPAD detection cycles",
+    )
+    report.add_text("log10(TP [bit/s]) — grey shading of Figure 4:")
+    report.add_text(
+        ascii_heatmap(np.log10(tp), row_labels=[str(n) for n in n_values],
+                      col_labels=[str(c) for c in c_values])
+    )
+    report.add_text("log10(DC [s]) — the solid contour lines of Figure 4:")
+    report.add_text(
+        ascii_heatmap(np.log10(dc), row_labels=[str(n) for n in n_values],
+                      col_labels=[str(c) for c in c_values])
+    )
+
+    table = ReportTable(columns=["N", "C", "MW", "DC", "TP"])
+    space = DesignSpace(element_delay=54 * PS)
+    for point in space.pareto_front():
+        table.add_row(
+            point.design.fine_elements,
+            point.design.coarse_bits,
+            format_si(point.measurement_window, "s"),
+            format_si(point.detection_cycle, "s"),
+            format_si(point.throughput, "bit/s"),
+        )
+    report.add_table(table, caption="Pareto frontier of the throughput / detection-cycle trade-off")
+
+    best = space.max_throughput()
+    matched_32ns = space.best_for_dead_time(32e-9)
+    report.add_comparison("peak TP (small range corner)", "several Gbit/s",
+                          format_si(best.throughput, "bit/s"))
+    report.add_comparison("TP when DC matches a 32 ns SPAD", "hundreds of Mbit/s",
+                          format_si(matched_32ns.throughput, "bit/s"))
+    print()
+    print(report.render())
+
+    # Shape assertions: who wins and where the trade-off lies.
+    assert best.throughput > 2e9
+    assert matched_32ns.throughput < best.throughput
+    assert np.all(np.diff(dc, axis=1) > 0)

@@ -1,0 +1,74 @@
+"""TXT-PADS — area and power of the optical transceiver versus conventional I/O.
+
+Abstract/introduction claims: the optical interconnect is "ultra-compact, low
+power ... implemented almost entirely in CMOS", using "a fraction of the area
+and power of a pad", while capacitive and inductive wireless links "are only
+appropriate for pairs of chips".  This benchmark tabulates area, energy per
+bit, achievable rate and broadcast capability for every technology modelled in
+``repro.electrical`` plus the optical PPM channel.
+"""
+
+import pytest
+
+from repro.analysis.report import ExperimentReport, ReportTable
+from repro.core.area import link_area, pad_area_comparison
+from repro.core.config import LinkConfig
+from repro.core.power import link_power, pad_power_comparison
+from repro.electrical.comparison import InterconnectSummary, compare_interconnects
+
+
+def run_comparison():
+    config = LinkConfig(ppm_bits=4)
+    power = link_power(config)
+    area = link_area(config.effective_tdc_design())
+    optical_summary = InterconnectSummary(
+        name="optical SPAD/PPM channel",
+        area=area.total_area,
+        max_bit_rate=config.raw_bit_rate,
+        energy_per_bit=power.energy_per_bit,
+        supports_broadcast=True,
+        max_chips=100,
+    )
+    rows = compare_interconnects(optical=optical_summary, bit_rate=config.raw_bit_rate)
+    return config, power, area, rows
+
+
+def test_pad_area_power_comparison(benchmark):
+    config, power, area, rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    report = ExperimentReport(
+        "TXT-PADS",
+        "Optical transceiver versus wire-bond pad, TSV, inductive and capacitive links",
+        paper_claim="the optical channel uses a fraction of the area and power of a pad and, "
+                    "unlike capacitive/inductive coupling, supports broadcast over many chips",
+    )
+    table = ReportTable(
+        columns=["technology", "area [um^2]", "max rate [Gbit/s]", "energy/bit [pJ]",
+                 "power @125 Mbit/s [uW]", "broadcast", "max chips"]
+    )
+    for row in rows:
+        table.add_row(
+            row["name"], row["area_um2"], row["max_bit_rate_gbps"], row["energy_per_bit_pj"],
+            row["power_at_rate_uw"], row["broadcast"], row["max_chips"],
+        )
+    report.add_table(table)
+
+    area_ratio = pad_area_comparison(config.effective_tdc_design())
+    power_ratio = pad_power_comparison(config)
+    report.add_comparison("area vs. a wire-bond pad", "a fraction of a pad",
+                          f"{area_ratio['optical_over_pad']:.2f}x the pad area "
+                          f"(transmitter {area_ratio['transmitter_over_pad']:.2f}x, "
+                          f"receiver {area_ratio['receiver_over_pad']:.2f}x)")
+    report.add_comparison("power vs. a pad at the same bit rate", "a fraction of a pad",
+                          f"{power_ratio['optical_over_pad_power']:.2f}x the pad power")
+    report.add_comparison("broadcast / multi-chip support", "optical only", str(
+        {row['name']: row['broadcast'] for row in rows}
+    ))
+    print()
+    print(report.render())
+
+    assert area_ratio["optical_over_pad"] < 1.0
+    assert power_ratio["optical_over_pad_power"] < 1.0
+    optical_row = rows[-1]
+    assert optical_row["broadcast"] is True
+    assert all(not row["broadcast"] for row in rows[:-1])

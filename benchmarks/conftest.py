@@ -1,0 +1,15 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation artifacts (figure or
+quantitative claim) and prints an :class:`~repro.analysis.report.ExperimentReport`
+with a paper-vs-measured comparison, in addition to timing the underlying
+computation through pytest-benchmark.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks print their reproduced figures; -s is not always passed, so
+    # make sure at least a capture-friendly summary reaches the terminal.
+    config.option.verbose = max(config.option.verbose, 0)

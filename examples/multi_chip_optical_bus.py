@@ -1,0 +1,78 @@
+"""Multi-chip vertical optical bus over a thinned die stack (paper Figure 1).
+
+Run with ``python examples/multi_chip_optical_bus.py``.
+
+The scenario the paper's introduction motivates: a processor die at the bottom
+of a stack of thinned memory dies, all sharing one vertical optical column.
+The script sizes the emitter so the worst-case link budget closes, broadcasts
+a configuration packet to every die, then runs unicast traffic through the
+arbitrated optical bus and reports delivery statistics.
+"""
+
+from repro.analysis.units import NM, NS, UM, format_si
+from repro.core.config import LinkConfig
+from repro.core.link_budget import close_link_budget
+from repro.noc.broadcast import broadcast, minimum_photons_for_full_coverage
+from repro.noc.bus import OpticalBus
+from repro.noc.packet import Packet
+from repro.noc.topology import StackTopology
+from repro.photonics.channel import OpticalChannel
+from repro.photonics.stack import DieStack
+
+DIE_COUNT = 8
+WAVELENGTH = 1050 * NM
+THICKNESS = 15 * UM
+
+
+def main() -> None:
+    print(f"=== {DIE_COUNT}-die vertical optical bus "
+          f"({THICKNESS * 1e6:.0f} um dies, {WAVELENGTH * 1e9:.0f} nm) ===")
+    stack = DieStack.uniform(count=DIE_COUNT, thickness=THICKNESS, wavelength=WAVELENGTH)
+    topology = StackTopology(stack, nodes_per_die=1)
+    config = LinkConfig(ppm_bits=4, slot_duration=2 * NS, extra_guard=8 * NS, wavelength=WAVELENGTH)
+
+    # 1. Close the worst-case (bottom-to-top) photon budget.
+    worst_channel = OpticalChannel(stack=stack, source_layer=0, destination_layer=DIE_COUNT - 1)
+    budget = close_link_budget(worst_channel, target_detection_probability=0.999)
+    print("\nworst-case channel budget (die 0 -> die", DIE_COUNT - 1, "):")
+    print(f"  channel transmission : {budget.channel_transmission:.2e} "
+          f"({worst_channel.budget().total_loss_db:.1f} dB)")
+    print(f"  photons at detector  : {budget.photons_at_detector:.0f} per pulse")
+    print(f"  photons at source    : {budget.photons_at_source:.0f} per pulse")
+    print(f"  LED drive current    : "
+          f"{'-' if budget.required_drive_current is None else format_si(budget.required_drive_current, 'A')}")
+    print(f"  budget closes        : {budget.closes}")
+
+    # 2. Broadcast a configuration packet to every die.
+    emitted = minimum_photons_for_full_coverage(
+        topology, 0, config=config,
+        candidate_levels=(1000.0, 5000.0, 20000.0, 80000.0), seed=1,
+    )
+    print(f"\nbroadcast: minimum emitted photons for full coverage = {emitted:.0f}")
+    packet = Packet.broadcast_packet(source=0, payload=[1, 0, 1, 1, 0, 0, 1, 0] * 4)
+    outcome = broadcast(topology, 0, packet, config=config, emitted_photons=emitted, seed=2)
+    print(f"broadcast coverage: {outcome.coverage * 100:.0f} % "
+          f"({outcome.delivered_count}/{topology.node_count - 1} receivers)")
+
+    # 3. Unicast traffic over the shared, arbitrated bus.
+    bus = OpticalBus(topology, config=config, emitted_photons=emitted, seed=3)
+    for source in range(DIE_COUNT):
+        for burst in range(3):
+            destination = (source + 1 + burst) % DIE_COUNT
+            if destination == source:
+                continue
+            bus.offer(Packet(source=source, destination=destination,
+                             payload=[1, 0, 1, 1] * 8, sequence=burst))
+    stats = bus.run()
+    print("\nbus traffic:")
+    print(f"  packets offered / delivered / corrupted : "
+          f"{stats.packets_offered} / {stats.packets_delivered} / {stats.packets_corrupted}")
+    print(f"  delivery ratio                          : {stats.delivery_ratio * 100:.1f} %")
+    print(f"  mean latency                            : {format_si(stats.mean_latency, 's')}")
+    print(f"  bus utilisation                         : {stats.utilisation * 100:.1f} %")
+    print(f"  aggregate bandwidth (shared)            : {format_si(bus.aggregate_bandwidth(), 'bit/s')}")
+    print(f"  fair share per die                      : {format_si(bus.per_node_bandwidth(), 'bit/s')}")
+
+
+if __name__ == "__main__":
+    main()

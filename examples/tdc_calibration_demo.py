@@ -1,0 +1,53 @@
+"""TDC characterisation and calibration demo (paper Figures 2/3).
+
+Run with ``python examples/tdc_calibration_demo.py``.
+
+Recreates the receiver-side workflow of the paper's preliminary results: build
+the 96-element carry-chain TDC of the 200 MHz FPGA proof of concept, run a
+code-density test, plot (in ASCII) the DNL of Figure 3, then calibrate the
+converter and show how the residual error stays bounded — and why the
+calibration must be repeated when the temperature drifts.
+"""
+
+from repro.analysis.plotting import ascii_line_plot
+from repro.analysis.units import NS, format_si
+from repro.simulation.randomness import RandomSource
+from repro.tdc import calibrate_from_code_density, code_density_test
+from repro.tdc.calibration import calibration_residual_inl
+from repro.tdc.fpga import VIRTEX2PRO_PROFILE, build_fpga_tdc
+
+
+def main() -> None:
+    print("=== FPGA carry-chain TDC characterisation (XC2VP40-style, 200 MHz) ===")
+    tdc = build_fpga_tdc(VIRTEX2PRO_PROFILE, random_source=RandomSource(7))
+    line = tdc.delay_line
+    print(f"chain length        : {line.length} elements")
+    print(f"mean element delay  : {format_si(line.mean_resolution(), 's')}")
+    print(f"chain span          : {format_si(line.total_delay, 's')} (must cover 5 ns)")
+    print(f"elements used (5 ns): {line.elements_used_for(5 * NS)} at {line.temperature:.0f} degC")
+
+    print("\ncode-density test (uniform random hits over the 5 ns range)...")
+    density = code_density_test(tdc, samples=60_000, random_source=RandomSource(1))
+    print(density.summary())
+    print("\nDNL versus code (Figure 3):")
+    print(ascii_line_plot(density.codes, density.dnl, width=72, height=12))
+
+    print("\ncalibrating from the code-density histogram...")
+    table = calibrate_from_code_density(tdc, samples=120_000, random_source=RandomSource(2))
+    residual = calibration_residual_inl(tdc, table, probe_points=500)
+    print(f"effective LSB after calibration : {format_si(table.effective_lsb, 's')}")
+    print(f"residual peak error             : {residual:.2f} LSB  (paper bound: < 1 LSB)")
+
+    print("\ntemperature drift without recalibration:")
+    for temperature in (20.0, 40.0, 60.0, 85.0):
+        tdc.delay_line.set_operating_point(temperature=temperature)
+        stale = calibration_residual_inl(tdc, table, probe_points=300)
+        print(f"  {temperature:5.1f} degC : {stale:5.2f} LSB with the 20 degC table")
+    tdc.delay_line.set_operating_point(temperature=85.0)
+    fresh = calibrate_from_code_density(tdc, samples=120_000, random_source=RandomSource(3))
+    print(f"  85.0 degC : {calibration_residual_inl(tdc, fresh, probe_points=300):5.2f} LSB after recalibrating")
+    print("\n=> periodic calibration keeps the resolution bounded without any dynamic PVT compensation.")
+
+
+if __name__ == "__main__":
+    main()

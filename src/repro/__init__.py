@@ -1,0 +1,53 @@
+"""repro — reproduction of Favi & Charbon, "Techniques for Fully Integrated
+Intra-/Inter-chip Optical Communication" (DAC 2008).
+
+The package implements, in pure Python + numpy, every subsystem the paper's
+optical interconnect depends on:
+
+* :mod:`repro.spad` — single-photon avalanche diode (SPAD) device models.
+* :mod:`repro.photonics` — micro-LED emitter, CMOS driver and through-silicon
+  optical channel models (thinned die stacks, micro-optics, crosstalk).
+* :mod:`repro.tdc` — time-to-digital converter: tapped delay line, coarse
+  counter, thermometer decoding, DNL/INL analysis and calibration.
+* :mod:`repro.modulation` — pulse-position modulation (PPM) coder/decoder and
+  alternative line codes.
+* :mod:`repro.electrical` — conventional electrical baselines (wire-bond pads,
+  TSVs, inductive and capacitive coupling) used for comparison.
+* :mod:`repro.simulation` — discrete-event simulation kernel and Monte-Carlo
+  tooling used by the stochastic device models.
+* :mod:`repro.noc` — multi-chip vertical optical bus, broadcast and arbitration.
+* :mod:`repro.core` — the paper's contribution: the end-to-end optical link,
+  its throughput/design-space model (MW, TP, DC equations), error/power/area
+  analysis and the optical clock distribution extension.
+* :mod:`repro.analysis` — units, sweeps, statistics and report helpers.
+
+Quickstart
+----------
+
+>>> from repro.core import LinkConfig, OpticalLink
+>>> link = OpticalLink(LinkConfig(ppm_bits=4), seed=1)
+>>> result = link.transmit_bits([0, 1, 1, 0, 1, 0, 0, 1])
+>>> result.bit_errors
+0
+"""
+
+from repro.core import (
+    LinkConfig,
+    OpticalLink,
+    TdcDesign,
+    detection_cycle,
+    measurement_window,
+    throughput,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LinkConfig",
+    "OpticalLink",
+    "TdcDesign",
+    "measurement_window",
+    "throughput",
+    "detection_cycle",
+    "__version__",
+]

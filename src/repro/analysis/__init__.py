@@ -1,0 +1,48 @@
+"""Analysis helpers: units, statistics, parameter sweeps, plotting and reports."""
+
+from repro.analysis.units import (
+    GHZ,
+    KELVIN_0C,
+    MHZ,
+    NS,
+    PS,
+    US,
+    db_to_linear,
+    format_engineering,
+    format_si,
+    linear_to_db,
+)
+from repro.analysis.statistics import (
+    Histogram,
+    RunningStats,
+    bootstrap_confidence_interval,
+    percentile,
+)
+from repro.analysis.sweep import Sweep, SweepResult, grid_sweep
+from repro.analysis.plotting import ascii_heatmap, ascii_histogram, ascii_line_plot
+from repro.analysis.report import ExperimentReport, ReportTable
+
+__all__ = [
+    "PS",
+    "NS",
+    "US",
+    "MHZ",
+    "GHZ",
+    "KELVIN_0C",
+    "db_to_linear",
+    "linear_to_db",
+    "format_si",
+    "format_engineering",
+    "Histogram",
+    "RunningStats",
+    "percentile",
+    "bootstrap_confidence_interval",
+    "Sweep",
+    "SweepResult",
+    "grid_sweep",
+    "ascii_heatmap",
+    "ascii_histogram",
+    "ascii_line_plot",
+    "ExperimentReport",
+    "ReportTable",
+]

@@ -1,0 +1,131 @@
+"""Parameter-sweep utilities.
+
+Design-space exploration in the paper (Figure 4) is a 2-D sweep over the
+number of fine delay elements N and the coarse range bits C.  The helpers in
+this module provide a small, dependency-free way to express such sweeps and
+collect their results into arrays suitable for tabulation or heatmaps.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """A single evaluated point of a sweep: parameter values and the result."""
+
+    parameters: Tuple[Tuple[str, Any], ...]
+    value: Any
+
+    def parameter(self, name: str) -> Any:
+        for key, val in self.parameters:
+            if key == name:
+                return val
+        raise KeyError(name)
+
+    def as_dict(self) -> Dict[str, Any]:
+        out = dict(self.parameters)
+        out["value"] = self.value
+        return out
+
+
+@dataclass
+class SweepResult:
+    """Collection of :class:`SweepPoint` with convenience accessors."""
+
+    parameter_names: Tuple[str, ...]
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def append(self, parameters: Mapping[str, Any], value: Any) -> None:
+        ordered = tuple((name, parameters[name]) for name in self.parameter_names)
+        self.points.append(SweepPoint(ordered, value))
+
+    def values(self) -> List[Any]:
+        return [point.value for point in self.points]
+
+    def column(self, name: str) -> List[Any]:
+        return [point.parameter(name) for point in self.points]
+
+    def as_grid(self, row: str, col: str, transform: Callable[[Any], float] = float) -> Tuple[
+        np.ndarray, np.ndarray, np.ndarray
+    ]:
+        """Reshape results into a 2-D grid indexed by two parameter axes.
+
+        Returns ``(row_values, col_values, grid)`` where ``grid[i, j]`` is the
+        transformed value at ``row_values[i], col_values[j]``.  Missing points
+        are NaN.
+        """
+        row_values = sorted(set(self.column(row)))
+        col_values = sorted(set(self.column(col)))
+        grid = np.full((len(row_values), len(col_values)), np.nan)
+        row_index = {value: i for i, value in enumerate(row_values)}
+        col_index = {value: j for j, value in enumerate(col_values)}
+        for point in self.points:
+            i = row_index[point.parameter(row)]
+            j = col_index[point.parameter(col)]
+            grid[i, j] = transform(point.value)
+        return np.asarray(row_values), np.asarray(col_values), grid
+
+    def best(self, key: Callable[[SweepPoint], float], maximize: bool = True) -> SweepPoint:
+        """Return the point with extreme ``key``; raises on an empty sweep."""
+        if not self.points:
+            raise ValueError("sweep has no points")
+        return max(self.points, key=key) if maximize else min(self.points, key=key)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+
+@dataclass
+class Sweep:
+    """Declarative grid sweep over named parameter axes.
+
+    >>> sweep = Sweep({"n": [1, 2], "c": [0, 1]})
+    >>> result = sweep.run(lambda n, c: n + c)
+    >>> sorted(result.values())
+    [1, 2, 2, 3]
+    """
+
+    axes: Dict[str, Sequence[Any]]
+
+    def __post_init__(self) -> None:
+        if not self.axes:
+            raise ValueError("a sweep needs at least one axis")
+        for name, values in self.axes.items():
+            if len(list(values)) == 0:
+                raise ValueError(f"axis {name!r} has no values")
+
+    @property
+    def parameter_names(self) -> Tuple[str, ...]:
+        return tuple(self.axes.keys())
+
+    def combinations(self) -> Iterable[Dict[str, Any]]:
+        names = self.parameter_names
+        for combo in itertools.product(*(self.axes[name] for name in names)):
+            yield dict(zip(names, combo))
+
+    def size(self) -> int:
+        size = 1
+        for values in self.axes.values():
+            size *= len(list(values))
+        return size
+
+    def run(self, function: Callable[..., Any]) -> SweepResult:
+        """Evaluate ``function(**parameters)`` on every grid point."""
+        result = SweepResult(self.parameter_names)
+        for parameters in self.combinations():
+            result.append(parameters, function(**parameters))
+        return result
+
+
+def grid_sweep(function: Callable[..., Any], **axes: Sequence[Any]) -> SweepResult:
+    """Functional shorthand for ``Sweep(axes).run(function)``."""
+    return Sweep(dict(axes)).run(function)

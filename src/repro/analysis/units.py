@@ -1,0 +1,147 @@
+"""Unit constants and conversion helpers.
+
+All quantities inside the library are expressed in SI base units (seconds,
+meters, watts, joules, hertz).  The constants defined here make the numeric
+literals that appear throughout the device models self-describing::
+
+    dead_time = 32 * NS
+    clock_frequency = 200 * MHZ
+
+and the formatting helpers render values back into engineering notation for
+reports and benchmark output.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Time units (seconds)
+# ---------------------------------------------------------------------------
+FS = 1e-15
+PS = 1e-12
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+# ---------------------------------------------------------------------------
+# Frequency units (hertz)
+# ---------------------------------------------------------------------------
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+# ---------------------------------------------------------------------------
+# Length units (meters)
+# ---------------------------------------------------------------------------
+NM = 1e-9
+UM = 1e-6
+MM = 1e-3
+CM = 1e-2
+
+# ---------------------------------------------------------------------------
+# Power / energy units
+# ---------------------------------------------------------------------------
+NW = 1e-9
+UW = 1e-6
+MW_ = 1e-3  # trailing underscore avoids clash with the MW() measurement window
+PJ = 1e-12
+FJ = 1e-15
+
+# ---------------------------------------------------------------------------
+# Temperature
+# ---------------------------------------------------------------------------
+KELVIN_0C = 273.15
+
+# ---------------------------------------------------------------------------
+# Physical constants
+# ---------------------------------------------------------------------------
+PLANCK = 6.62607015e-34  # J*s
+SPEED_OF_LIGHT = 299792458.0  # m/s
+ELEMENTARY_CHARGE = 1.602176634e-19  # C
+BOLTZMANN = 1.380649e-23  # J/K
+
+
+def photon_energy(wavelength_m: float) -> float:
+    """Energy of a single photon of the given wavelength, in joules.
+
+    >>> round(photon_energy(650e-9) / 1.602e-19, 2)  # ~1.91 eV
+    1.91
+    """
+    if wavelength_m <= 0:
+        raise ValueError(f"wavelength must be positive, got {wavelength_m}")
+    return PLANCK * SPEED_OF_LIGHT / wavelength_m
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a power ratio expressed in decibels to a linear ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to decibels.
+
+    Raises :class:`ValueError` for non-positive ratios, for which dB is
+    undefined.
+    """
+    if ratio <= 0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+_SI_PREFIXES = [
+    (1e-18, "a"),
+    (1e-15, "f"),
+    (1e-12, "p"),
+    (1e-9, "n"),
+    (1e-6, "u"),
+    (1e-3, "m"),
+    (1.0, ""),
+    (1e3, "k"),
+    (1e6, "M"),
+    (1e9, "G"),
+    (1e12, "T"),
+    (1e15, "P"),
+]
+
+
+def format_si(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``format_si(5e-9, 's')`` → ``'5 ns'``.
+
+    Zero, NaN and infinities are passed through without a prefix.
+    """
+    if value == 0 or math.isnan(value) or math.isinf(value):
+        return f"{value:g} {unit}".rstrip()
+    magnitude = abs(value)
+    chosen_scale, chosen_prefix = _SI_PREFIXES[0]
+    for scale, prefix in _SI_PREFIXES:
+        if magnitude >= scale:
+            chosen_scale, chosen_prefix = scale, prefix
+    scaled = value / chosen_scale
+    return f"{scaled:.{digits}g} {chosen_prefix}{unit}".rstrip()
+
+
+def format_engineering(value: float, unit: str = "") -> str:
+    """Format with exponent that is a multiple of 3 (engineering notation)."""
+    if value == 0:
+        return f"0 {unit}".rstrip()
+    exponent = int(math.floor(math.log10(abs(value)) / 3.0) * 3)
+    mantissa = value / (10.0 ** exponent)
+    if exponent == 0:
+        return f"{mantissa:.3g} {unit}".rstrip()
+    return f"{mantissa:.3g}e{exponent} {unit}".rstrip()
+
+
+def celsius_to_kelvin(celsius: float) -> float:
+    """Convert degrees Celsius to kelvin."""
+    kelvin = celsius + KELVIN_0C
+    if kelvin < 0:
+        raise ValueError(f"temperature below absolute zero: {celsius} degC")
+    return kelvin
+
+
+def kelvin_to_celsius(kelvin: float) -> float:
+    """Convert kelvin to degrees Celsius."""
+    if kelvin < 0:
+        raise ValueError(f"temperature below absolute zero: {kelvin} K")
+    return kelvin - KELVIN_0C

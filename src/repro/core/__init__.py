@@ -1,0 +1,69 @@
+"""Core of the reproduction: the paper's optical interconnect.
+
+This package ties the substrates together into the system the paper proposes:
+
+* :mod:`repro.core.throughput` — the analytical model of Section 3:
+  measurement window ``MW(N, C)``, throughput ``TP(N, C)`` and SPAD detection
+  cycle ``DC(N, C)`` (Figure 4).
+* :mod:`repro.core.design_space` — exploration of the (N, C) plane and design
+  selection under dead-time/resolution constraints.
+* :mod:`repro.core.config` / :mod:`repro.core.link` — the end-to-end optical
+  link simulator (micro-LED → channel → SPAD → TDC → PPM decoder).
+* :mod:`repro.core.error_model` / :mod:`repro.core.ber` — analytic and
+  Monte-Carlo symbol/bit error rates from jitter, dark counts, afterpulsing
+  and missed detections.
+* :mod:`repro.core.power` / :mod:`repro.core.area` — transceiver power and
+  area versus a conventional pad.
+* :mod:`repro.core.link_budget` — optical power budget over the die stack.
+* :mod:`repro.core.calibration` — the periodic-recalibration policy that keeps
+  the TDC resolution bounded without dynamic PVT compensation.
+* :mod:`repro.core.clocking` — the optical clock distribution extension
+  sketched in the paper's conclusions.
+"""
+
+from repro.core.throughput import (
+    TdcDesign,
+    bits_per_symbol,
+    detection_cycle,
+    measurement_window,
+    throughput,
+)
+from repro.core.design_space import DesignPoint, DesignSpace, figure4_grid
+from repro.core.config import LinkConfig
+from repro.core.link import OpticalLink, TransmissionResult
+from repro.core.error_model import ErrorBudget, symbol_error_budget
+from repro.core.ber import analytic_bit_error_rate, monte_carlo_bit_error_rate
+from repro.core.power import PowerBreakdown, link_power, pad_power_comparison
+from repro.core.area import AreaBreakdown, link_area, pad_area_comparison
+from repro.core.link_budget import LinkBudget, close_link_budget
+from repro.core.calibration import CalibrationPolicy
+from repro.core.clocking import ClockDistributionComparison, OpticalClockDistribution
+
+__all__ = [
+    "TdcDesign",
+    "measurement_window",
+    "throughput",
+    "detection_cycle",
+    "bits_per_symbol",
+    "DesignPoint",
+    "DesignSpace",
+    "figure4_grid",
+    "LinkConfig",
+    "OpticalLink",
+    "TransmissionResult",
+    "ErrorBudget",
+    "symbol_error_budget",
+    "analytic_bit_error_rate",
+    "monte_carlo_bit_error_rate",
+    "PowerBreakdown",
+    "link_power",
+    "pad_power_comparison",
+    "AreaBreakdown",
+    "link_area",
+    "pad_area_comparison",
+    "LinkBudget",
+    "close_link_budget",
+    "CalibrationPolicy",
+    "OpticalClockDistribution",
+    "ClockDistributionComparison",
+]

@@ -1,0 +1,102 @@
+"""Bit error rate estimation — analytic and Monte-Carlo.
+
+Two independent estimators of the same quantity:
+
+* :func:`analytic_bit_error_rate` evaluates the closed-form error budget of
+  :mod:`repro.core.error_model`;
+* :func:`monte_carlo_bit_error_rate` pushes random payloads through the full
+  stochastic :class:`~repro.core.link.OpticalLink` and counts disagreements.
+
+The benchmarks use the Monte-Carlo estimate and report the analytic value next
+to it as a sanity check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import LinkConfig
+from repro.core.error_model import symbol_error_budget
+from repro.core.link import OpticalLink
+from repro.simulation.randomness import RandomSource
+
+
+def analytic_bit_error_rate(config: LinkConfig, **model_overrides) -> float:
+    """Closed-form BER estimate for a link configuration.
+
+    ``model_overrides`` are forwarded to
+    :func:`repro.core.error_model.symbol_error_budget` (e.g. a custom jitter
+    model).
+    """
+    budget = symbol_error_budget(config, **model_overrides)
+    return budget.bit_error_rate(config.ppm_bits)
+
+
+@dataclass(frozen=True)
+class BerEstimate:
+    """Monte-Carlo BER estimate with its statistical quality."""
+
+    bit_errors: int
+    bits_simulated: int
+
+    def __post_init__(self) -> None:
+        if self.bits_simulated <= 0:
+            raise ValueError("bits_simulated must be positive")
+        if not 0 <= self.bit_errors <= self.bits_simulated:
+            raise ValueError("bit_errors must be within [0, bits_simulated]")
+
+    @property
+    def ber(self) -> float:
+        return self.bit_errors / self.bits_simulated
+
+    @property
+    def confidence_95(self) -> float:
+        """Half width of the 95 % binomial confidence interval (normal approx.).
+
+        When zero errors were observed, returns the 95 % upper bound
+        ``3 / bits_simulated`` ("rule of three").
+        """
+        if self.bit_errors == 0:
+            return 3.0 / self.bits_simulated
+        p = self.ber
+        return 1.96 * float(np.sqrt(p * (1.0 - p) / self.bits_simulated))
+
+
+def monte_carlo_bit_error_rate(
+    config: LinkConfig,
+    bits: int = 10_000,
+    seed: int = 0,
+) -> BerEstimate:
+    """Estimate the BER by simulating ``bits`` random payload bits end to end."""
+    if bits <= 0:
+        raise ValueError("bits must be positive")
+    # Round up to a whole number of symbols.
+    symbols = -(-bits // config.ppm_bits)
+    total_bits = symbols * config.ppm_bits
+    source = RandomSource(seed)
+    payload = [int(b) for b in source.generator.integers(0, 2, size=total_bits)]
+    link = OpticalLink(config, seed=seed + 1)
+    result = link.transmit_bits(payload)
+    return BerEstimate(bit_errors=result.bit_errors, bits_simulated=total_bits)
+
+
+def ber_vs_photons(
+    config: LinkConfig,
+    photon_levels,
+    bits_per_point: int = 5_000,
+    seed: int = 0,
+):
+    """Monte-Carlo BER sweep versus received pulse energy.
+
+    Returns a list of ``(mean_detected_photons, BerEstimate)`` pairs — the
+    waterfall curve every optical link is characterised by.
+    """
+    results = []
+    for index, photons in enumerate(photon_levels):
+        point_config = config.with_detected_photons(float(photons))
+        estimate = monte_carlo_bit_error_rate(point_config, bits=bits_per_point, seed=seed + index)
+        results.append((float(photons), estimate))
+    return results

@@ -1,0 +1,93 @@
+"""Calibration policy for the TDC.
+
+The paper's design choice: the delay line is *not* dynamically compensated for
+PVT; instead "we rely on regular calibration so as to ensure a fix bound on
+resolution".  The policy object here answers the operational questions that
+choice raises: how often must the link recalibrate for a given temperature
+drift rate, how long does a calibration take (the link is blind during it),
+and what throughput overhead does that imply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.throughput import TdcDesign
+
+
+@dataclass(frozen=True)
+class CalibrationPolicy:
+    """Periodic code-density recalibration of the receiver TDC.
+
+    Attributes
+    ----------
+    design:
+        The TDC design being calibrated.
+    resolution_bound:
+        Maximum tolerated drift of the effective LSB, as a fraction of the
+        nominal element delay (e.g. 0.1 = the LSB may drift by 10 % between
+        calibrations).
+    temperature_drift_rate:
+        Worst-case ambient/junction temperature drift [degC/s].
+    temperature_coefficient:
+        Relative element-delay change per degree Celsius.
+    calibration_samples:
+        Code-density samples collected per calibration run.
+    symbol_rate:
+        Link symbol rate [symbols/s]; calibration hits are collected at this
+        rate (one hit per symbol slot using the idle/guard pattern).
+    """
+
+    design: TdcDesign = TdcDesign()
+    resolution_bound: float = 0.1
+    temperature_drift_rate: float = 0.05
+    temperature_coefficient: float = 1.2e-3
+    calibration_samples: int = 20_000
+    symbol_rate: float = 10e6
+
+    def __post_init__(self) -> None:
+        if not 0 < self.resolution_bound < 1:
+            raise ValueError("resolution_bound must be within (0, 1)")
+        if self.temperature_drift_rate < 0:
+            raise ValueError("temperature_drift_rate must be non-negative")
+        if self.temperature_coefficient <= 0:
+            raise ValueError("temperature_coefficient must be positive")
+        if self.calibration_samples <= 0:
+            raise ValueError("calibration_samples must be positive")
+        if self.symbol_rate <= 0:
+            raise ValueError("symbol_rate must be positive")
+
+    def tolerated_temperature_excursion(self) -> float:
+        """Temperature change that drifts the LSB by the resolution bound [degC]."""
+        return self.resolution_bound / self.temperature_coefficient
+
+    def recalibration_interval(self) -> float:
+        """Time between calibrations keeping the LSB within the bound [s].
+
+        Infinite when the temperature is not drifting at all.
+        """
+        if self.temperature_drift_rate == 0:
+            return float("inf")
+        return self.tolerated_temperature_excursion() / self.temperature_drift_rate
+
+    def calibration_duration(self) -> float:
+        """Wall-clock time of one calibration run [s].
+
+        One code-density sample is collected per symbol period (the link sends
+        known calibration pulses instead of payload).
+        """
+        return self.calibration_samples / self.symbol_rate
+
+    def throughput_overhead(self) -> float:
+        """Fraction of link time spent calibrating (0..1)."""
+        interval = self.recalibration_interval()
+        if interval == float("inf"):
+            return 0.0
+        duration = self.calibration_duration()
+        return duration / (duration + interval)
+
+    def effective_throughput(self, raw_throughput: float) -> float:
+        """Payload throughput after paying the calibration overhead [bit/s]."""
+        if raw_throughput < 0:
+            raise ValueError("raw_throughput must be non-negative")
+        return raw_throughput * (1.0 - self.throughput_overhead())

@@ -1,0 +1,174 @@
+"""Design-space exploration over (N, C) — the machinery behind Figure 4.
+
+Figure 4 plots the achievable throughput TP(N, C) (grey shading) and the SPAD
+detection cycle DC(N, C) (contour lines) over the plane spanned by the number
+of fine delay elements N and the coarse range bits C.  The trade-off it
+visualises: larger ranges (big N·2^C) tolerate long SPAD dead times and carry
+more bits per pulse, but the measurement window grows *faster* than the bit
+count, so throughput falls; the highest throughputs live at small ranges,
+which demand SPADs with short detection cycles.
+
+:func:`figure4_grid` reproduces the two surfaces; :class:`DesignSpace` adds
+constrained selection (pick the fastest design whose detection cycle matches a
+given SPAD) used by the examples and the Gbps benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.units import PS
+from repro.core.throughput import TdcDesign
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated (N, C) point."""
+
+    design: TdcDesign
+    throughput: float
+    detection_cycle: float
+    measurement_window: float
+    bits_per_symbol: float
+
+    @classmethod
+    def from_design(cls, design: TdcDesign) -> "DesignPoint":
+        return cls(
+            design=design,
+            throughput=design.throughput,
+            detection_cycle=design.detection_cycle,
+            measurement_window=design.measurement_window,
+            bits_per_symbol=design.bits_per_symbol,
+        )
+
+
+def default_fine_elements() -> List[int]:
+    """Powers of two from 4 to 1024 — the natural sweep for log2(N) bits."""
+    return [1 << k for k in range(2, 11)]
+
+
+def default_coarse_bits() -> List[int]:
+    """Coarse range bits 0..8."""
+    return list(range(0, 9))
+
+
+def figure4_grid(
+    fine_elements: Optional[Sequence[int]] = None,
+    coarse_bits: Optional[Sequence[int]] = None,
+    element_delay: float = 54.0 * PS,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Reproduce the two surfaces of Figure 4.
+
+    Returns ``(N_values, C_values, TP_grid, DC_grid)`` where ``TP_grid[i, j]``
+    is the throughput (bit/s) and ``DC_grid[i, j]`` the detection cycle (s) at
+    ``N_values[i], C_values[j]``.
+    """
+    n_values = list(fine_elements) if fine_elements is not None else default_fine_elements()
+    c_values = list(coarse_bits) if coarse_bits is not None else default_coarse_bits()
+    if not n_values or not c_values:
+        raise ValueError("fine_elements and coarse_bits must be non-empty")
+    tp = np.empty((len(n_values), len(c_values)))
+    dc = np.empty((len(n_values), len(c_values)))
+    for i, n in enumerate(n_values):
+        for j, c in enumerate(c_values):
+            design = TdcDesign(fine_elements=n, coarse_bits=c, element_delay=element_delay)
+            tp[i, j] = design.throughput
+            dc[i, j] = design.detection_cycle
+    return np.asarray(n_values), np.asarray(c_values), tp, dc
+
+
+class DesignSpace:
+    """Constrained exploration of the (N, C) plane."""
+
+    def __init__(
+        self,
+        element_delay: float = 54.0 * PS,
+        fine_elements: Optional[Sequence[int]] = None,
+        coarse_bits: Optional[Sequence[int]] = None,
+    ) -> None:
+        if element_delay <= 0:
+            raise ValueError("element_delay must be positive")
+        self.element_delay = element_delay
+        self.fine_elements = list(fine_elements) if fine_elements is not None else default_fine_elements()
+        self.coarse_bits = list(coarse_bits) if coarse_bits is not None else default_coarse_bits()
+        if not self.fine_elements or not self.coarse_bits:
+            raise ValueError("fine_elements and coarse_bits must be non-empty")
+
+    def points(self) -> List[DesignPoint]:
+        """Every (N, C) combination as a :class:`DesignPoint`."""
+        points = []
+        for n in self.fine_elements:
+            for c in self.coarse_bits:
+                design = TdcDesign(fine_elements=n, coarse_bits=c, element_delay=self.element_delay)
+                points.append(DesignPoint.from_design(design))
+        return points
+
+    def feasible(
+        self,
+        spad_dead_time: float,
+        dead_time_tolerance: float = 0.25,
+        min_bits_per_symbol: float = 1.0,
+    ) -> List[DesignPoint]:
+        """Designs whose detection cycle covers (and roughly matches) the SPAD dead time.
+
+        ``DC`` must be at least the dead time (otherwise a second pulse can
+        arrive while the SPAD is still blind), and not exceed it by more than
+        ``dead_time_tolerance`` (otherwise range — and thus throughput — is
+        wasted).
+        """
+        if spad_dead_time <= 0:
+            raise ValueError("spad_dead_time must be positive")
+        upper = spad_dead_time * (1.0 + dead_time_tolerance)
+        selected = []
+        for point in self.points():
+            if point.bits_per_symbol < min_bits_per_symbol:
+                continue
+            if spad_dead_time <= point.detection_cycle <= upper:
+                selected.append(point)
+        return selected
+
+    def best_for_dead_time(
+        self,
+        spad_dead_time: float,
+        dead_time_tolerance: float = 0.25,
+    ) -> DesignPoint:
+        """Highest-throughput design matched to a SPAD dead time.
+
+        Falls back to the design with the smallest detection cycle not below
+        the dead time when no design lands inside the tolerance band.
+        """
+        feasible = self.feasible(spad_dead_time, dead_time_tolerance)
+        if feasible:
+            return max(feasible, key=lambda point: point.throughput)
+        covering = [p for p in self.points() if p.detection_cycle >= spad_dead_time]
+        if not covering:
+            raise ValueError(
+                "no design in the space covers the requested dead time; "
+                "extend fine_elements or coarse_bits"
+            )
+        return min(covering, key=lambda point: point.detection_cycle)
+
+    def max_throughput(self) -> DesignPoint:
+        """The unconstrained throughput optimum (smallest range in the space)."""
+        return max(self.points(), key=lambda point: point.throughput)
+
+    def pareto_front(self) -> List[DesignPoint]:
+        """Designs that are Pareto-optimal in (throughput, detection cycle).
+
+        A design is kept when no other design has both higher throughput and a
+        longer (more tolerant) detection cycle.
+        """
+        points = self.points()
+        front = []
+        for candidate in points:
+            dominated = any(
+                other.throughput > candidate.throughput
+                and other.detection_cycle >= candidate.detection_cycle
+                for other in points
+            )
+            if not dominated:
+                front.append(candidate)
+        return sorted(front, key=lambda point: point.detection_cycle)

@@ -1,0 +1,187 @@
+"""Analytic symbol/bit error budget of the PPM link.
+
+The paper states that "the range must be adapted to the SPAD's dead time so as
+to keep potential errors due to jitter and afterpulse probability below a
+certain bound".  This module quantifies that bound: given a
+:class:`~repro.core.config.LinkConfig` it computes the probability of each
+error mechanism per transmitted symbol and converts the total into bit error
+rate estimates.
+
+Mechanisms modelled
+-------------------
+
+* **missed detection** — the pulse carries finitely many photons and the PDP
+  is below one, so with probability ``exp(-PDP·μ)`` nothing fires; the decoder
+  then emits an erasure (decoded as a fixed value), corrupting on average half
+  of the K bits.
+* **dark count pre-emption** — a dark count arriving earlier in the window
+  while the SPAD is armed pre-empts the signal photon (the SPAD can only
+  report the *first* event per cycle) and lands in a uniformly-random earlier
+  slot.
+* **afterpulse pre-emption** — a trap release from the previous avalanche that
+  survives the dead time behaves like a dark count confined to the early part
+  of the window; a longer detection cycle (matched to the dead time)
+  suppresses it exponentially.
+* **jitter mis-slotting** — the detection time deviates from the pulse centre
+  by the SPAD jitter plus the TDC quantisation/INL error; when the deviation
+  exceeds half a slot the symbol decodes to an adjacent slot.
+* **SPAD not re-armed** — if the symbol duration is shorter than the dead
+  time, a detection in symbol *n* blinds the device for symbol *n+1*; the
+  configuration stretches the guard to avoid it, but the budget reports the
+  residual probability for ablations that shorten the guard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import LinkConfig
+from repro.spad.afterpulsing import AfterpulsingModel
+from repro.spad.dark_counts import DarkCountModel
+from repro.spad.jitter import JitterModel
+from repro.spad.pdp import PdpCurve, default_cmos_pdp
+
+
+@dataclass(frozen=True)
+class ErrorBudget:
+    """Per-symbol error probabilities of the link."""
+
+    missed_detection: float
+    dark_count_preemption: float
+    afterpulse_preemption: float
+    jitter_misslot: float
+    not_rearmed: float
+
+    def __post_init__(self) -> None:
+        for name in (
+            "missed_detection",
+            "dark_count_preemption",
+            "afterpulse_preemption",
+            "jitter_misslot",
+            "not_rearmed",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+
+    @property
+    def symbol_error_probability(self) -> float:
+        """Probability that a symbol decodes incorrectly (union bound, capped at 1)."""
+        total = (
+            self.missed_detection
+            + self.dark_count_preemption
+            + self.afterpulse_preemption
+            + self.jitter_misslot
+            + self.not_rearmed
+        )
+        return float(min(1.0, total))
+
+    def bit_error_rate(self, ppm_bits: int) -> float:
+        """Approximate BER implied by the budget.
+
+        Erasure-like events (missed detection, pre-emption, not re-armed)
+        corrupt on average half the bits of the symbol; jitter errors move to
+        an adjacent slot and flip ~adjacent-slot Hamming distance bits
+        (approximated as 1.5 bits for a natural binary mapping).
+        """
+        if ppm_bits <= 0:
+            raise ValueError("ppm_bits must be positive")
+        erasure_like = (
+            self.missed_detection
+            + self.dark_count_preemption
+            + self.afterpulse_preemption
+            + self.not_rearmed
+        )
+        adjacent_bits = min(1.5, float(ppm_bits))
+        errors_per_symbol = erasure_like * (ppm_bits / 2.0) + self.jitter_misslot * adjacent_bits
+        return float(min(1.0, errors_per_symbol / ppm_bits))
+
+    def dominant_mechanism(self) -> str:
+        """Name of the largest contributor to the symbol error probability."""
+        contributions = {
+            "missed_detection": self.missed_detection,
+            "dark_count_preemption": self.dark_count_preemption,
+            "afterpulse_preemption": self.afterpulse_preemption,
+            "jitter_misslot": self.jitter_misslot,
+            "not_rearmed": self.not_rearmed,
+        }
+        return max(contributions, key=contributions.get)
+
+
+def symbol_error_budget(
+    config: LinkConfig,
+    pdp_curve: Optional[PdpCurve] = None,
+    dark_counts: Optional[DarkCountModel] = None,
+    afterpulsing: Optional[AfterpulsingModel] = None,
+    jitter: Optional[JitterModel] = None,
+    tdc_rms_error: Optional[float] = None,
+) -> ErrorBudget:
+    """Compute the analytic per-symbol error budget for a link configuration."""
+    pdp_model = pdp_curve if pdp_curve is not None else default_cmos_pdp()
+    dark_model = dark_counts if dark_counts is not None else DarkCountModel()
+    afterpulse_model = afterpulsing if afterpulsing is not None else AfterpulsingModel()
+    jitter_model = jitter if jitter is not None else JitterModel()
+
+    pdp = pdp_model.pdp(config.wavelength, config.excess_bias)
+    detection_probability = 1.0 - np.exp(-pdp * config.mean_detected_photons)
+    missed = 1.0 - detection_probability
+
+    # Dark counts pre-empt the signal when they arrive, on average, in the
+    # earlier half of the data window before the pulse (pulse positions are
+    # uniform, so the mean exposed interval is half the data window).
+    exposed_window = config.data_window / 2.0
+    dark_rate = dark_model.rate(config.temperature, config.excess_bias)
+    dark_preempt = float(1.0 - np.exp(-dark_rate * exposed_window))
+
+    # Afterpulses from the previous symbol's avalanche: with the receiver
+    # re-arming the SPAD at every window start (gated operation), the trap
+    # only has to survive the guard/reset interval separating two windows —
+    # the shorter the range relative to the dead time, the more afterpulses
+    # leak through, which is exactly the trade-off the paper describes.
+    hold_time = max(config.guard_time, config.quenching_circuit().effective_gate_recovery)
+    afterpulse_preempt = afterpulse_model.probability_in_window(
+        dead_time=hold_time, window=exposed_window
+    )
+
+    # Jitter + TDC error beyond half a slot moves the detection to an adjacent slot.
+    quantization = (
+        tdc_rms_error
+        if tdc_rms_error is not None
+        else config.effective_tdc_design().resolution / np.sqrt(12.0)
+    )
+    effective_sigma = float(np.sqrt(jitter_model.sigma ** 2 + quantization ** 2))
+    combined_jitter = JitterModel(
+        sigma=effective_sigma,
+        tail_fraction=jitter_model.tail_fraction,
+        tail_constant=jitter_model.tail_constant,
+    )
+    jitter_misslot = detection_probability * combined_jitter.probability_outside(
+        config.slot_duration / 2.0
+    )
+
+    # Residual probability that the SPAD is still blind when this symbol's
+    # pulse arrives.  With gated re-arming the device only needs the physical
+    # quench/recharge time between the previous detection and this pulse; the
+    # two are separated by at least the guard interval plus the new pulse's
+    # slot offset, so only configurations whose guard is shorter than the
+    # gate-recovery time are exposed.
+    gate_recovery = config.quenching_circuit().effective_gate_recovery
+    shortfall = gate_recovery - config.guard_time
+    if shortfall <= 0:
+        not_rearmed = 0.0
+    else:
+        # The pulse must land within the first ``shortfall`` of the data
+        # window *and* the previous symbol must have fired late; for uniform
+        # pulse positions this is bounded by shortfall / data_window.
+        not_rearmed = float(min(1.0, shortfall / config.data_window))
+
+    return ErrorBudget(
+        missed_detection=float(np.clip(missed, 0.0, 1.0)),
+        dark_count_preemption=float(np.clip(dark_preempt, 0.0, 1.0)),
+        afterpulse_preemption=float(np.clip(afterpulse_preempt, 0.0, 1.0)),
+        jitter_misslot=float(np.clip(jitter_misslot, 0.0, 1.0)),
+        not_rearmed=float(np.clip(not_rearmed, 0.0, 1.0)),
+    )

@@ -1,0 +1,155 @@
+"""The paper's analytical throughput model (Section 3, Figure 4).
+
+The TDC design is controlled by two parameters: ``N``, the number of fine
+delay elements, and ``C``, the coarse range bits that extend the range by
+``2^C``.  With a single element delay of δ the fine range is ``Rf = N·δ`` and
+
+* ``MW(N, C) = (2^C + 1)·N·δ``   — measurement window, including one extra
+  fine range assumed for TDC reset;
+* ``TP(N, C) = (log2(N) + C) / MW(N, C)``   — achievable throughput in bits
+  per second, since one conversion resolves ``log2(N) + C`` bits;
+* ``DC(N, C) = 2^C·N·δ``   — the SPAD detection cycle chosen to match the TDC
+  range.
+
+These three functions, plus the :class:`TdcDesign` value object bundling
+``(N, C, δ)``, are used verbatim by the Figure 4 benchmark and by the design
+space explorer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.units import PS
+
+
+def _validate(fine_elements: int, coarse_bits: int, element_delay: float) -> None:
+    if fine_elements < 2:
+        raise ValueError(f"fine_elements must be at least 2, got {fine_elements}")
+    if coarse_bits < 0:
+        raise ValueError(f"coarse_bits must be non-negative, got {coarse_bits}")
+    if element_delay <= 0:
+        raise ValueError(f"element_delay must be positive, got {element_delay}")
+
+
+def measurement_window(fine_elements: int, coarse_bits: int, element_delay: float) -> float:
+    """MW(N, C) = (2^C + 1)·N·δ — total allotted range including TDC reset [s].
+
+    >>> from repro.analysis.units import PS
+    >>> round(measurement_window(16, 0, 50 * PS) / PS)
+    1600
+    """
+    _validate(fine_elements, coarse_bits, element_delay)
+    return ((1 << coarse_bits) + 1) * fine_elements * element_delay
+
+
+def detection_cycle(fine_elements: int, coarse_bits: int, element_delay: float) -> float:
+    """DC(N, C) = 2^C·N·δ — SPAD detection cycle matched to the TDC range [s]."""
+    _validate(fine_elements, coarse_bits, element_delay)
+    return (1 << coarse_bits) * fine_elements * element_delay
+
+
+def bits_per_symbol(fine_elements: int, coarse_bits: int) -> float:
+    """log2(N) + C — bits resolved by one conversion."""
+    if fine_elements < 2:
+        raise ValueError(f"fine_elements must be at least 2, got {fine_elements}")
+    if coarse_bits < 0:
+        raise ValueError(f"coarse_bits must be non-negative, got {coarse_bits}")
+    return math.log2(fine_elements) + coarse_bits
+
+
+def throughput(fine_elements: int, coarse_bits: int, element_delay: float) -> float:
+    """TP(N, C) = (log2(N) + C) / MW(N, C) — achievable throughput [bit/s]."""
+    return bits_per_symbol(fine_elements, coarse_bits) / measurement_window(
+        fine_elements, coarse_bits, element_delay
+    )
+
+
+@dataclass(frozen=True)
+class TdcDesign:
+    """A point in the paper's (N, C) design space with its element delay δ.
+
+    The defaults correspond to the FPGA proof of concept: δ ≈ 54 ps
+    (96 elements covering the 5 ns window of a 200 MHz clock).
+    """
+
+    fine_elements: int = 96
+    coarse_bits: int = 4
+    element_delay: float = 54.0 * PS
+
+    def __post_init__(self) -> None:
+        _validate(self.fine_elements, self.coarse_bits, self.element_delay)
+
+    # -- the paper's three quantities ---------------------------------------
+    @property
+    def fine_range(self) -> float:
+        """Rf = N·δ — span of the fine interpolator [s]."""
+        return self.fine_elements * self.element_delay
+
+    @property
+    def measurement_window(self) -> float:
+        """MW(N, C) [s]."""
+        return measurement_window(self.fine_elements, self.coarse_bits, self.element_delay)
+
+    @property
+    def detection_cycle(self) -> float:
+        """DC(N, C) [s]."""
+        return detection_cycle(self.fine_elements, self.coarse_bits, self.element_delay)
+
+    @property
+    def throughput(self) -> float:
+        """TP(N, C) [bit/s]."""
+        return throughput(self.fine_elements, self.coarse_bits, self.element_delay)
+
+    @property
+    def bits_per_symbol(self) -> float:
+        """log2(N) + C."""
+        return bits_per_symbol(self.fine_elements, self.coarse_bits)
+
+    @property
+    def whole_bits_per_symbol(self) -> int:
+        """Usable integer bits per conversion (floor of ``bits_per_symbol``)."""
+        return int(math.floor(self.bits_per_symbol))
+
+    # -- derived helpers ------------------------------------------------------
+    @property
+    def resolution(self) -> float:
+        """Time resolution of the converter (one LSB = δ) [s]."""
+        return self.element_delay
+
+    @property
+    def code_count(self) -> int:
+        """Number of distinct time codes, 2^C · N."""
+        return (1 << self.coarse_bits) * self.fine_elements
+
+    def matches_dead_time(self, dead_time: float, tolerance: float = 0.25) -> bool:
+        """True when the detection cycle is within ``tolerance`` of the SPAD dead time.
+
+        The paper chooses DC to match the SPAD's dead time; a detection cycle
+        much shorter than the dead time loses throughput to an idle SPAD, much
+        longer wastes range.
+        """
+        if dead_time <= 0:
+            raise ValueError("dead_time must be positive")
+        if tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        return abs(self.detection_cycle - dead_time) <= tolerance * dead_time
+
+    def with_coarse_bits(self, coarse_bits: int) -> "TdcDesign":
+        """Copy of the design with a different coarse range."""
+        return TdcDesign(self.fine_elements, coarse_bits, self.element_delay)
+
+    def with_fine_elements(self, fine_elements: int) -> "TdcDesign":
+        """Copy of the design with a different fine chain length."""
+        return TdcDesign(fine_elements, self.coarse_bits, self.element_delay)
+
+    def scaled_delay(self, factor: float) -> "TdcDesign":
+        """Copy of the design with the element delay scaled by ``factor``.
+
+        Useful for moving between technologies (an ASIC delay line is several
+        times faster than the FPGA carry chain).
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return TdcDesign(self.fine_elements, self.coarse_bits, self.element_delay * factor)

@@ -1,0 +1,27 @@
+"""Electrical interconnect baselines.
+
+The paper positions the optical link against the conventional alternatives:
+wire-bonded I/O pads (limited by bonding inductance and driver power),
+flip-chip / through-silicon vias, and the wireless capacitive and inductive
+coupling links of refs [2] and [3] (effective but pairwise-only).  These
+first-order electrical models provide the power, area and bandwidth numbers
+used by the comparison benchmark (TXT-PADS) and by the examples.
+"""
+
+from repro.electrical.bonding_wire import BondWire
+from repro.electrical.pad import IoPad, PadConfig
+from repro.electrical.tsv import ThroughSiliconVia
+from repro.electrical.inductive import InductiveCouplingLink
+from repro.electrical.capacitive import CapacitiveCouplingLink
+from repro.electrical.comparison import InterconnectSummary, compare_interconnects
+
+__all__ = [
+    "BondWire",
+    "IoPad",
+    "PadConfig",
+    "ThroughSiliconVia",
+    "InductiveCouplingLink",
+    "CapacitiveCouplingLink",
+    "InterconnectSummary",
+    "compare_interconnects",
+]

@@ -1,0 +1,103 @@
+"""Bond-wire parasitics.
+
+The paper's introduction blames bonding inductance for the prohibitive
+currents needed at very high bit rates over conventional pads.  The model
+captures the standard rule-of-thumb parasitics of a gold ball bond (about
+1 nH and 0.1 Ω per millimetre of wire, ~25 fF of capacitance) and derives the
+L/R-limited rise time and the L·dI/dt noise that constrain the pad interface.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.units import MM
+
+
+@dataclass(frozen=True)
+class BondWire:
+    """A single bond wire of the given length.
+
+    Attributes
+    ----------
+    length:
+        Wire length [m] (typical: 1-3 mm).
+    inductance_per_meter:
+        Series inductance per metre [H/m].
+    resistance_per_meter:
+        Series resistance per metre [ohm/m].
+    capacitance_per_meter:
+        Shunt capacitance per metre [F/m].
+    """
+
+    length: float = 2.0 * MM
+    inductance_per_meter: float = 1.0e-6
+    resistance_per_meter: float = 0.1e3 * 1e-3
+    capacitance_per_meter: float = 12.5e-12
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError("length must be positive")
+        if self.inductance_per_meter <= 0:
+            raise ValueError("inductance_per_meter must be positive")
+        if self.resistance_per_meter < 0:
+            raise ValueError("resistance_per_meter must be non-negative")
+        if self.capacitance_per_meter < 0:
+            raise ValueError("capacitance_per_meter must be non-negative")
+
+    @property
+    def inductance(self) -> float:
+        """Total series inductance [H]."""
+        return self.inductance_per_meter * self.length
+
+    @property
+    def resistance(self) -> float:
+        """Total series resistance [ohm]."""
+        return self.resistance_per_meter * self.length
+
+    @property
+    def capacitance(self) -> float:
+        """Total shunt capacitance [F]."""
+        return self.capacitance_per_meter * self.length
+
+    def lc_resonance(self, load_capacitance: float) -> float:
+        """Self-resonance frequency with the receiver load [Hz]."""
+        if load_capacitance <= 0:
+            raise ValueError("load_capacitance must be positive")
+        total_c = load_capacitance + self.capacitance
+        return 1.0 / (2.0 * math.pi * math.sqrt(self.inductance * total_c))
+
+    def max_bit_rate(self, load_capacitance: float, settle_fraction: float = 0.35) -> float:
+        """Usable NRZ bit rate over the wire [bit/s].
+
+        Limited to a fraction of the LC resonance so that ringing settles
+        within a bit period (``settle_fraction`` ≈ 1/3 is the usual design
+        rule).
+        """
+        if not 0 < settle_fraction <= 1:
+            raise ValueError("settle_fraction must be within (0, 1]")
+        return settle_fraction * self.lc_resonance(load_capacitance)
+
+    def simultaneous_switching_noise(self, current_swing: float, rise_time: float) -> float:
+        """L·dI/dt noise voltage for one switching driver [V]."""
+        if current_swing < 0:
+            raise ValueError("current_swing must be non-negative")
+        if rise_time <= 0:
+            raise ValueError("rise_time must be positive")
+        return self.inductance * current_swing / rise_time
+
+    def current_for_bit_rate(self, bit_rate: float, load_capacitance: float, voltage_swing: float) -> float:
+        """Average drive current needed to toggle the load at ``bit_rate`` [A].
+
+        Charging C·V per transition with ~0.5 transitions per bit on random
+        data: I = 0.5 · C · V · bit_rate.  The steep growth of this current
+        with frequency (while the noise budget shrinks) is the paper's
+        "prohibitively high currents" argument.
+        """
+        if bit_rate <= 0 or voltage_swing <= 0:
+            raise ValueError("bit_rate and voltage_swing must be positive")
+        if load_capacitance <= 0:
+            raise ValueError("load_capacitance must be positive")
+        total_c = load_capacitance + self.capacitance
+        return 0.5 * total_c * voltage_swing * bit_rate

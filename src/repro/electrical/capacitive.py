@@ -1,0 +1,109 @@
+"""Capacitive-coupling (proximity communication) link (Drost et al., ref [3]).
+
+Face-to-face chips form parallel-plate capacitors between top-metal pads; a
+voltage transition on the transmit plate couples onto the receive plate.  The
+technique achieves very high areal bandwidth density but requires the two
+chips to be mounted face to face within a few micrometres — so, like the
+inductive link, it only connects *pairs* of chips and cannot serve stacked
+buses or broadcast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.units import UM
+
+#: Vacuum permittivity [F/m].
+EPSILON_0 = 8.8541878128e-12
+
+
+@dataclass(frozen=True)
+class CapacitiveCouplingLink:
+    """A transmit/receive plate pair between two face-to-face chips.
+
+    Attributes
+    ----------
+    plate_size:
+        Side length of the square coupling plate [m].
+    gap:
+        Face-to-face separation [m] (a few micrometres).
+    relative_permittivity:
+        Dielectric constant of the fill material between the chips.
+    parasitic_capacitance:
+        Receive-node capacitance to ground [F] (attenuates the coupled signal).
+    supply_voltage:
+        Transmit swing [V].
+    receiver_sensitivity:
+        Minimum received swing the receiver resolves [V].
+    """
+
+    plate_size: float = 30.0 * UM
+    gap: float = 3.0 * UM
+    relative_permittivity: float = 3.9
+    parasitic_capacitance: float = 15e-15
+    supply_voltage: float = 1.0
+    receiver_sensitivity: float = 50e-3
+
+    def __post_init__(self) -> None:
+        if self.plate_size <= 0 or self.gap <= 0:
+            raise ValueError("geometry must be positive")
+        if self.relative_permittivity < 1:
+            raise ValueError("relative_permittivity must be at least 1")
+        if self.parasitic_capacitance <= 0:
+            raise ValueError("parasitic_capacitance must be positive")
+
+    @property
+    def area(self) -> float:
+        """Silicon area of one plate [m^2]."""
+        return self.plate_size ** 2
+
+    def coupling_capacitance(self, gap: float | None = None) -> float:
+        """Parallel-plate coupling capacitance [F]."""
+        distance = self.gap if gap is None else gap
+        if distance <= 0:
+            raise ValueError("gap must be positive")
+        return EPSILON_0 * self.relative_permittivity * self.area / distance
+
+    def received_swing(self, gap: float | None = None) -> float:
+        """Voltage swing at the receive node [V] (capacitive divider)."""
+        coupling = self.coupling_capacitance(gap)
+        return self.supply_voltage * coupling / (coupling + self.parasitic_capacitance)
+
+    def link_works(self, gap: float | None = None) -> bool:
+        """True when the received swing exceeds the receiver sensitivity."""
+        return self.received_swing(gap) >= self.receiver_sensitivity
+
+    def max_gap(self) -> float:
+        """Largest face-to-face gap at which the link still closes [m]."""
+        low, high = 0.1e-6, 1e-3
+        if not self.link_works(low):
+            return 0.0
+        for _ in range(60):
+            mid = (low + high) / 2.0
+            if self.link_works(mid):
+                low = mid
+            else:
+                high = mid
+        return low
+
+    def max_bit_rate(self, driver_resistance: float = 1000.0) -> float:
+        """Bit rate limit from the RC of the coupling path [bit/s]."""
+        if driver_resistance <= 0:
+            raise ValueError("driver_resistance must be positive")
+        total_c = self.coupling_capacitance() + self.parasitic_capacitance
+        rise_time = 2.2 * driver_resistance * total_c
+        return 0.35 / rise_time
+
+    def energy_per_bit(self) -> float:
+        """Switching energy per bit [J/bit]."""
+        total_c = self.coupling_capacitance() + self.parasitic_capacitance
+        return 0.5 * total_c * self.supply_voltage ** 2
+
+    def bandwidth_density(self, driver_resistance: float = 1000.0) -> float:
+        """Bit rate per unit area [bit/s/m^2]."""
+        return self.max_bit_rate(driver_resistance) / self.area
+
+    def supports_broadcast(self) -> bool:
+        """Capacitive coupling is pairwise-only (paper, Section 1)."""
+        return False

@@ -1,0 +1,145 @@
+"""Cross-technology interconnect comparison.
+
+Collects the figures of merit of every baseline (wire-bond pad, TSV,
+inductive, capacitive) and of the optical transceiver into a uniform summary
+so that the TXT-PADS benchmark can print the area/power/bandwidth table the
+paper's abstract claims ("a fraction of the area and power of a pad").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.electrical.capacitive import CapacitiveCouplingLink
+from repro.electrical.inductive import InductiveCouplingLink
+from repro.electrical.pad import IoPad
+from repro.electrical.tsv import ThroughSiliconVia
+
+
+@dataclass(frozen=True)
+class InterconnectSummary:
+    """Figures of merit of one interconnect technology (one channel)."""
+
+    name: str
+    area: float
+    max_bit_rate: float
+    energy_per_bit: float
+    supports_broadcast: bool
+    max_chips: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.area <= 0:
+            raise ValueError("area must be positive")
+        if self.max_bit_rate <= 0:
+            raise ValueError("max_bit_rate must be positive")
+        if self.energy_per_bit < 0:
+            raise ValueError("energy_per_bit must be non-negative")
+
+    @property
+    def bandwidth_per_area(self) -> float:
+        """Bit rate per unit silicon area [bit/s/m^2]."""
+        return self.max_bit_rate / self.area
+
+    def power_at(self, bit_rate: float) -> float:
+        """Dynamic power when running at ``bit_rate`` [W]."""
+        if bit_rate < 0:
+            raise ValueError("bit_rate must be non-negative")
+        return self.energy_per_bit * min(bit_rate, self.max_bit_rate)
+
+    def relative_area(self, reference: "InterconnectSummary") -> float:
+        """This technology's area as a fraction of ``reference``'s."""
+        return self.area / reference.area
+
+    def relative_energy(self, reference: "InterconnectSummary") -> float:
+        """This technology's energy per bit as a fraction of ``reference``'s."""
+        if reference.energy_per_bit == 0:
+            raise ValueError("reference energy per bit is zero")
+        return self.energy_per_bit / reference.energy_per_bit
+
+
+def summarize_pad(pad: Optional[IoPad] = None) -> InterconnectSummary:
+    """Summary of a conventional wire-bonded I/O pad."""
+    device = pad if pad is not None else IoPad()
+    return InterconnectSummary(
+        name="wire-bond pad",
+        area=device.area,
+        max_bit_rate=device.max_bit_rate(),
+        energy_per_bit=device.energy_per_bit(),
+        supports_broadcast=False,
+        max_chips=2,
+    )
+
+
+def summarize_tsv(tsv: Optional[ThroughSiliconVia] = None, dies_spanned: int = 2) -> InterconnectSummary:
+    """Summary of a TSV channel spanning ``dies_spanned`` dies."""
+    device = tsv if tsv is not None else ThroughSiliconVia()
+    return InterconnectSummary(
+        name="TSV",
+        area=device.stacked_area(dies_spanned),
+        max_bit_rate=device.max_bit_rate(),
+        energy_per_bit=device.stacked_energy_per_bit(dies_spanned),
+        supports_broadcast=False,
+        max_chips=dies_spanned + 1,
+    )
+
+
+def summarize_inductive(link: Optional[InductiveCouplingLink] = None) -> InterconnectSummary:
+    """Summary of an inductive-coupling channel (adjacent dies only)."""
+    device = link if link is not None else InductiveCouplingLink()
+    return InterconnectSummary(
+        name="inductive coupling",
+        area=device.area,
+        max_bit_rate=device.max_bit_rate(),
+        energy_per_bit=device.energy_per_bit(),
+        supports_broadcast=device.supports_broadcast(),
+        max_chips=2,
+    )
+
+
+def summarize_capacitive(link: Optional[CapacitiveCouplingLink] = None) -> InterconnectSummary:
+    """Summary of a capacitive (proximity) channel (face-to-face pairs only)."""
+    device = link if link is not None else CapacitiveCouplingLink()
+    return InterconnectSummary(
+        name="capacitive coupling",
+        area=device.area,
+        max_bit_rate=device.max_bit_rate(),
+        energy_per_bit=device.energy_per_bit(),
+        supports_broadcast=device.supports_broadcast(),
+        max_chips=2,
+    )
+
+
+def compare_interconnects(
+    optical: Optional[InterconnectSummary] = None,
+    bit_rate: Optional[float] = None,
+) -> List[Dict[str, object]]:
+    """Tabulate every technology's figures of merit (plus the optical link if given).
+
+    Returns a list of row dictionaries ready for
+    :class:`repro.analysis.report.ReportTable`; power is evaluated at
+    ``bit_rate`` (or each technology's maximum when omitted).
+    """
+    summaries = [
+        summarize_pad(),
+        summarize_tsv(),
+        summarize_inductive(),
+        summarize_capacitive(),
+    ]
+    if optical is not None:
+        summaries.append(optical)
+    rows: List[Dict[str, object]] = []
+    for summary in summaries:
+        rate = bit_rate if bit_rate is not None else summary.max_bit_rate
+        rows.append(
+            {
+                "name": summary.name,
+                "area_um2": summary.area * 1e12,
+                "max_bit_rate_gbps": summary.max_bit_rate / 1e9,
+                "energy_per_bit_pj": summary.energy_per_bit * 1e12,
+                "power_at_rate_uw": summary.power_at(rate) * 1e6,
+                "broadcast": summary.supports_broadcast,
+                "max_chips": summary.max_chips,
+            }
+        )
+    return rows

@@ -1,0 +1,110 @@
+"""Inductive-coupling wireless link (Miura et al., ref [2]).
+
+On-chip coil pairs in vertically stacked dies form weak transformers; a
+current pulse in the transmit coil induces a voltage pulse in the receive
+coil.  The technique reaches high bit rates at low power but only couples
+*adjacent* pairs of chips (the coupling coefficient collapses with distance),
+which is the paper's argument that it cannot implement broadcast buses across
+many dies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.units import UM
+
+
+@dataclass(frozen=True)
+class InductiveCouplingLink:
+    """A transmit/receive coil pair between two stacked dies.
+
+    Attributes
+    ----------
+    coil_diameter:
+        Coil outer diameter [m]; sets both area and achievable range.
+    turns:
+        Number of turns per coil.
+    separation:
+        Vertical distance between the coils [m] (die thickness + glue).
+    transmit_current:
+        Peak transmit current pulse [A].
+    pulse_width:
+        Transmit pulse width [s].
+    supply_voltage:
+        Transmitter supply [V].
+    receiver_sensitivity:
+        Minimum induced voltage the receiver can detect [V].
+    """
+
+    coil_diameter: float = 100.0 * UM
+    turns: int = 3
+    separation: float = 60.0 * UM
+    transmit_current: float = 3.0e-3
+    pulse_width: float = 100e-12
+    supply_voltage: float = 1.2
+    receiver_sensitivity: float = 2e-3
+
+    def __post_init__(self) -> None:
+        if self.coil_diameter <= 0 or self.separation <= 0:
+            raise ValueError("geometry must be positive")
+        if self.turns <= 0:
+            raise ValueError("turns must be positive")
+        if self.transmit_current <= 0 or self.pulse_width <= 0:
+            raise ValueError("transmit pulse must be positive")
+
+    @property
+    def area(self) -> float:
+        """Silicon area of one coil [m^2]."""
+        return math.pi * (self.coil_diameter / 2.0) ** 2
+
+    def coupling_coefficient(self, separation: float | None = None) -> float:
+        """Magnetic coupling coefficient k between the coils (0..1).
+
+        Falls off with the cube of (separation / diameter) — the standard
+        near-field scaling — which is why the link only works for directly
+        adjacent dies.
+        """
+        distance = self.separation if separation is None else separation
+        if distance <= 0:
+            raise ValueError("separation must be positive")
+        ratio = distance / self.coil_diameter
+        return float(min(1.0, 0.3 / (1.0 + (2.0 * ratio) ** 3)))
+
+    def induced_voltage(self, separation: float | None = None) -> float:
+        """Peak received voltage for the configured transmit pulse [V]."""
+        # V_r ≈ k · L · dI/dt with L ≈ mu0 · n^2 · d (order of magnitude).
+        mu0 = 4.0e-7 * math.pi
+        inductance = mu0 * self.turns ** 2 * self.coil_diameter
+        didt = self.transmit_current / self.pulse_width
+        return self.coupling_coefficient(separation) * inductance * didt
+
+    def link_works(self, separation: float | None = None) -> bool:
+        """True when the induced voltage exceeds the receiver sensitivity."""
+        return self.induced_voltage(separation) >= self.receiver_sensitivity
+
+    def max_separation(self) -> float:
+        """Largest die separation at which the link still closes [m]."""
+        low, high = 1e-6, 5e-3
+        if not self.link_works(low):
+            return 0.0
+        for _ in range(60):
+            mid = (low + high) / 2.0
+            if self.link_works(mid):
+                low = mid
+            else:
+                high = mid
+        return low
+
+    def max_bit_rate(self) -> float:
+        """Achievable bit rate, limited by the pulse width and recovery [bit/s]."""
+        return 1.0 / (4.0 * self.pulse_width)
+
+    def energy_per_bit(self) -> float:
+        """Transmit energy per bit [J/bit] (one current pulse per bit)."""
+        return self.supply_voltage * self.transmit_current * self.pulse_width
+
+    def supports_broadcast(self) -> bool:
+        """Inductive coupling is a point-to-point technique (paper, Section 1)."""
+        return False

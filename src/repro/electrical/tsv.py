@@ -1,0 +1,91 @@
+"""Through-silicon via (TSV) baseline.
+
+Flip-chip and chip-level via technology is the paper's "traditional
+alternative" for 3-D stacks; its open issues are reliability, cost and
+flexibility for buses spanning more than two chips.  The electrical model is a
+short, low-parasitic vertical connection: high bandwidth and low energy, but a
+keep-out area cost per via and the need for one physical via per die crossing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.units import UM
+
+
+@dataclass(frozen=True)
+class ThroughSiliconVia:
+    """A single TSV connection between two adjacent dies.
+
+    Attributes
+    ----------
+    diameter:
+        Via diameter [m].
+    keep_out:
+        Keep-out ring width around the via where no devices can be placed [m].
+    height:
+        Via height = die thickness [m].
+    capacitance:
+        Via + landing-pad capacitance [F].
+    resistance:
+        Series resistance [ohm].
+    supply_voltage:
+        Signalling supply [V].
+    """
+
+    diameter: float = 5.0 * UM
+    keep_out: float = 3.0 * UM
+    height: float = 50.0 * UM
+    capacitance: float = 40e-15
+    resistance: float = 0.2
+    supply_voltage: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.diameter <= 0 or self.height <= 0:
+            raise ValueError("diameter and height must be positive")
+        if self.keep_out < 0:
+            raise ValueError("keep_out must be non-negative")
+        if self.capacitance <= 0:
+            raise ValueError("capacitance must be positive")
+
+    @property
+    def area(self) -> float:
+        """Silicon area cost including the keep-out ring [m^2]."""
+        radius = self.diameter / 2.0 + self.keep_out
+        return 3.141592653589793 * radius ** 2
+
+    def energy_per_bit(self) -> float:
+        """Switching energy per bit [J/bit] (0.5 transitions per bit)."""
+        return 0.5 * self.capacitance * self.supply_voltage ** 2
+
+    def rc_time_constant(self, driver_resistance: float = 500.0) -> float:
+        """RC time constant seen by the driver [s]."""
+        if driver_resistance <= 0:
+            raise ValueError("driver_resistance must be positive")
+        return (driver_resistance + self.resistance) * self.capacitance
+
+    def max_bit_rate(self, driver_resistance: float = 500.0) -> float:
+        """Bit rate limit of the RC-loaded via [bit/s] (0.35 / rise-time rule)."""
+        rise_time = 2.2 * self.rc_time_constant(driver_resistance)
+        return 0.35 / rise_time
+
+    def vias_for_span(self, dies_spanned: int) -> int:
+        """Number of physical vias needed to span ``dies_spanned`` dies.
+
+        A TSV only connects adjacent dies, so a signal crossing ``n`` dies
+        needs ``n`` vias in series (plus redistribution on every intermediate
+        die) — the flexibility/cost argument the paper makes against vias for
+        deep multi-chip buses.
+        """
+        if dies_spanned <= 0:
+            raise ValueError("dies_spanned must be positive")
+        return dies_spanned
+
+    def stacked_energy_per_bit(self, dies_spanned: int) -> float:
+        """Energy per bit for a signal traversing ``dies_spanned`` dies [J/bit]."""
+        return self.energy_per_bit() * self.vias_for_span(dies_spanned)
+
+    def stacked_area(self, dies_spanned: int) -> float:
+        """Total via area across the traversed dies [m^2]."""
+        return self.area * self.vias_for_span(dies_spanned)

@@ -1,0 +1,140 @@
+"""Hamming SEC-DED forward error correction (extension layer).
+
+The paper keeps the raw link error rate "below a certain bound" by matching
+the PPM range to the SPAD dead time; a light FEC layer is the natural
+extension when the optical budget is tight (long stacks, low pulse energy).
+The (n, k) = (13, 8) extended Hamming code here (a (12, 8) shortened Hamming
+code plus an overall parity bit) corrects any single bit error per codeword
+and detects double errors — enough to clean up the occasional
+adjacent-slot PPM error without meaningful rate loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Outcome of decoding one codeword."""
+
+    data_bits: List[int]
+    corrected: bool
+    double_error_detected: bool
+
+
+class HammingSecDed:
+    """Extended Hamming (13, 8) single-error-correcting, double-error-detecting code."""
+
+    DATA_BITS = 8
+    PARITY_BITS = 5  # 4 Hamming parity bits + 1 overall parity
+    CODEWORD_BITS = 13
+
+    #: Positions (0-indexed within the 12-bit Hamming codeword, before the
+    #: overall parity bit) that hold parity bits: powers of two minus one.
+    _PARITY_POSITIONS = (0, 1, 3, 7)
+
+    def encode_block(self, data: Sequence[int]) -> List[int]:
+        """Encode exactly 8 data bits into a 13-bit codeword."""
+        if len(data) != self.DATA_BITS:
+            raise ValueError(f"exactly {self.DATA_BITS} data bits are required")
+        self._check_bits(data)
+        codeword = [0] * (self.CODEWORD_BITS - 1)
+        data_iter = iter(data)
+        for position in range(self.CODEWORD_BITS - 1):
+            if position not in self._PARITY_POSITIONS:
+                codeword[position] = next(data_iter)
+        for position in self._PARITY_POSITIONS:
+            mask = position + 1
+            parity = 0
+            for bit_position in range(self.CODEWORD_BITS - 1):
+                if (bit_position + 1) & mask and bit_position != position:
+                    parity ^= codeword[bit_position]
+            codeword[position] = parity
+        overall = 0
+        for bit in codeword:
+            overall ^= bit
+        return codeword + [overall]
+
+    def decode_block(self, codeword: Sequence[int]) -> DecodeResult:
+        """Decode a 13-bit codeword, correcting single errors."""
+        if len(codeword) != self.CODEWORD_BITS:
+            raise ValueError(f"exactly {self.CODEWORD_BITS} codeword bits are required")
+        self._check_bits(codeword)
+        received = list(codeword)
+        overall = 0
+        for bit in received:
+            overall ^= bit
+        syndrome = 0
+        for position in self._PARITY_POSITIONS:
+            mask = position + 1
+            parity = 0
+            for bit_position in range(self.CODEWORD_BITS - 1):
+                if (bit_position + 1) & mask:
+                    parity ^= received[bit_position]
+            if parity:
+                syndrome |= mask
+        corrected = False
+        double_error = False
+        if syndrome != 0 and overall == 1:
+            # Single error at position `syndrome` (1-indexed) within the Hamming part.
+            if syndrome <= self.CODEWORD_BITS - 1:
+                received[syndrome - 1] ^= 1
+                corrected = True
+        elif syndrome != 0 and overall == 0:
+            double_error = True
+        elif syndrome == 0 and overall == 1:
+            # Error in the overall parity bit itself.
+            received[-1] ^= 1
+            corrected = True
+        data = [
+            received[position]
+            for position in range(self.CODEWORD_BITS - 1)
+            if position not in self._PARITY_POSITIONS
+        ]
+        return DecodeResult(data_bits=data, corrected=corrected, double_error_detected=double_error)
+
+    # -- stream helpers ------------------------------------------------------------
+    def encode(self, bits: Sequence[int]) -> List[int]:
+        """Encode an arbitrary bit stream (padded with zeros to a byte boundary)."""
+        if len(bits) == 0:
+            raise ValueError("bits must be non-empty")
+        self._check_bits(bits)
+        padded = list(bits)
+        remainder = len(padded) % self.DATA_BITS
+        if remainder:
+            padded += [0] * (self.DATA_BITS - remainder)
+        encoded: List[int] = []
+        for start in range(0, len(padded), self.DATA_BITS):
+            encoded.extend(self.encode_block(padded[start : start + self.DATA_BITS]))
+        return encoded
+
+    def decode(self, bits: Sequence[int]) -> Tuple[List[int], int, int]:
+        """Decode a stream of codewords.
+
+        Returns ``(data_bits, corrected_blocks, double_error_blocks)``.
+        """
+        if len(bits) == 0 or len(bits) % self.CODEWORD_BITS != 0:
+            raise ValueError("bit count must be a positive multiple of the codeword size")
+        data: List[int] = []
+        corrected = 0
+        double_errors = 0
+        for start in range(0, len(bits), self.CODEWORD_BITS):
+            result = self.decode_block(bits[start : start + self.CODEWORD_BITS])
+            data.extend(result.data_bits)
+            corrected += int(result.corrected)
+            double_errors += int(result.double_error_detected)
+        return data, corrected, double_errors
+
+    @property
+    def code_rate(self) -> float:
+        """Information bits per transmitted bit."""
+        return self.DATA_BITS / self.CODEWORD_BITS
+
+    @staticmethod
+    def _check_bits(bits: Sequence[int]) -> None:
+        if any(bit not in (0, 1) for bit in bits):
+            raise ValueError("bits must be 0 or 1")

@@ -1,0 +1,135 @@
+"""Framing and symbol synchronisation.
+
+The PPM decoder must know where each symbol's range R starts.  The paper
+relies on the system clock plus (future work) optical clock distribution; the
+framing layer here provides the minimal machinery a real link needs: a
+preamble of known symbols used to acquire the frame phase, a frame structure
+with a length field and checksum, and a synchroniser that finds the preamble
+in a stream of decoded symbols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.modulation.symbols import bits_to_int, int_to_bits
+
+
+@dataclass(frozen=True)
+class Preamble:
+    """A fixed, autocorrelation-friendly symbol pattern marking frame start."""
+
+    symbols: Sequence[int] = (0, 3, 0, 3, 2, 1)
+
+    def __post_init__(self) -> None:
+        if len(self.symbols) == 0:
+            raise ValueError("preamble must contain at least one symbol")
+        if any(symbol < 0 for symbol in self.symbols):
+            raise ValueError("preamble symbols must be non-negative")
+
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+    def matches(self, window: Sequence[int]) -> bool:
+        """Exact match of a candidate window against the preamble."""
+        return len(window) == len(self.symbols) and all(
+            a == b for a, b in zip(window, self.symbols)
+        )
+
+    def correlation(self, window: Sequence[int]) -> float:
+        """Fraction of matching positions (soft match, tolerates symbol errors)."""
+        if len(window) != len(self.symbols):
+            raise ValueError("window length must equal the preamble length")
+        hits = sum(1 for a, b in zip(window, self.symbols) if a == b)
+        return hits / len(self.symbols)
+
+
+@dataclass
+class Frame:
+    """A payload frame: length-prefixed bit payload with a parity checksum."""
+
+    payload_bits: List[int]
+
+    LENGTH_FIELD_BITS = 16
+    CHECKSUM_BITS = 8
+
+    def __post_init__(self) -> None:
+        if len(self.payload_bits) == 0:
+            raise ValueError("payload must be non-empty")
+        if len(self.payload_bits) >= (1 << self.LENGTH_FIELD_BITS):
+            raise ValueError("payload too long for the length field")
+        if any(bit not in (0, 1) for bit in self.payload_bits):
+            raise ValueError("payload bits must be 0 or 1")
+
+    def checksum(self) -> int:
+        """8-bit modular sum of payload bytes (padding the tail with zeros)."""
+        total = 0
+        for start in range(0, len(self.payload_bits), 8):
+            chunk = self.payload_bits[start : start + 8]
+            chunk = list(chunk) + [0] * (8 - len(chunk))
+            total = (total + bits_to_int(chunk)) & 0xFF
+        return total
+
+    def serialize(self) -> List[int]:
+        """Header (length) + payload + checksum as a flat bit list."""
+        bits = int_to_bits(len(self.payload_bits), self.LENGTH_FIELD_BITS)
+        bits += list(self.payload_bits)
+        bits += int_to_bits(self.checksum(), self.CHECKSUM_BITS)
+        return bits
+
+    @classmethod
+    def deserialize(cls, bits: Sequence[int]) -> "Frame":
+        """Parse a serialized frame; raises :class:`ValueError` on corruption."""
+        if len(bits) < cls.LENGTH_FIELD_BITS + cls.CHECKSUM_BITS + 1:
+            raise ValueError("bit stream too short to contain a frame")
+        length = bits_to_int(list(bits[: cls.LENGTH_FIELD_BITS]))
+        expected_total = cls.LENGTH_FIELD_BITS + length + cls.CHECKSUM_BITS
+        if len(bits) < expected_total:
+            raise ValueError(
+                f"frame declares {length} payload bits but only "
+                f"{len(bits) - cls.LENGTH_FIELD_BITS - cls.CHECKSUM_BITS} are present"
+            )
+        payload = list(bits[cls.LENGTH_FIELD_BITS : cls.LENGTH_FIELD_BITS + length])
+        checksum = bits_to_int(
+            list(bits[cls.LENGTH_FIELD_BITS + length : expected_total])
+        )
+        frame = cls(payload_bits=payload)
+        if frame.checksum() != checksum:
+            raise ValueError("frame checksum mismatch")
+        return frame
+
+
+class FrameSync:
+    """Locates the preamble in a stream of decoded PPM symbols."""
+
+    def __init__(self, preamble: Preamble = Preamble(), threshold: float = 1.0) -> None:
+        if not 0 < threshold <= 1:
+            raise ValueError("threshold must be within (0, 1]")
+        self.preamble = preamble
+        self.threshold = threshold
+
+    def find(self, symbols: Sequence[int]) -> Optional[int]:
+        """Index of the first symbol *after* the preamble, or ``None`` if not found."""
+        plen = len(self.preamble)
+        if len(symbols) < plen:
+            return None
+        for start in range(len(symbols) - plen + 1):
+            window = symbols[start : start + plen]
+            if self.preamble.correlation(window) >= self.threshold:
+                return start + plen
+        return None
+
+    def frame_symbols(self, bits_per_symbol: int, frame: Frame) -> List[int]:
+        """Preamble symbols followed by the frame's payload encoded as symbol values."""
+        if bits_per_symbol <= 0:
+            raise ValueError("bits_per_symbol must be positive")
+        bits = frame.serialize()
+        # Pad to a whole number of symbols.
+        remainder = len(bits) % bits_per_symbol
+        if remainder:
+            bits = bits + [0] * (bits_per_symbol - remainder)
+        symbols = list(self.preamble.symbols)
+        for start in range(0, len(bits), bits_per_symbol):
+            symbols.append(bits_to_int(bits[start : start + bits_per_symbol]))
+        return symbols

@@ -1,0 +1,72 @@
+"""Self-synchronising multiplicative scrambler.
+
+PPM with the natural binary mapping concentrates optical pulses at specific
+slots when the payload is highly structured (e.g. long runs of zeros put every
+pulse in slot 0), which both worsens crosstalk correlation and starves the
+framing logic of transitions.  A standard multiplicative scrambler whitens the
+payload before PPM encoding and is exactly undone at the receiver.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class MultiplicativeScrambler:
+    """x^7 + x^4 + 1 style multiplicative scrambler/descrambler.
+
+    The polynomial is configurable through ``taps`` (tap positions are
+    1-indexed shift-register stages, as in ITU specifications).
+    """
+
+    def __init__(self, taps: Sequence[int] = (7, 4), register_length: int = 7) -> None:
+        if register_length <= 0:
+            raise ValueError("register_length must be positive")
+        if len(taps) == 0:
+            raise ValueError("at least one tap is required")
+        if any(not 1 <= tap <= register_length for tap in taps):
+            raise ValueError("taps must lie within [1, register_length]")
+        self.taps = tuple(sorted(set(taps)))
+        self.register_length = register_length
+
+    def _feedback(self, register: List[int]) -> int:
+        value = 0
+        for tap in self.taps:
+            value ^= register[tap - 1]
+        return value
+
+    def scramble(self, bits: Sequence[int], initial_state: int = 0) -> List[int]:
+        """Scramble a bit sequence (multiplicative: output feeds the register)."""
+        register = self._initial_register(initial_state)
+        output = []
+        for bit in bits:
+            self._check_bit(bit)
+            scrambled = bit ^ self._feedback(register)
+            output.append(scrambled)
+            register.insert(0, scrambled)
+            register.pop()
+        return output
+
+    def descramble(self, bits: Sequence[int], initial_state: int = 0) -> List[int]:
+        """Invert :meth:`scramble`; self-synchronising after ``register_length`` bits."""
+        register = self._initial_register(initial_state)
+        output = []
+        for bit in bits:
+            self._check_bit(bit)
+            descrambled = bit ^ self._feedback(register)
+            output.append(descrambled)
+            register.insert(0, bit)
+            register.pop()
+        return output
+
+    def _initial_register(self, initial_state: int) -> List[int]:
+        if initial_state < 0 or initial_state >= (1 << self.register_length):
+            raise ValueError(
+                f"initial_state must fit in {self.register_length} bits"
+            )
+        return [(initial_state >> i) & 1 for i in range(self.register_length)]
+
+    @staticmethod
+    def _check_bit(bit: int) -> None:
+        if bit not in (0, 1):
+            raise ValueError(f"bits must be 0 or 1, got {bit}")

@@ -1,0 +1,114 @@
+"""Bus arbitration.
+
+The optical bus is a shared broadcast medium: every die's SPAD sees every
+pulse, so only one transmitter may own a symbol slot at a time.  Two classic
+schemes are provided:
+
+* :class:`TdmaSchedule` — a fixed time-division schedule (each die owns a
+  recurring slot), zero arbitration latency but wasted slots under asymmetric
+  load; and
+* :class:`RoundRobinArbiter` — a work-conserving round-robin over the dies
+  that actually have pending packets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class TdmaSchedule:
+    """Static slot ownership: slot ``t`` belongs to ``owners[t % len(owners)]``."""
+
+    owners: Sequence[int]
+
+    def __post_init__(self) -> None:
+        if len(self.owners) == 0:
+            raise ValueError("a TDMA schedule needs at least one owner")
+        if any(owner < 0 for owner in self.owners):
+            raise ValueError("owner ids must be non-negative")
+
+    @property
+    def frame_length(self) -> int:
+        return len(self.owners)
+
+    def owner_of_slot(self, slot: int) -> int:
+        if slot < 0:
+            raise ValueError("slot must be non-negative")
+        return self.owners[slot % self.frame_length]
+
+    def slots_for(self, owner: int) -> List[int]:
+        """Slot offsets within a frame owned by ``owner``."""
+        return [index for index, candidate in enumerate(self.owners) if candidate == owner]
+
+    def share_of(self, owner: int) -> float:
+        """Fraction of the bus bandwidth allocated to ``owner``."""
+        return len(self.slots_for(owner)) / self.frame_length
+
+    def next_slot_for(self, owner: int, from_slot: int) -> int:
+        """First slot at or after ``from_slot`` owned by ``owner``."""
+        offsets = self.slots_for(owner)
+        if not offsets:
+            raise ValueError(f"owner {owner} has no slots in the schedule")
+        if from_slot < 0:
+            raise ValueError("from_slot must be non-negative")
+        frame_start = (from_slot // self.frame_length) * self.frame_length
+        for frame in (frame_start, frame_start + self.frame_length):
+            for offset in offsets:
+                slot = frame + offset
+                if slot >= from_slot:
+                    return slot
+        raise RuntimeError("unreachable")  # pragma: no cover
+
+    @classmethod
+    def uniform(cls, node_count: int) -> "TdmaSchedule":
+        """One slot per node, in node order."""
+        if node_count <= 0:
+            raise ValueError("node_count must be positive")
+        return cls(owners=tuple(range(node_count)))
+
+
+class RoundRobinArbiter:
+    """Work-conserving round-robin arbitration over requesting nodes."""
+
+    def __init__(self, node_count: int) -> None:
+        if node_count <= 0:
+            raise ValueError("node_count must be positive")
+        self.node_count = node_count
+        self._pending: Dict[int, Deque[object]] = {node: deque() for node in range(node_count)}
+        self._next = 0
+        self._grants = 0
+
+    def request(self, node: int, item: object) -> None:
+        """Enqueue a transmission request for ``node``."""
+        if node not in self._pending:
+            raise ValueError(f"unknown node {node}")
+        self._pending[node].append(item)
+
+    def pending_count(self, node: Optional[int] = None) -> int:
+        if node is None:
+            return sum(len(queue) for queue in self._pending.values())
+        return len(self._pending[node])
+
+    def grant(self) -> Optional[tuple]:
+        """Grant the bus to the next requesting node.
+
+        Returns ``(node, item)`` or ``None`` when no node has pending work.
+        The rotation pointer only advances past the granted node, preserving
+        fairness under sustained load.
+        """
+        for offset in range(self.node_count):
+            node = (self._next + offset) % self.node_count
+            queue = self._pending[node]
+            if queue:
+                item = queue.popleft()
+                self._next = (node + 1) % self.node_count
+                self._grants += 1
+                return node, item
+        return None
+
+    @property
+    def grants_issued(self) -> int:
+        return self._grants

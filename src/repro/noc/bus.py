@@ -1,0 +1,180 @@
+"""The vertical optical bus.
+
+A shared, time-slotted optical medium spanning the die stack: in each symbol
+slot the arbiter grants one transmitter, whose micro-LED pulse is seen by the
+SPAD of every other die (broadcast by construction).  The bus model is
+behavioural: per-slot transmission through the PPM link model of the
+destination with the correct stack attenuation, plus queueing/latency
+statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import LinkConfig
+from repro.core.link import OpticalLink
+from repro.noc.arbitration import RoundRobinArbiter
+from repro.noc.packet import Packet
+from repro.noc.topology import StackTopology
+from repro.photonics.channel import OpticalChannel
+
+
+@dataclass
+class BusStatistics:
+    """Aggregate statistics of a bus simulation."""
+
+    packets_offered: int = 0
+    packets_delivered: int = 0
+    packets_corrupted: int = 0
+    bits_delivered: int = 0
+    bit_errors: int = 0
+    total_latency: float = 0.0
+    busy_slots: int = 0
+    total_slots: int = 0
+
+    @property
+    def delivery_ratio(self) -> float:
+        if self.packets_offered == 0:
+            raise ValueError("no packets were offered")
+        return self.packets_delivered / self.packets_offered
+
+    @property
+    def mean_latency(self) -> float:
+        if self.packets_delivered == 0:
+            raise ValueError("no packets were delivered")
+        return self.total_latency / self.packets_delivered
+
+    @property
+    def utilisation(self) -> float:
+        if self.total_slots == 0:
+            raise ValueError("the bus has not run yet")
+        return self.busy_slots / self.total_slots
+
+    @property
+    def bit_error_rate(self) -> float:
+        if self.bits_delivered == 0:
+            raise ValueError("no bits were delivered")
+        return self.bit_errors / self.bits_delivered
+
+
+class OpticalBus:
+    """A slotted, arbiter-controlled optical bus over a die stack.
+
+    Parameters
+    ----------
+    topology:
+        The die stack and node layout.
+    config:
+        PPM link configuration shared by every node pair (the attenuation of
+        the specific span is applied per transfer through the channel model).
+    emitted_photons:
+        Mean photons per pulse at the source; the per-span stack transmission
+        is applied before the packet is pushed through the link.
+    seed:
+        Random seed for the per-span link simulations.
+    """
+
+    def __init__(
+        self,
+        topology: StackTopology,
+        config: LinkConfig = LinkConfig(),
+        emitted_photons: float = 2000.0,
+        seed: int = 0,
+    ) -> None:
+        if emitted_photons <= 0:
+            raise ValueError("emitted_photons must be positive")
+        self.topology = topology
+        self.config = config
+        self.emitted_photons = emitted_photons
+        self._seed = seed
+        self.arbiter = RoundRobinArbiter(topology.node_count)
+        self.statistics = BusStatistics()
+        self._links: Dict[Tuple[int, int], OpticalLink] = {}
+
+    # -- link management ---------------------------------------------------------
+    def _link_for(self, source: int, destination: int) -> OpticalLink:
+        """The (cached) PPM link model between two nodes, with span attenuation."""
+        key = (source, destination)
+        if key not in self._links:
+            transmission = self.topology.channel_transmission(source, destination)
+            config = self.config.with_detected_photons(self.emitted_photons * transmission)
+            self._links[key] = OpticalLink(
+                config, seed=self._seed + 7919 * source + destination
+            )
+        return self._links[key]
+
+    def span_transmission(self, source: int, destination: int) -> float:
+        """Optical transmission of the span between two nodes."""
+        return self.topology.channel_transmission(source, destination)
+
+    # -- traffic -------------------------------------------------------------------
+    def offer(self, packet: Packet) -> None:
+        """Queue a packet at its source node."""
+        if packet.source >= self.topology.node_count:
+            raise ValueError("packet source is not a node of this topology")
+        self.arbiter.request(packet.source, packet)
+        self.statistics.packets_offered += 1
+
+    def symbol_slots_per_packet(self, packet: Packet) -> int:
+        """Number of PPM symbols needed to carry a packet."""
+        k = self.config.ppm_bits
+        return -(-packet.total_bits // k)
+
+    def run(self, max_slots: int = 10_000) -> BusStatistics:
+        """Drain the queued packets through the bus.
+
+        Each granted packet occupies as many consecutive symbol slots as its
+        serialization needs; latency is counted in seconds from the start of
+        the run to the end of the packet's transfer (queueing + serialization).
+        """
+        if max_slots <= 0:
+            raise ValueError("max_slots must be positive")
+        slot = 0
+        symbol_duration = self.config.symbol_duration
+        while slot < max_slots:
+            grant = self.arbiter.grant()
+            if grant is None:
+                break
+            source, packet = grant
+            destination = (
+                packet.destination
+                if not packet.is_broadcast
+                else packet.destination  # broadcast handled by repro.noc.broadcast
+            )
+            if destination >= self.topology.node_count:
+                # Undeliverable unicast address: count as corrupted.
+                self.statistics.packets_corrupted += 1
+                slot += 1
+                continue
+            link = self._link_for(source, destination)
+            bits = packet.serialize()
+            result = link.transmit_bits(bits)
+            slots_used = self.symbol_slots_per_packet(packet)
+            slot += slots_used
+            self.statistics.busy_slots += slots_used
+            self.statistics.bits_delivered += len(bits)
+            self.statistics.bit_errors += result.bit_errors
+            if result.bit_errors == 0:
+                self.statistics.packets_delivered += 1
+            else:
+                self.statistics.packets_corrupted += 1
+            self.statistics.total_latency += slot * symbol_duration
+        self.statistics.total_slots += max(slot, 1)
+        return self.statistics
+
+    # -- figures of merit -------------------------------------------------------------
+    def raw_slot_rate(self) -> float:
+        """Symbol slots per second."""
+        return 1.0 / self.config.symbol_duration
+
+    def aggregate_bandwidth(self) -> float:
+        """Peak payload bandwidth of the shared bus [bit/s]."""
+        return self.config.raw_bit_rate
+
+    def per_node_bandwidth(self) -> float:
+        """Fair-share bandwidth per node under uniform load [bit/s]."""
+        return self.aggregate_bandwidth() / self.topology.node_count

@@ -1,0 +1,81 @@
+"""Packets carried by the optical bus."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.modulation.symbols import bits_to_int, int_to_bits
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A fixed-header packet: destination, source, payload bits.
+
+    The header uses 8 bits per address field, so a stack can hold up to 256
+    addressable dies — comfortably above the paper's "hundreds of dies".
+    """
+
+    source: int
+    destination: int
+    payload: Sequence[int]
+    sequence: int = 0
+
+    ADDRESS_BITS = 8
+    SEQUENCE_BITS = 16
+
+    def __post_init__(self) -> None:
+        limit = 1 << self.ADDRESS_BITS
+        if not 0 <= self.source < limit:
+            raise ValueError(f"source must be within [0, {limit})")
+        if not 0 <= self.destination < limit:
+            raise ValueError(f"destination must be within [0, {limit})")
+        if not 0 <= self.sequence < (1 << self.SEQUENCE_BITS):
+            raise ValueError("sequence number out of range")
+        if len(self.payload) == 0:
+            raise ValueError("payload must be non-empty")
+        if any(bit not in (0, 1) for bit in self.payload):
+            raise ValueError("payload bits must be 0 or 1")
+
+    @property
+    def is_broadcast(self) -> bool:
+        """Destination 255 is the broadcast address."""
+        return self.destination == (1 << self.ADDRESS_BITS) - 1
+
+    @property
+    def header_bits(self) -> int:
+        return 2 * self.ADDRESS_BITS + self.SEQUENCE_BITS
+
+    @property
+    def total_bits(self) -> int:
+        return self.header_bits + len(self.payload)
+
+    def serialize(self) -> List[int]:
+        """Header followed by payload as a flat bit list."""
+        bits = int_to_bits(self.destination, self.ADDRESS_BITS)
+        bits += int_to_bits(self.source, self.ADDRESS_BITS)
+        bits += int_to_bits(self.sequence, self.SEQUENCE_BITS)
+        bits += list(self.payload)
+        return bits
+
+    @classmethod
+    def deserialize(cls, bits: Sequence[int]) -> "Packet":
+        """Parse a serialized packet (the payload is everything after the header)."""
+        header = 2 * cls.ADDRESS_BITS + cls.SEQUENCE_BITS
+        if len(bits) <= header:
+            raise ValueError("bit stream too short to contain a packet")
+        destination = bits_to_int(list(bits[: cls.ADDRESS_BITS]))
+        source = bits_to_int(list(bits[cls.ADDRESS_BITS : 2 * cls.ADDRESS_BITS]))
+        sequence = bits_to_int(list(bits[2 * cls.ADDRESS_BITS : header]))
+        payload = list(bits[header:])
+        return cls(source=source, destination=destination, payload=payload, sequence=sequence)
+
+    @classmethod
+    def broadcast_packet(cls, source: int, payload: Sequence[int], sequence: int = 0) -> "Packet":
+        """Construct a packet addressed to every die."""
+        return cls(
+            source=source,
+            destination=(1 << cls.ADDRESS_BITS) - 1,
+            payload=payload,
+            sequence=sequence,
+        )

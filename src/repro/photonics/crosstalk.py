@@ -1,0 +1,104 @@
+"""Optical crosstalk between neighbouring channels.
+
+When many vertical channels run in parallel (the "communication density"
+argument of the paper), light from one emitter can spill onto the SPAD of an
+adjacent channel.  The model is geometric: the beam of a channel spreads with
+distance, and the fraction of its power landing on a neighbour at pitch ``p``
+falls off with the square of the ratio of detector size to beam offset.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CrosstalkModel:
+    """First-order optical crosstalk between parallel channels.
+
+    Attributes
+    ----------
+    channel_pitch:
+        Centre-to-centre spacing of adjacent channels [m].
+    beam_diameter:
+        Beam spot diameter at the detector plane [m].
+    detector_diameter:
+        Diameter of the SPAD active area [m].
+    floor:
+        Residual scattered-light crosstalk floor (fraction of channel power)
+        that does not decrease with pitch.
+    """
+
+    channel_pitch: float = 50e-6
+    beam_diameter: float = 20e-6
+    detector_diameter: float = 8e-6
+    floor: float = 1e-5
+
+    def __post_init__(self) -> None:
+        if self.channel_pitch <= 0:
+            raise ValueError("channel_pitch must be positive")
+        if self.beam_diameter <= 0:
+            raise ValueError("beam_diameter must be positive")
+        if self.detector_diameter <= 0:
+            raise ValueError("detector_diameter must be positive")
+        if not 0 <= self.floor < 1:
+            raise ValueError("floor must be within [0, 1)")
+
+    def coupling(self, neighbour_distance: float) -> float:
+        """Fraction of a channel's optical power captured by a detector at ``neighbour_distance``.
+
+        Distance zero means the channel's own detector: the Gaussian-beam
+        capture fraction is returned.  For non-zero distances the Gaussian
+        tail at the neighbour's position is integrated over the detector area.
+        """
+        if neighbour_distance < 0:
+            raise ValueError("neighbour_distance must be non-negative")
+        sigma = self.beam_diameter / 2.355  # FWHM -> sigma
+        detector_area = math.pi * (self.detector_diameter / 2.0) ** 2
+        # Gaussian irradiance at the neighbour centre, normalised to total power 1.
+        peak = 1.0 / (2.0 * math.pi * sigma ** 2)
+        irradiance = peak * math.exp(-(neighbour_distance ** 2) / (2.0 * sigma ** 2))
+        fraction = min(1.0, irradiance * detector_area)
+        return max(fraction, self.floor if neighbour_distance > 0 else fraction)
+
+    def nearest_neighbour_crosstalk(self) -> float:
+        """Crosstalk fraction onto the nearest neighbouring channel."""
+        return self.coupling(self.channel_pitch)
+
+    def crosstalk_matrix(self, channels: int) -> np.ndarray:
+        """``channels x channels`` matrix of power coupling between a linear channel array."""
+        if channels <= 0:
+            raise ValueError("channels must be positive")
+        matrix = np.empty((channels, channels))
+        for i in range(channels):
+            for j in range(channels):
+                distance = abs(i - j) * self.channel_pitch
+                matrix[i, j] = self.coupling(distance)
+        return matrix
+
+    def aggregate_interference(self, channels: int, victim: int) -> float:
+        """Total crosstalk power (relative to one channel) landing on ``victim``."""
+        matrix = self.crosstalk_matrix(channels)
+        row = matrix[victim].copy()
+        row[victim] = 0.0
+        return float(row.sum())
+
+    def minimum_pitch_for_isolation(self, isolation_db: float) -> float:
+        """Smallest channel pitch achieving the requested isolation [m]."""
+        if isolation_db <= 0:
+            raise ValueError("isolation_db must be positive")
+        target = 10.0 ** (-isolation_db / 10.0)
+        if target <= self.floor:
+            raise ValueError(
+                f"requested isolation {isolation_db} dB is below the scattered-light floor"
+            )
+        sigma = self.beam_diameter / 2.355
+        detector_area = math.pi * (self.detector_diameter / 2.0) ** 2
+        peak = detector_area / (2.0 * math.pi * sigma ** 2)
+        if target >= peak:
+            return 0.0
+        return float(sigma * math.sqrt(2.0 * math.log(peak / target)))

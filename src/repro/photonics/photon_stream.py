@@ -1,0 +1,116 @@
+"""Photon-stream generation.
+
+Light is quantised: a pulse of mean optical energy ``E`` at wavelength ``λ``
+carries a Poisson-distributed number of photons with mean ``E / (h·c/λ)``.
+The SPAD receiver cares about *when* individual photons arrive, so the helpers
+here convert pulse energies into photon counts and sample per-photon arrival
+times within the (trapezoidal) pulse envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.units import photon_energy
+from repro.simulation.randomness import RandomSource
+
+
+@dataclass(frozen=True)
+class PhotonPulse:
+    """A transmitted optical pulse, described statistically.
+
+    Attributes
+    ----------
+    emission_time:
+        Nominal start time of the pulse [s].
+    duration:
+        Pulse width [s].
+    mean_photons:
+        Mean number of photons in the pulse *at the receiver* (after channel
+        losses have been applied).
+    wavelength:
+        Photon wavelength [m].
+    """
+
+    emission_time: float
+    duration: float
+    mean_photons: float
+    wavelength: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.mean_photons < 0:
+            raise ValueError("mean_photons must be non-negative")
+        if self.wavelength <= 0:
+            raise ValueError("wavelength must be positive")
+
+    @property
+    def mean_energy(self) -> float:
+        """Mean optical energy of the pulse [J]."""
+        return self.mean_photons * photon_energy(self.wavelength)
+
+    def attenuated(self, transmission: float) -> "PhotonPulse":
+        """The same pulse after passing a channel with the given power transmission."""
+        if not 0 <= transmission <= 1:
+            raise ValueError("transmission must be within [0, 1]")
+        return PhotonPulse(
+            emission_time=self.emission_time,
+            duration=self.duration,
+            mean_photons=self.mean_photons * transmission,
+            wavelength=self.wavelength,
+        )
+
+
+def poisson_photon_count(mean_photons: float, random_source: RandomSource) -> int:
+    """Actual photon count of one pulse (Poisson statistics)."""
+    if mean_photons < 0:
+        raise ValueError("mean_photons must be non-negative")
+    return random_source.poisson(mean_photons)
+
+
+def pulse_arrival_times(
+    pulse: PhotonPulse,
+    random_source: RandomSource,
+    count: Optional[int] = None,
+) -> np.ndarray:
+    """Arrival times of the individual photons of ``pulse`` [s], sorted.
+
+    When ``count`` is omitted the photon number is drawn from the Poisson
+    distribution.  Photons are distributed uniformly within the pulse width —
+    adequate for pulses much shorter than a PPM slot.
+    """
+    if count is None:
+        count = poisson_photon_count(pulse.mean_photons, random_source)
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if count == 0:
+        return np.empty(0)
+    offsets = random_source.uniform_array(0.0, pulse.duration, count)
+    return np.sort(pulse.emission_time + offsets)
+
+
+def detection_probability(mean_photons: float, pdp: float) -> float:
+    """Probability that a Poisson pulse triggers a detector with efficiency ``pdp``.
+
+    ``1 - exp(-pdp · mean_photons)`` — the workhorse formula of the link
+    budget: it converts "photons per pulse at the SPAD" into "probability the
+    symbol is detected at all".
+    """
+    if mean_photons < 0:
+        raise ValueError("mean_photons must be non-negative")
+    if not 0 <= pdp <= 1:
+        raise ValueError("pdp must be within [0, 1]")
+    return float(1.0 - np.exp(-pdp * mean_photons))
+
+
+def photons_for_detection_probability(target_probability: float, pdp: float) -> float:
+    """Mean photons per pulse needed to reach a target detection probability."""
+    if not 0 < target_probability < 1:
+        raise ValueError("target_probability must be within (0, 1)")
+    if not 0 < pdp <= 1:
+        raise ValueError("pdp must be within (0, 1]")
+    return float(-np.log(1.0 - target_probability) / pdp)

@@ -1,0 +1,29 @@
+"""Discrete-event simulation kernel and Monte-Carlo utilities.
+
+The stochastic parts of the link model (photon arrivals, SPAD avalanches,
+afterpulsing, TDC sampling) are driven either analytically or through the
+small event-driven engine defined here.  The engine is deliberately minimal:
+time-ordered event queue, processes that schedule further events, and a trace
+recorder for post-processing.
+"""
+
+from repro.simulation.engine import Simulator
+from repro.simulation.events import Event, EventQueue
+from repro.simulation.process import Process, ProcessState
+from repro.simulation.randomness import RandomSource, split_seed
+from repro.simulation.recorder import TraceRecorder, TraceSample
+from repro.simulation.montecarlo import MonteCarloResult, MonteCarloRunner
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventQueue",
+    "Process",
+    "ProcessState",
+    "RandomSource",
+    "split_seed",
+    "TraceRecorder",
+    "TraceSample",
+    "MonteCarloRunner",
+    "MonteCarloResult",
+]

@@ -1,0 +1,158 @@
+"""The discrete-event simulator.
+
+The engine owns the clock and the event queue.  Events carry an optional
+``target`` process; untargeted events can be observed through global hooks.
+The engine never advances time backwards and delivers simultaneous events in
+insertion order, so runs are fully deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.simulation.events import Event, EventQueue
+from repro.simulation.process import Process, ProcessState
+
+
+class Simulator:
+    """Event-driven simulator with targeted event delivery.
+
+    Parameters
+    ----------
+    end_time:
+        Optional hard stop; events scheduled later than this are still queued
+        but never delivered.
+    """
+
+    def __init__(self, end_time: Optional[float] = None) -> None:
+        if end_time is not None and end_time < 0:
+            raise ValueError(f"end_time must be non-negative, got {end_time}")
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._end_time = end_time
+        self._processes: Dict[str, Process] = {}
+        self._targets: Dict[int, Process] = {}
+        self._hooks: List[Callable[[Event], None]] = []
+        self._delivered = 0
+        self._running = False
+
+    # -- configuration ------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def delivered_events(self) -> int:
+        """Number of events delivered so far."""
+        return self._delivered
+
+    def add_process(self, process: Process) -> Process:
+        """Register a process; names must be unique within a simulator."""
+        if process.name in self._processes:
+            raise ValueError(f"duplicate process name {process.name!r}")
+        process.bind(self)
+        self._processes[process.name] = process
+        return process
+
+    def process(self, name: str) -> Process:
+        """Look up a registered process by name."""
+        return self._processes[name]
+
+    def add_hook(self, hook: Callable[[Event], None]) -> None:
+        """Register a callback invoked for every delivered event."""
+        self._hooks.append(hook)
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        kind: str = "event",
+        payload: Any = None,
+        target: Optional[Process] = None,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule an event ``delay`` seconds after the current time."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        event = self._queue.push(self._now + delay, kind=kind, payload=payload, priority=priority)
+        if target is not None:
+            if target.name not in self._processes:
+                raise ValueError(f"target process {target.name!r} is not registered")
+            self._targets[event.sequence] = target
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        kind: str = "event",
+        payload: Any = None,
+        target: Optional[Process] = None,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule an event at an absolute simulation time (must not be in the past)."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self._now}")
+        return self.schedule(time - self._now, kind=kind, payload=payload, target=target, priority=priority)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event."""
+        self._queue.cancel(event)
+        self._targets.pop(event.sequence, None)
+
+    # -- execution -----------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would be later than this time (combined
+            with the constructor's ``end_time``, whichever is earlier).
+        max_events:
+            Safety valve for open-ended simulations.
+
+        Returns the number of events delivered during this call.
+        """
+        limit = self._effective_limit(until)
+        if not self._running:
+            for process in self._processes.values():
+                process.state = ProcessState.RUNNING
+                process.on_start()
+            self._running = True
+
+        delivered_before = self._delivered
+        while True:
+            if max_events is not None and self._delivered - delivered_before >= max_events:
+                break
+            next_event = self._queue.peek()
+            if next_event is None:
+                break
+            if limit is not None and next_event.time > limit:
+                self._now = limit
+                break
+            event = self._queue.pop()
+            self._now = event.time
+            self._dispatch(event)
+        return self._delivered - delivered_before
+
+    def finish(self) -> None:
+        """Signal end-of-simulation to all processes."""
+        for process in self._processes.values():
+            if process.state is ProcessState.RUNNING:
+                process.state = ProcessState.STOPPED
+                process.on_stop()
+        self._running = False
+
+    # -- internals -----------------------------------------------------------
+    def _effective_limit(self, until: Optional[float]) -> Optional[float]:
+        limits = [value for value in (until, self._end_time) if value is not None]
+        return min(limits) if limits else None
+
+    def _dispatch(self, event: Event) -> None:
+        self._delivered += 1
+        target = self._targets.pop(event.sequence, None)
+        if target is not None:
+            target.on_event(event)
+        for hook in self._hooks:
+            hook(event)

@@ -1,0 +1,106 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` is an immutable record of *when* something happens, *what*
+kind of thing it is and an arbitrary payload.  Events are totally ordered by
+``(time, priority, sequence)`` so that simultaneous events are delivered in a
+deterministic order — important for reproducible Monte-Carlo runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A scheduled occurrence in simulated time.
+
+    Attributes
+    ----------
+    time:
+        Simulation time in seconds.
+    priority:
+        Tie-breaker for events at the same time; lower fires first.
+    sequence:
+        Monotonic insertion counter, assigned by the queue; guarantees a total
+        deterministic order.
+    kind:
+        Free-form label (``"photon"``, ``"spad_fire"``, ``"clock_edge"``, ...).
+    payload:
+        Arbitrary, not compared for ordering.
+    """
+
+    time: float
+    priority: int = 0
+    sequence: int = field(default=0, compare=True)
+    kind: str = field(default="event", compare=False)
+    payload: Any = field(default=None, compare=False)
+
+
+class EventQueue:
+    """Time-ordered priority queue of :class:`Event` objects.
+
+    Cancellation is supported by marking events as removed; the heap entry is
+    skipped lazily when popped.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._cancelled: set[int] = set()
+        self._counter = itertools.count()
+
+    def push(self, time: float, kind: str = "event", payload: Any = None, priority: int = 0) -> Event:
+        """Schedule a new event and return it (the handle can be cancelled)."""
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        event = Event(
+            time=time,
+            priority=priority,
+            sequence=next(self._counter),
+            kind=kind,
+            payload=payload,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (no error if already fired)."""
+        self._cancelled.add(event.sequence)
+
+    def pop(self) -> Event:
+        """Remove and return the earliest pending event.
+
+        Raises :class:`IndexError` when the queue is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.sequence in self._cancelled:
+                self._cancelled.discard(event.sequence)
+                continue
+            return event
+        raise IndexError("pop from an empty EventQueue")
+
+    def peek(self) -> Optional[Event]:
+        """Return the earliest pending event without removing it, or ``None``."""
+        while self._heap:
+            event = self._heap[0]
+            if event.sequence in self._cancelled:
+                heapq.heappop(self._heap)
+                self._cancelled.discard(event.sequence)
+                continue
+            return event
+        return None
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek() is not None
+
+    def drain(self) -> Iterator[Event]:
+        """Iterate over all remaining events in time order, consuming them."""
+        while self:
+            yield self.pop()

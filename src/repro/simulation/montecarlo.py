@@ -1,0 +1,136 @@
+"""Monte-Carlo experiment runner.
+
+Several of the paper's quantities (DNL/INL of the delay line, PPM symbol error
+rate, coverage of the fine chain over temperature) are estimated by running
+the same stochastic trial many times with independent seeds.  The runner here
+standardises seeding, accumulation and summary statistics for such
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.statistics import RunningStats
+from repro.simulation.randomness import RandomSource, split_seed
+
+
+@dataclass
+class MonteCarloResult:
+    """Aggregated outcome of a Monte-Carlo experiment.
+
+    ``samples`` holds the raw per-trial scalar outputs; ``metadata`` holds any
+    per-trial auxiliary data returned by the trial function.
+    """
+
+    samples: np.ndarray
+    metadata: List[dict] = field(default_factory=list)
+
+    @property
+    def trials(self) -> int:
+        return int(self.samples.size)
+
+    @property
+    def mean(self) -> float:
+        if self.samples.size == 0:
+            raise ValueError("no trials were run")
+        return float(np.mean(self.samples))
+
+    @property
+    def std(self) -> float:
+        if self.samples.size == 0:
+            raise ValueError("no trials were run")
+        if self.samples.size == 1:
+            return 0.0
+        return float(np.std(self.samples, ddof=1))
+
+    @property
+    def minimum(self) -> float:
+        return float(np.min(self.samples))
+
+    @property
+    def maximum(self) -> float:
+        return float(np.max(self.samples))
+
+    def standard_error(self) -> float:
+        if self.samples.size == 0:
+            raise ValueError("no trials were run")
+        return self.std / np.sqrt(self.samples.size)
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.samples, q))
+
+
+class MonteCarloRunner:
+    """Runs a trial function over many independent seeds.
+
+    The trial function receives a :class:`RandomSource` and returns either a
+    scalar or a ``(scalar, metadata_dict)`` pair.
+    """
+
+    def __init__(self, seed: int = 0, label: str = "montecarlo") -> None:
+        self._seed = seed
+        self._label = label
+
+    def run(
+        self,
+        trial: Callable[[RandomSource], object],
+        trials: int,
+        progress: Optional[Callable[[int, float], None]] = None,
+    ) -> MonteCarloResult:
+        """Execute ``trials`` independent repetitions of ``trial``.
+
+        Parameters
+        ----------
+        trial:
+            Callable invoked with a fresh :class:`RandomSource` per repetition.
+        trials:
+            Number of repetitions (must be positive).
+        progress:
+            Optional callback ``(trial_index, value)`` invoked after each trial.
+        """
+        if trials <= 0:
+            raise ValueError(f"trials must be positive, got {trials}")
+        values = np.empty(trials, dtype=float)
+        metadata: List[dict] = []
+        for index in range(trials):
+            source = RandomSource(split_seed(self._seed, f"{self._label}:{index}"))
+            outcome = trial(source)
+            if isinstance(outcome, tuple):
+                value, info = outcome
+                metadata.append(dict(info))
+            else:
+                value = outcome
+                metadata.append({})
+            values[index] = float(value)
+            if progress is not None:
+                progress(index, float(value))
+        return MonteCarloResult(samples=values, metadata=metadata)
+
+    def estimate_probability(
+        self,
+        predicate: Callable[[RandomSource], bool],
+        trials: int,
+    ) -> float:
+        """Estimate ``P(predicate)`` by simple Monte-Carlo counting."""
+        result = self.run(lambda source: 1.0 if predicate(source) else 0.0, trials)
+        return result.mean
+
+    def sweep(
+        self,
+        trial_factory: Callable[[float], Callable[[RandomSource], object]],
+        parameter_values: Sequence[float],
+        trials_per_point: int,
+    ) -> Dict[float, MonteCarloResult]:
+        """Run a Monte-Carlo experiment at each parameter value."""
+        results: Dict[float, MonteCarloResult] = {}
+        for value in parameter_values:
+            runner = MonteCarloRunner(
+                seed=split_seed(self._seed, f"{self._label}:param:{value}"),
+                label=f"{self._label}:{value}",
+            )
+            results[value] = runner.run(trial_factory(value), trials_per_point)
+        return results

@@ -1,0 +1,73 @@
+"""Process abstraction for the discrete-event kernel.
+
+A :class:`Process` is an object that reacts to events addressed to it and may
+schedule further events on the simulator.  Device models (SPAD front end, TDC
+sampler, PPM transmitter) subclass it.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.engine import Simulator
+    from repro.simulation.events import Event
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of a process within a simulation."""
+
+    CREATED = "created"
+    RUNNING = "running"
+    STOPPED = "stopped"
+
+
+class Process:
+    """Base class for event-driven simulation processes.
+
+    Subclasses override :meth:`on_start` (to schedule their first events) and
+    :meth:`on_event` (to react to events whose ``payload`` targets them).
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("process name must be non-empty")
+        self.name = name
+        self.state = ProcessState.CREATED
+        self._simulator: "Simulator | None" = None
+
+    # -- wiring -------------------------------------------------------------
+    def bind(self, simulator: "Simulator") -> None:
+        """Attach the process to a simulator (called by ``Simulator.add_process``)."""
+        if self._simulator is not None and self._simulator is not simulator:
+            raise RuntimeError(f"process {self.name!r} is already bound to a simulator")
+        self._simulator = simulator
+
+    @property
+    def simulator(self) -> "Simulator":
+        if self._simulator is None:
+            raise RuntimeError(f"process {self.name!r} is not bound to a simulator")
+        return self._simulator
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.simulator.now
+
+    def schedule(self, delay: float, kind: str, payload: Any = None, priority: int = 0):
+        """Schedule an event addressed to this process ``delay`` seconds from now."""
+        return self.simulator.schedule(delay, kind=kind, payload=payload, target=self, priority=priority)
+
+    # -- lifecycle hooks ----------------------------------------------------
+    def on_start(self) -> None:
+        """Called once when the simulation starts.  Default: no-op."""
+
+    def on_event(self, event: "Event") -> None:
+        """Called for every event targeted at this process.  Default: no-op."""
+
+    def on_stop(self) -> None:
+        """Called when the simulation finishes.  Default: no-op."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r}, state={self.state.value})"

@@ -1,0 +1,99 @@
+"""Trace recording for simulations.
+
+A :class:`TraceRecorder` is attached as a simulator hook (or used standalone
+by the analytic models) to keep a time-stamped log of named samples.  It
+provides simple query helpers used by the benchmarks: per-kind extraction,
+inter-event intervals and counting within a window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TraceSample:
+    """A single recorded observation."""
+
+    time: float
+    kind: str
+    value: Any = None
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceSample` objects and answers queries on them."""
+
+    def __init__(self) -> None:
+        self._samples: List[TraceSample] = []
+
+    def record(self, time: float, kind: str, value: Any = None) -> None:
+        """Append an observation (times need not be monotonic)."""
+        self._samples.append(TraceSample(time=time, kind=kind, value=value))
+
+    def observe_event(self, event) -> None:
+        """Simulator hook adapter: records every delivered event."""
+        self.record(event.time, event.kind, event.payload)
+
+    # -- queries ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> List[TraceSample]:
+        return list(self._samples)
+
+    def kinds(self) -> List[str]:
+        """Distinct sample kinds in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for sample in self._samples:
+            seen.setdefault(sample.kind, None)
+        return list(seen)
+
+    def of_kind(self, kind: str) -> List[TraceSample]:
+        return [sample for sample in self._samples if sample.kind == kind]
+
+    def times(self, kind: Optional[str] = None) -> np.ndarray:
+        """Sorted times of all samples (optionally restricted to one kind)."""
+        selected = self._samples if kind is None else self.of_kind(kind)
+        return np.sort(np.asarray([sample.time for sample in selected], dtype=float))
+
+    def values(self, kind: str) -> List[Any]:
+        return [sample.value for sample in self.of_kind(kind)]
+
+    def count(self, kind: str, start: float = -np.inf, end: float = np.inf) -> int:
+        """Number of samples of ``kind`` with ``start <= time < end``."""
+        return sum(
+            1
+            for sample in self.of_kind(kind)
+            if start <= sample.time < end
+        )
+
+    def intervals(self, kind: str) -> np.ndarray:
+        """Inter-arrival intervals between consecutive samples of ``kind``."""
+        times = self.times(kind)
+        if times.size < 2:
+            return np.empty(0)
+        return np.diff(times)
+
+    def rate(self, kind: str, duration: Optional[float] = None) -> float:
+        """Average event rate of ``kind`` in events per second.
+
+        When ``duration`` is omitted the observed span of that kind is used.
+        """
+        times = self.times(kind)
+        if times.size == 0:
+            return 0.0
+        if duration is None:
+            duration = float(times[-1] - times[0])
+            if duration == 0:
+                raise ValueError("cannot infer a duration from a single sample")
+            return float((times.size - 1) / duration)
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        return float(times.size / duration)
+
+    def clear(self) -> None:
+        self._samples.clear()

@@ -1,0 +1,134 @@
+"""SPAD receiver arrays.
+
+The paper's optical bus services many channels; each channel terminates on a
+SPAD pixel.  A :class:`SpadArray` groups pixels and provides aggregate
+figures: total area, aggregate throughput when channels run in parallel, and
+coincidence (M-of-N) detection, which is a standard way to suppress dark
+counts at the cost of requiring more optical power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.simulation.randomness import RandomSource
+from repro.spad.device import DetectionEvent, DetectionOrigin, SpadConfig, SpadDevice
+
+
+class SpadArray:
+    """A rectangular array of identical SPAD pixels.
+
+    Parameters
+    ----------
+    rows, columns:
+        Array geometry; ref [5] demonstrated a 64x64 array.
+    pixel_pitch:
+        Centre-to-centre pixel spacing [m].
+    config:
+        Per-pixel configuration shared by all pixels.
+    seed:
+        Seed used to derive independent random streams per pixel.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        columns: int,
+        pixel_pitch: float = 25e-6,
+        config: SpadConfig = SpadConfig(),
+        seed: int = 0,
+    ) -> None:
+        if rows <= 0 or columns <= 0:
+            raise ValueError("rows and columns must be positive")
+        if pixel_pitch <= 0:
+            raise ValueError("pixel_pitch must be positive")
+        self.rows = rows
+        self.columns = columns
+        self.pixel_pitch = pixel_pitch
+        self.config = config
+        root = RandomSource(seed)
+        self._pixels: List[SpadDevice] = [
+            SpadDevice(config=config, random_source=root.spawn(f"pixel:{index}"))
+            for index in range(rows * columns)
+        ]
+
+    # -- geometry -------------------------------------------------------------
+    @property
+    def pixel_count(self) -> int:
+        return self.rows * self.columns
+
+    @property
+    def footprint_area(self) -> float:
+        """Total silicon area of the array [m^2]."""
+        return self.rows * self.columns * self.pixel_pitch ** 2
+
+    def pixel(self, row: int, column: int) -> SpadDevice:
+        if not (0 <= row < self.rows and 0 <= column < self.columns):
+            raise IndexError(f"pixel ({row}, {column}) outside {self.rows}x{self.columns} array")
+        return self._pixels[row * self.columns + column]
+
+    def pixels(self) -> Sequence[SpadDevice]:
+        return tuple(self._pixels)
+
+    def reset(self) -> None:
+        for pixel in self._pixels:
+            pixel.reset()
+
+    # -- aggregate behaviour -----------------------------------------------------
+    def aggregate_dark_count_rate(self) -> float:
+        """Total DCR of the array [counts/s]."""
+        return sum(pixel.dark_count_rate for pixel in self._pixels)
+
+    def detect_in_window(
+        self,
+        window_start: float,
+        window_duration: float,
+        photon_time: Optional[float],
+        mean_photons_per_pixel: float,
+    ) -> List[Optional[DetectionEvent]]:
+        """Run the same measurement window on every pixel (broadcast pulse)."""
+        return [
+            pixel.detect_in_window(window_start, window_duration, photon_time, mean_photons_per_pixel)
+            for pixel in self._pixels
+        ]
+
+    def coincidence_detect(
+        self,
+        window_start: float,
+        window_duration: float,
+        photon_time: Optional[float],
+        mean_photons_per_pixel: float,
+        required: int,
+        coincidence_window: float,
+    ) -> Optional[float]:
+        """M-of-N coincidence detection across the array.
+
+        Returns the median detection time of the earliest group of at least
+        ``required`` pixels whose detections fall within ``coincidence_window``
+        of each other, or ``None``.  Dark counts are uncorrelated between
+        pixels, so requiring a coincidence suppresses them exponentially.
+        """
+        if required <= 0 or required > self.pixel_count:
+            raise ValueError("required must be within [1, pixel_count]")
+        if coincidence_window <= 0:
+            raise ValueError("coincidence_window must be positive")
+        events = self.detect_in_window(
+            window_start, window_duration, photon_time, mean_photons_per_pixel
+        )
+        times = np.sort(np.asarray([e.time for e in events if e is not None], dtype=float))
+        if times.size < required:
+            return None
+        for i in range(times.size - required + 1):
+            group = times[i : i + required]
+            if group[-1] - group[0] <= coincidence_window:
+                return float(np.median(group))
+        return None
+
+    def channel_slice(self, count: int) -> List[SpadDevice]:
+        """The first ``count`` pixels, used as independent parallel channels."""
+        if not 0 < count <= self.pixel_count:
+            raise ValueError(f"count must be within [1, {self.pixel_count}]")
+        return list(self._pixels[:count])

@@ -1,0 +1,288 @@
+"""Composite SPAD device model.
+
+:class:`SpadDevice` combines the photon detection probability, dead-time
+(quenching), dark-count, afterpulsing and jitter sub-models into a stochastic
+detector with two interfaces:
+
+* a *per-window* interface (:meth:`detect_in_window`) used by the PPM link
+  simulator: given the arrival time of the (attenuated) optical pulse within
+  one measurement window, return which detection — signal photon, dark count
+  or afterpulse — the SPAD actually reports first, if any; and
+* a *continuous* interface (:meth:`first_detection`) used by the event-driven
+  simulation.
+
+The device keeps the time of its last avalanche so that dead time and
+afterpulsing carry over from one window to the next, exactly the coupling that
+forces the paper to match the detection cycle to the TDC range.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.units import NM, NS, UM
+from repro.simulation.randomness import RandomSource
+from repro.spad.afterpulsing import AfterpulsingModel
+from repro.spad.dark_counts import DarkCountModel
+from repro.spad.jitter import JitterModel
+from repro.spad.pdp import PdpCurve, default_cmos_pdp
+from repro.spad.quenching import QuenchingCircuit
+
+
+class DetectionOrigin(enum.Enum):
+    """What caused a reported detection."""
+
+    PHOTON = "photon"
+    DARK_COUNT = "dark_count"
+    AFTERPULSE = "afterpulse"
+
+
+@dataclass(frozen=True)
+class DetectionEvent:
+    """A single reported SPAD detection."""
+
+    time: float
+    origin: DetectionOrigin
+
+
+@dataclass(frozen=True)
+class SpadConfig:
+    """Static configuration of a SPAD receiver pixel.
+
+    Attributes
+    ----------
+    active_diameter:
+        Diameter of the active area [m] (ref [5] devices are ~7-10 um).
+    wavelength:
+        Operating wavelength of the link [m].
+    excess_bias:
+        Operating excess bias [V].
+    temperature:
+        Operating temperature [degC].
+    fill_factor:
+        Fraction of the pixel footprint that is photosensitive.
+    """
+
+    active_diameter: float = 8.0 * UM
+    wavelength: float = 650.0 * NM
+    excess_bias: float = 3.3
+    temperature: float = 20.0
+    fill_factor: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.active_diameter <= 0:
+            raise ValueError("active_diameter must be positive")
+        if self.wavelength <= 0:
+            raise ValueError("wavelength must be positive")
+        if self.excess_bias < 0:
+            raise ValueError("excess_bias must be non-negative")
+        if not 0 < self.fill_factor <= 1:
+            raise ValueError("fill_factor must be within (0, 1]")
+
+    @property
+    def active_area(self) -> float:
+        """Photosensitive area [m^2]."""
+        return np.pi * (self.active_diameter / 2.0) ** 2
+
+
+class SpadDevice:
+    """Stochastic single-photon avalanche diode."""
+
+    def __init__(
+        self,
+        config: SpadConfig = SpadConfig(),
+        pdp_curve: Optional[PdpCurve] = None,
+        quenching: Optional[QuenchingCircuit] = None,
+        dark_counts: Optional[DarkCountModel] = None,
+        afterpulsing: Optional[AfterpulsingModel] = None,
+        jitter: Optional[JitterModel] = None,
+        random_source: Optional[RandomSource] = None,
+    ) -> None:
+        self.config = config
+        self.pdp_curve = pdp_curve if pdp_curve is not None else default_cmos_pdp()
+        self.quenching = quenching if quenching is not None else QuenchingCircuit()
+        self.dark_counts = dark_counts if dark_counts is not None else DarkCountModel()
+        self.afterpulsing = afterpulsing if afterpulsing is not None else AfterpulsingModel()
+        self.jitter = jitter if jitter is not None else JitterModel()
+        self._random = random_source if random_source is not None else RandomSource(0)
+        self._last_fire_time: Optional[float] = None
+        self._pending_afterpulse: Optional[float] = None
+        self._rearmed_at: Optional[float] = None
+
+    # -- static characteristics ------------------------------------------------
+    @property
+    def detection_probability(self) -> float:
+        """PDP at the configured wavelength and excess bias."""
+        return self.pdp_curve.pdp(self.config.wavelength, self.config.excess_bias)
+
+    @property
+    def dead_time(self) -> float:
+        """Programmed dead time [s]."""
+        return self.quenching.dead_time
+
+    @property
+    def dark_count_rate(self) -> float:
+        """DCR at the configured operating point [counts/s]."""
+        return self.dark_counts.rate(self.config.temperature, self.config.excess_bias)
+
+    def detection_probability_for_photons(self, mean_photons: float) -> float:
+        """Probability of detecting a pulse carrying ``mean_photons`` on the active area.
+
+        Photon statistics are Poissonian, so the detection probability of the
+        pulse is ``1 - exp(-PDP * mean_photons)``.
+        """
+        if mean_photons < 0:
+            raise ValueError("mean_photons must be non-negative")
+        return float(1.0 - np.exp(-self.detection_probability * mean_photons))
+
+    # -- state handling ----------------------------------------------------------
+    def reset(self) -> None:
+        """Forget any previous avalanche (device armed and trap-free)."""
+        self._last_fire_time = None
+        self._pending_afterpulse = None
+        self._rearmed_at = None
+
+    def is_ready(self, time: float) -> bool:
+        """True when the device can fire at absolute time ``time``.
+
+        The device is ready once the programmed dead time has elapsed, or — in
+        gated operation — once it has been explicitly re-armed via
+        :meth:`rearm` after the physical quench/recharge time.
+        """
+        if self._last_fire_time is None:
+            return True
+        if (
+            self._rearmed_at is not None
+            and self._rearmed_at > self._last_fire_time
+            and time >= self._rearmed_at
+        ):
+            return True
+        return self.quenching.is_ready(time - self._last_fire_time)
+
+    def rearm(self, time: float) -> bool:
+        """Force a gated re-arm at ``time`` (e.g. at a measurement-window start).
+
+        Succeeds only when the physical quench/recharge time has elapsed since
+        the last avalanche; returns whether the device is armed afterwards.
+        Gated re-arming is how the receiver matches the SPAD detection cycle
+        to the PPM range as the paper assumes (``DC(N, C)`` = the TDC range)
+        even when the programmed free-running dead time is longer than one
+        symbol.
+        """
+        if self._last_fire_time is None:
+            return True
+        if time < self._last_fire_time:
+            raise ValueError("cannot re-arm before the last avalanche")
+        if self.quenching.can_rearm(time - self._last_fire_time):
+            self._rearmed_at = time
+            return True
+        return self.is_ready(time)
+
+    def _register_fire(self, time: float) -> None:
+        self._last_fire_time = time
+        self._rearmed_at = None
+        # Sample the trap release over the full distribution; whether the
+        # release actually re-triggers the device depends on it being armed at
+        # that instant (dead time or gated hold), which detect_in_window checks.
+        if self._random.bernoulli(self.afterpulsing.probability):
+            release = self._random.exponential(1.0 / self.afterpulsing.time_constant)
+            self._pending_afterpulse = time + release
+        else:
+            self._pending_afterpulse = None
+
+    # -- window-based detection ---------------------------------------------------
+    def detect_in_window(
+        self,
+        window_start: float,
+        window_duration: float,
+        photon_time: Optional[float] = None,
+        mean_photons: float = 1.0,
+    ) -> Optional[DetectionEvent]:
+        """First detection reported inside a measurement window.
+
+        Parameters
+        ----------
+        window_start:
+            Absolute start time of the window [s].
+        window_duration:
+            Window length [s].
+        photon_time:
+            Absolute arrival time of the optical pulse, or ``None`` when no
+            pulse is sent in this window.
+        mean_photons:
+            Mean number of photons of the pulse reaching the active area.
+
+        Returns the earliest :class:`DetectionEvent`, or ``None``.  The
+        device state (dead time, pending afterpulse) is updated.
+        """
+        if window_duration <= 0:
+            raise ValueError("window_duration must be positive")
+        candidates: List[DetectionEvent] = []
+
+        # Signal photon.
+        if photon_time is not None:
+            if photon_time < window_start or photon_time >= window_start + window_duration:
+                raise ValueError("photon_time must lie inside the window")
+            if self._random.bernoulli(self.detection_probability_for_photons(mean_photons)):
+                jittered = photon_time + self.jitter.sample(self._random)
+                jittered = max(window_start, jittered)
+                if jittered < window_start + window_duration:
+                    candidates.append(DetectionEvent(jittered, DetectionOrigin.PHOTON))
+
+        # Dark counts.
+        dark_times = self.dark_counts.sample_arrival_times(
+            window_duration,
+            self._random,
+            temperature=self.config.temperature,
+            excess_bias=self.config.excess_bias,
+        )
+        for offset in dark_times:
+            candidates.append(DetectionEvent(window_start + float(offset), DetectionOrigin.DARK_COUNT))
+
+        # Afterpulse pending from a previous avalanche.
+        pending = self._pending_afterpulse
+        if pending is not None and window_start <= pending < window_start + window_duration:
+            candidates.append(DetectionEvent(pending, DetectionOrigin.AFTERPULSE))
+
+        # Earliest candidate for which the device is armed wins.
+        winner: Optional[DetectionEvent] = None
+        for event in sorted(candidates, key=lambda item: item.time):
+            if self.is_ready(event.time):
+                winner = event
+                break
+        # A trap release whose time falls inside this window is consumed either
+        # way: it fired if the device was armed, or was absorbed if it was not.
+        if pending is not None and pending < window_start + window_duration:
+            self._pending_afterpulse = None
+        if winner is not None:
+            self._register_fire(winner.time)
+        return winner
+
+    # -- continuous detection -------------------------------------------------------
+    def first_detection(
+        self,
+        start: float,
+        duration: float,
+        photon_times: Optional[np.ndarray] = None,
+        mean_photons_per_pulse: float = 1.0,
+    ) -> Optional[DetectionEvent]:
+        """First detection in ``[start, start + duration)`` given a photon-pulse train."""
+        photon_time = None
+        if photon_times is not None and len(photon_times) > 0:
+            in_window = [t for t in np.asarray(photon_times, dtype=float) if start <= t < start + duration]
+            photon_time = min(in_window) if in_window else None
+        return self.detect_in_window(start, duration, photon_time, mean_photons_per_pulse)
+
+    def saturated_count_rate(self) -> float:
+        """Maximum sustainable detection rate [counts/s]."""
+        return self.quenching.max_count_rate()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpadDevice(pdp={self.detection_probability:.2f}, "
+            f"dead_time={self.dead_time:.1e}s, dcr={self.dark_count_rate:.0f}cps)"
+        )

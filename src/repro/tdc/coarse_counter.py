@@ -1,0 +1,88 @@
+"""Coarse counter of the two-level TDC.
+
+The coarse time-of-arrival is measured by a counter running at the system
+clock frequency (Figure 2-A of the paper).  The counter also acts as the state
+machine that opens the fine-measurement window.  The model is purely
+behavioural: it converts an absolute arrival time into a clock-cycle index and
+the residual time to the *next* rising edge (which is what the delay line
+measures).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.analysis.units import MHZ
+
+
+@dataclass(frozen=True)
+class CoarseCounter:
+    """Free-running counter at ``clock_frequency`` with ``bits`` of range.
+
+    Attributes
+    ----------
+    clock_frequency:
+        System clock frequency [Hz]; the paper's proof-of-concept uses 200 MHz.
+    bits:
+        Number of coarse bits C; the counter wraps modulo ``2**bits``.
+    """
+
+    clock_frequency: float = 200 * MHZ
+    bits: int = 4
+
+    def __post_init__(self) -> None:
+        if self.clock_frequency <= 0:
+            raise ValueError(f"clock_frequency must be positive, got {self.clock_frequency}")
+        if self.bits < 0:
+            raise ValueError(f"bits must be non-negative, got {self.bits}")
+
+    @property
+    def period(self) -> float:
+        """Clock period [s]."""
+        return 1.0 / self.clock_frequency
+
+    @property
+    def modulus(self) -> int:
+        """Number of distinct coarse codes (2^C)."""
+        return 1 << self.bits
+
+    @property
+    def full_range(self) -> float:
+        """Time range covered before the counter wraps [s]."""
+        return self.modulus * self.period
+
+    def coarse_code(self, arrival_time: float) -> int:
+        """Coarse code latched for a hit at ``arrival_time`` (seconds from range start)."""
+        if arrival_time < 0:
+            raise ValueError(f"arrival_time must be non-negative, got {arrival_time}")
+        return int(math.floor(arrival_time / self.period)) % self.modulus
+
+    def split(self, arrival_time: float) -> Tuple[int, float]:
+        """Split an arrival time into ``(coarse_code, time_to_next_edge)``.
+
+        The fine delay line measures the interval between the hit and the
+        *next* rising clock edge, so the residual returned here is
+        ``period - (arrival_time mod period)``.  A hit exactly on an edge is
+        attributed to the period that *starts* at that edge (residual = one
+        full period), which keeps the code-versus-time mapping monotonic.
+        """
+        code = self.coarse_code(arrival_time)
+        phase = math.fmod(arrival_time, self.period)
+        residual = self.period if phase == 0.0 else self.period - phase
+        return code, residual
+
+    def reconstruct(self, coarse_code: int, fine_time_to_edge: float) -> float:
+        """Inverse of :meth:`split`: estimated arrival time from the two codes.
+
+        ``fine_time_to_edge`` is the (calibrated) fine measurement of the time
+        between the hit and the following clock edge.
+        """
+        if not 0 <= coarse_code < self.modulus:
+            raise ValueError(
+                f"coarse_code must be within [0, {self.modulus}), got {coarse_code}"
+            )
+        if fine_time_to_edge < 0:
+            raise ValueError("fine_time_to_edge must be non-negative")
+        return (coarse_code + 1) * self.period - fine_time_to_edge

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import LinkConfig
+from repro.simulation.randomness import RandomSource
+from repro.tdc.fpga import VIRTEX2PRO_PROFILE, build_fpga_delay_line, build_fpga_tdc
+
+
+@pytest.fixture
+def random_source() -> RandomSource:
+    """A deterministic random source shared by stochastic tests."""
+    return RandomSource(seed=12345)
+
+
+@pytest.fixture
+def fpga_delay_line():
+    """The paper's 96-element Virtex-II Pro carry-chain delay line at 20 degC."""
+    return build_fpga_delay_line(VIRTEX2PRO_PROFILE, random_source=RandomSource(7), temperature=20.0)
+
+
+@pytest.fixture
+def fpga_tdc():
+    """The paper's proof-of-concept TDC (200 MHz clock, fine-only range)."""
+    return build_fpga_tdc(random_source=RandomSource(7))
+
+
+@pytest.fixture
+def default_link_config() -> LinkConfig:
+    """The default 16-PPM link configuration used across link-level tests."""
+    return LinkConfig(ppm_bits=4)

@@ -1,0 +1,55 @@
+"""Tests for repro.analysis.sweep."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import Sweep, SweepResult, grid_sweep
+
+
+class TestSweep:
+    def test_grid_evaluates_all_combinations(self):
+        sweep = Sweep({"a": [1, 2, 3], "b": [10, 20]})
+        result = sweep.run(lambda a, b: a * b)
+        assert len(result) == 6
+        assert sweep.size() == 6
+        assert sorted(result.values()) == [10, 20, 20, 30, 40, 60]
+
+    def test_column_extraction(self):
+        result = grid_sweep(lambda a, b: a + b, a=[1, 2], b=[5])
+        assert sorted(result.column("a")) == [1, 2]
+        assert result.column("b") == [5, 5]
+
+    def test_as_grid_layout(self):
+        result = grid_sweep(lambda n, c: n * 10 + c, n=[1, 2], c=[0, 1, 2])
+        rows, cols, grid = result.as_grid("n", "c")
+        assert list(rows) == [1, 2]
+        assert list(cols) == [0, 1, 2]
+        assert grid[1, 2] == pytest.approx(22.0)
+        assert grid.shape == (2, 3)
+
+    def test_best_point(self):
+        result = grid_sweep(lambda x: (x - 3) ** 2, x=[0, 1, 2, 3, 4])
+        best = result.best(key=lambda p: p.value, maximize=False)
+        assert best.parameter("x") == 3
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            Sweep({"a": []})
+        with pytest.raises(ValueError):
+            Sweep({})
+
+    def test_best_on_empty_result_raises(self):
+        result = SweepResult(parameter_names=("x",))
+        with pytest.raises(ValueError):
+            result.best(key=lambda p: p.value)
+
+    def test_point_as_dict_and_unknown_parameter(self):
+        result = grid_sweep(lambda a: a, a=[7])
+        point = result.points[0]
+        assert point.as_dict() == {"a": 7, "value": 7}
+        with pytest.raises(KeyError):
+            point.parameter("missing")
+
+    def test_iteration(self):
+        result = grid_sweep(lambda a: a * 2, a=[1, 2, 3])
+        assert [p.value for p in result] == [2, 4, 6]

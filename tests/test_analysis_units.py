@@ -1,0 +1,80 @@
+"""Tests for repro.analysis.units."""
+
+import math
+
+import pytest
+
+from repro.analysis import units
+
+
+class TestConstants:
+    def test_time_units_are_consistent(self):
+        assert units.PS == 1e-12
+        assert units.NS == pytest.approx(1000 * units.PS)
+        assert units.US == pytest.approx(1000 * units.NS)
+
+    def test_frequency_units(self):
+        assert units.GHZ == pytest.approx(1000 * units.MHZ)
+        assert units.MHZ == pytest.approx(1000 * units.KHZ)
+
+    def test_period_frequency_roundtrip(self):
+        assert 1.0 / (200 * units.MHZ) == pytest.approx(5 * units.NS)
+
+
+class TestPhotonEnergy:
+    def test_red_photon_energy_in_ev(self):
+        energy = units.photon_energy(650e-9)
+        assert energy / units.ELEMENTARY_CHARGE == pytest.approx(1.907, rel=1e-3)
+
+    def test_shorter_wavelength_has_more_energy(self):
+        assert units.photon_energy(450e-9) > units.photon_energy(850e-9)
+
+    def test_rejects_nonpositive_wavelength(self):
+        with pytest.raises(ValueError):
+            units.photon_energy(0.0)
+
+
+class TestDecibels:
+    def test_db_to_linear_known_values(self):
+        assert units.db_to_linear(0.0) == pytest.approx(1.0)
+        assert units.db_to_linear(10.0) == pytest.approx(10.0)
+        assert units.db_to_linear(-3.0) == pytest.approx(0.501, rel=1e-2)
+
+    def test_linear_to_db_roundtrip(self):
+        for value in (0.01, 0.5, 1.0, 42.0):
+            assert units.db_to_linear(units.linear_to_db(value)) == pytest.approx(value)
+
+    def test_linear_to_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(0.0)
+        with pytest.raises(ValueError):
+            units.linear_to_db(-1.0)
+
+
+class TestFormatting:
+    def test_format_si_nanoseconds(self):
+        assert units.format_si(5e-9, "s") == "5 ns"
+
+    def test_format_si_gigahertz(self):
+        assert units.format_si(2.5e9, "Hz") == "2.5 GHz"
+
+    def test_format_si_zero(self):
+        assert units.format_si(0.0, "s") == "0 s"
+
+    def test_format_si_handles_nan(self):
+        assert "nan" in units.format_si(float("nan"), "s")
+
+    def test_format_engineering(self):
+        assert units.format_engineering(1.25e8, "bit/s") == "125e6 bit/s"
+        assert units.format_engineering(0.0) == "0"
+
+
+class TestTemperature:
+    def test_celsius_kelvin_roundtrip(self):
+        assert units.kelvin_to_celsius(units.celsius_to_kelvin(20.0)) == pytest.approx(20.0)
+
+    def test_absolute_zero_guard(self):
+        with pytest.raises(ValueError):
+            units.celsius_to_kelvin(-400.0)
+        with pytest.raises(ValueError):
+            units.kelvin_to_celsius(-1.0)

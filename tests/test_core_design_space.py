@@ -1,0 +1,100 @@
+"""Tests for repro.core.design_space — the Figure 4 machinery."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.units import NS, PS
+from repro.core.design_space import DesignPoint, DesignSpace, figure4_grid
+from repro.core.throughput import TdcDesign
+
+
+class TestFigure4Grid:
+    def test_grid_shapes(self):
+        n_values, c_values, tp, dc = figure4_grid()
+        assert tp.shape == (len(n_values), len(c_values))
+        assert dc.shape == tp.shape
+        assert np.all(tp > 0)
+        assert np.all(dc > 0)
+
+    def test_grid_matches_formulas(self):
+        n_values, c_values, tp, dc = figure4_grid(fine_elements=[16, 64], coarse_bits=[0, 3])
+        design = TdcDesign(fine_elements=64, coarse_bits=3, element_delay=54 * PS)
+        assert tp[1, 1] == pytest.approx(design.throughput)
+        assert dc[1, 1] == pytest.approx(design.detection_cycle)
+
+    def test_monotonic_structure(self):
+        _, _, tp, dc = figure4_grid()
+        # Throughput never improves along either axis; detection cycle grows along both.
+        assert np.all(np.diff(tp, axis=0) < 0)
+        assert np.all(np.diff(tp, axis=1) <= 0)
+        assert np.all(np.diff(dc, axis=0) > 0)
+        assert np.all(np.diff(dc, axis=1) > 0)
+
+    def test_custom_delay(self):
+        _, _, tp_fast, _ = figure4_grid(element_delay=20 * PS)
+        _, _, tp_slow, _ = figure4_grid(element_delay=80 * PS)
+        assert np.all(tp_fast > tp_slow)
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            figure4_grid(fine_elements=[])
+
+
+class TestDesignSpace:
+    def test_points_enumerate_grid(self):
+        space = DesignSpace(fine_elements=[16, 32], coarse_bits=[0, 1, 2])
+        assert len(space.points()) == 6
+
+    def test_feasible_designs_cover_dead_time(self):
+        space = DesignSpace()
+        for point in space.feasible(spad_dead_time=32 * NS):
+            assert 32 * NS <= point.detection_cycle <= 1.25 * 32 * NS
+
+    def test_best_for_dead_time_maximises_throughput(self):
+        space = DesignSpace()
+        best = space.best_for_dead_time(32 * NS)
+        for point in space.feasible(32 * NS):
+            assert best.throughput >= point.throughput
+
+    def test_best_for_dead_time_fallback(self):
+        # A tolerance band nobody hits still returns a covering design.
+        space = DesignSpace(fine_elements=[1024], coarse_bits=[8])
+        point = space.best_for_dead_time(1 * NS, dead_time_tolerance=0.0)
+        assert point.detection_cycle >= 1 * NS
+
+    def test_best_for_dead_time_impossible(self):
+        space = DesignSpace(fine_elements=[4], coarse_bits=[0])
+        with pytest.raises(ValueError):
+            space.best_for_dead_time(1.0)  # one full second is unreachable
+
+    def test_max_throughput_is_smallest_range(self):
+        space = DesignSpace(fine_elements=[8, 64], coarse_bits=[0, 4])
+        best = space.max_throughput()
+        assert best.design.fine_elements == 8
+        assert best.design.coarse_bits == 0
+
+    def test_pareto_front_is_sorted_and_nondominated(self):
+        space = DesignSpace(fine_elements=[8, 32, 128], coarse_bits=[0, 2, 4])
+        front = space.pareto_front()
+        cycles = [p.detection_cycle for p in front]
+        assert cycles == sorted(cycles)
+        for a in front:
+            assert not any(
+                b.throughput > a.throughput and b.detection_cycle >= a.detection_cycle
+                for b in space.points()
+            )
+
+    def test_design_point_from_design(self):
+        design = TdcDesign(fine_elements=64, coarse_bits=2)
+        point = DesignPoint.from_design(design)
+        assert point.throughput == pytest.approx(design.throughput)
+        assert point.bits_per_symbol == pytest.approx(design.bits_per_symbol)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DesignSpace(element_delay=0.0)
+        with pytest.raises(ValueError):
+            DesignSpace(fine_elements=[])
+        space = DesignSpace()
+        with pytest.raises(ValueError):
+            space.feasible(0.0)

@@ -1,0 +1,114 @@
+"""Tests for repro.core.throughput — the paper's Section 3 equations."""
+
+import math
+
+import pytest
+
+from repro.analysis.units import NS, PS
+from repro.core.throughput import (
+    TdcDesign,
+    bits_per_symbol,
+    detection_cycle,
+    measurement_window,
+    throughput,
+)
+
+
+class TestEquations:
+    def test_measurement_window_formula(self):
+        """MW(N, C) = (2^C + 1) * N * delta."""
+        assert measurement_window(96, 4, 54 * PS) == pytest.approx((16 + 1) * 96 * 54e-12)
+        assert measurement_window(16, 0, 50 * PS) == pytest.approx(2 * 16 * 50e-12)
+
+    def test_detection_cycle_formula(self):
+        """DC(N, C) = 2^C * N * delta."""
+        assert detection_cycle(96, 4, 54 * PS) == pytest.approx(16 * 96 * 54e-12)
+
+    def test_throughput_formula(self):
+        """TP(N, C) = (log2(N) + C) / MW(N, C)."""
+        expected = (math.log2(64) + 2) / ((4 + 1) * 64 * 50e-12)
+        assert throughput(64, 2, 50 * PS) == pytest.approx(expected)
+
+    def test_bits_per_symbol(self):
+        assert bits_per_symbol(64, 2) == pytest.approx(8.0)
+        assert bits_per_symbol(96, 4) == pytest.approx(math.log2(96) + 4)
+
+    def test_reset_window_is_one_fine_range(self):
+        """MW - DC = N * delta (one extra fine range for TDC reset)."""
+        n, c, d = 128, 3, 40 * PS
+        assert measurement_window(n, c, d) - detection_cycle(n, c, d) == pytest.approx(n * d)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measurement_window(1, 0, 50 * PS)
+        with pytest.raises(ValueError):
+            measurement_window(16, -1, 50 * PS)
+        with pytest.raises(ValueError):
+            measurement_window(16, 0, 0.0)
+        with pytest.raises(ValueError):
+            bits_per_symbol(1, 0)
+
+
+class TestTradeoffShape:
+    """The qualitative structure Figure 4 visualises."""
+
+    def test_throughput_decreases_with_coarse_bits(self):
+        values = [throughput(64, c, 54 * PS) for c in range(7)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_detection_cycle_increases_with_coarse_bits(self):
+        values = [detection_cycle(64, c, 54 * PS) for c in range(7)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_throughput_decreases_with_fine_elements(self):
+        values = [throughput(n, 2, 54 * PS) for n in (8, 16, 32, 64, 128, 256)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_gbps_reachable_at_small_ranges(self):
+        """The abstract's 'several gigabits per second' lives at small N·2^C."""
+        assert throughput(8, 0, 54 * PS) > 3e9
+        assert throughput(16, 0, 54 * PS) > 2e9
+
+    def test_long_dead_time_designs_are_sub_gbps(self):
+        """Matching a 32 ns detection cycle costs two orders of magnitude."""
+        design = TdcDesign(fine_elements=96, coarse_bits=6, element_delay=54 * PS)
+        assert design.detection_cycle > 300 * NS
+        assert design.throughput < 1e9
+
+
+class TestTdcDesign:
+    def test_default_matches_fpga_prototype(self):
+        design = TdcDesign()
+        assert design.fine_elements == 96
+        assert design.fine_range == pytest.approx(96 * 54e-12)
+
+    def test_properties_agree_with_functions(self):
+        design = TdcDesign(fine_elements=128, coarse_bits=3, element_delay=40 * PS)
+        assert design.throughput == pytest.approx(throughput(128, 3, 40 * PS))
+        assert design.measurement_window == pytest.approx(measurement_window(128, 3, 40 * PS))
+        assert design.detection_cycle == pytest.approx(detection_cycle(128, 3, 40 * PS))
+        assert design.code_count == 8 * 128
+        assert design.whole_bits_per_symbol == 10
+        assert design.resolution == pytest.approx(40 * PS)
+
+    def test_matches_dead_time(self):
+        design = TdcDesign(fine_elements=64, coarse_bits=3, element_delay=62.5 * PS)
+        assert design.detection_cycle == pytest.approx(32 * NS)
+        assert design.matches_dead_time(32 * NS)
+        assert not design.matches_dead_time(100 * NS)
+        with pytest.raises(ValueError):
+            design.matches_dead_time(0.0)
+
+    def test_with_helpers(self):
+        design = TdcDesign()
+        assert design.with_coarse_bits(2).coarse_bits == 2
+        assert design.with_fine_elements(32).fine_elements == 32
+        assert design.scaled_delay(0.5).element_delay == pytest.approx(27 * PS)
+        with pytest.raises(ValueError):
+            design.scaled_delay(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TdcDesign(fine_elements=1)
+        with pytest.raises(ValueError):
+            TdcDesign(element_delay=-1.0)

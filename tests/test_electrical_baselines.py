@@ -1,0 +1,119 @@
+"""Tests for the electrical baseline models (bond wire, pad, TSV)."""
+
+import pytest
+
+from repro.analysis.units import MM, NS
+from repro.electrical.bonding_wire import BondWire
+from repro.electrical.pad import IoPad, PadConfig
+from repro.electrical.tsv import ThroughSiliconVia
+
+
+class TestBondWire:
+    def test_parasitics_scale_with_length(self):
+        short = BondWire(length=1 * MM)
+        long = BondWire(length=3 * MM)
+        assert long.inductance == pytest.approx(3 * short.inductance)
+        assert long.capacitance == pytest.approx(3 * short.capacitance)
+        assert long.resistance == pytest.approx(3 * short.resistance)
+
+    def test_typical_inductance_order(self):
+        # Rule of thumb: ~1 nH per mm.
+        assert BondWire(length=2 * MM).inductance == pytest.approx(2e-9, rel=0.01)
+
+    def test_longer_wire_is_slower(self):
+        short = BondWire(length=1 * MM)
+        long = BondWire(length=4 * MM)
+        assert long.max_bit_rate(2e-12) < short.max_bit_rate(2e-12)
+
+    def test_ssn_grows_with_current_and_speed(self):
+        wire = BondWire()
+        assert wire.simultaneous_switching_noise(10e-3, 1 * NS) < wire.simultaneous_switching_noise(
+            10e-3, 0.1 * NS
+        )
+
+    def test_current_grows_with_bit_rate(self):
+        """The paper's argument: high bit rates over pads cost prohibitive currents."""
+        wire = BondWire()
+        slow = wire.current_for_bit_rate(100e6, 2e-12, 2.5)
+        fast = wire.current_for_bit_rate(2e9, 2e-12, 2.5)
+        assert fast == pytest.approx(20 * slow)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BondWire(length=0.0)
+        with pytest.raises(ValueError):
+            BondWire().max_bit_rate(0.0)
+        with pytest.raises(ValueError):
+            BondWire().simultaneous_switching_noise(1.0, 0.0)
+        with pytest.raises(ValueError):
+            BondWire().current_for_bit_rate(0.0, 1e-12, 1.0)
+
+
+class TestIoPad:
+    def test_area_includes_driver(self):
+        pad = IoPad()
+        assert pad.area > pad.config.pad_width * pad.config.pad_height
+
+    def test_pad_much_larger_than_spad_pixel(self):
+        # A 70 um pad + driver dwarfs a 25 um SPAD pixel.
+        assert IoPad().area > (25e-6) ** 2 * 5
+
+    def test_bit_rate_limited_by_wire(self):
+        pad = IoPad()
+        assert pad.max_bit_rate() < 5e9
+
+    def test_power_scales_with_rate(self):
+        pad = IoPad()
+        rate = pad.max_bit_rate() / 2
+        assert pad.power_at(rate) > pad.power_at(rate / 10)
+        assert pad.power_at(0.0) == pytest.approx(pad.config.leakage_power)
+
+    def test_power_beyond_limit_rejected(self):
+        pad = IoPad()
+        with pytest.raises(ValueError):
+            pad.power_at(pad.max_bit_rate() * 2)
+
+    def test_energy_per_bit_order_of_magnitude(self):
+        # Full-swing 2.5 V pad with a few pF: several pJ per bit.
+        assert 1e-12 < IoPad().energy_per_bit() < 100e-12
+
+    def test_switching_noise_scales_with_simultaneous_pads(self):
+        pad = IoPad()
+        rate = pad.max_bit_rate() / 4
+        assert pad.switching_noise(rate, simultaneous_pads=8) == pytest.approx(
+            8 * pad.switching_noise(rate, simultaneous_pads=1)
+        )
+        with pytest.raises(ValueError):
+            pad.switching_noise(rate, simultaneous_pads=0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PadConfig(pitch=10e-6, pad_width=70e-6)
+        with pytest.raises(ValueError):
+            PadConfig(pad_capacitance=0.0)
+
+
+class TestTsv:
+    def test_area_includes_keep_out(self):
+        via = ThroughSiliconVia(diameter=5e-6, keep_out=3e-6)
+        assert via.area > 3.14159 * (2.5e-6) ** 2
+
+    def test_energy_much_lower_than_pad(self):
+        assert ThroughSiliconVia().energy_per_bit() < IoPad().energy_per_bit() / 10
+
+    def test_bit_rate_fast(self):
+        assert ThroughSiliconVia().max_bit_rate() > 1e9
+
+    def test_stacked_costs_scale_with_span(self):
+        via = ThroughSiliconVia()
+        assert via.stacked_energy_per_bit(4) == pytest.approx(4 * via.energy_per_bit())
+        assert via.stacked_area(4) == pytest.approx(4 * via.area)
+        assert via.vias_for_span(3) == 3
+        with pytest.raises(ValueError):
+            via.vias_for_span(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThroughSiliconVia(diameter=0.0)
+        with pytest.raises(ValueError):
+            ThroughSiliconVia().rc_time_constant(0.0)

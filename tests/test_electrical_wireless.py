@@ -1,0 +1,120 @@
+"""Tests for the inductive/capacitive coupling baselines and the comparison table."""
+
+import pytest
+
+from repro.analysis.units import UM
+from repro.electrical.capacitive import CapacitiveCouplingLink
+from repro.electrical.comparison import (
+    InterconnectSummary,
+    compare_interconnects,
+    summarize_capacitive,
+    summarize_inductive,
+    summarize_pad,
+    summarize_tsv,
+)
+from repro.electrical.inductive import InductiveCouplingLink
+
+
+class TestInductiveCoupling:
+    def test_coupling_collapses_with_distance(self):
+        link = InductiveCouplingLink(coil_diameter=100 * UM)
+        assert link.coupling_coefficient(50 * UM) > link.coupling_coefficient(300 * UM)
+
+    def test_works_for_adjacent_dies_only(self):
+        """Ref [2]-style link closes across one thinned die but not a whole stack."""
+        link = InductiveCouplingLink()
+        assert link.link_works(60 * UM)
+        assert not link.link_works(1000 * UM)
+
+    def test_max_separation_consistent(self):
+        link = InductiveCouplingLink()
+        separation = link.max_separation()
+        assert link.link_works(separation * 0.99)
+        assert not link.link_works(separation * 1.05)
+
+    def test_no_broadcast(self):
+        assert not InductiveCouplingLink().supports_broadcast()
+
+    def test_energy_and_rate_positive(self):
+        link = InductiveCouplingLink()
+        assert link.energy_per_bit() > 0
+        assert link.max_bit_rate() > 1e9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InductiveCouplingLink(coil_diameter=0.0)
+        with pytest.raises(ValueError):
+            InductiveCouplingLink().coupling_coefficient(0.0)
+
+
+class TestCapacitiveCoupling:
+    def test_swing_decreases_with_gap(self):
+        link = CapacitiveCouplingLink()
+        assert link.received_swing(1 * UM) > link.received_swing(10 * UM)
+
+    def test_works_face_to_face_only(self):
+        link = CapacitiveCouplingLink()
+        assert link.link_works(2 * UM)
+        assert not link.link_works(100 * UM)
+
+    def test_max_gap_consistent(self):
+        link = CapacitiveCouplingLink()
+        gap = link.max_gap()
+        assert gap > 0
+        assert link.link_works(gap * 0.99)
+
+    def test_high_bandwidth_density(self):
+        assert CapacitiveCouplingLink().bandwidth_density() > 1e15  # bit/s per m^2
+
+    def test_no_broadcast(self):
+        assert not CapacitiveCouplingLink().supports_broadcast()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CapacitiveCouplingLink(plate_size=0.0)
+        with pytest.raises(ValueError):
+            CapacitiveCouplingLink().coupling_capacitance(0.0)
+        with pytest.raises(ValueError):
+            CapacitiveCouplingLink().max_bit_rate(0.0)
+
+
+class TestComparison:
+    def test_summaries_have_sane_fields(self):
+        for summary in (summarize_pad(), summarize_tsv(), summarize_inductive(), summarize_capacitive()):
+            assert summary.area > 0
+            assert summary.max_bit_rate > 0
+            assert summary.energy_per_bit >= 0
+            assert summary.bandwidth_per_area > 0
+
+    def test_none_of_the_baselines_supports_broadcast(self):
+        rows = compare_interconnects()
+        assert all(not row["broadcast"] for row in rows)
+
+    def test_optical_row_appended(self):
+        optical = InterconnectSummary(
+            name="optical PPM link", area=2e-9, max_bit_rate=1e9,
+            energy_per_bit=1e-12, supports_broadcast=True, max_chips=100,
+        )
+        rows = compare_interconnects(optical=optical, bit_rate=100e6)
+        assert rows[-1]["name"] == "optical PPM link"
+        assert rows[-1]["broadcast"] is True
+
+    def test_relative_metrics(self):
+        pad = summarize_pad()
+        optical = InterconnectSummary(
+            name="optical", area=pad.area / 4, max_bit_rate=1e9,
+            energy_per_bit=pad.energy_per_bit / 10, supports_broadcast=True,
+        )
+        assert optical.relative_area(pad) == pytest.approx(0.25)
+        assert optical.relative_energy(pad) == pytest.approx(0.1)
+
+    def test_power_at_clamps_to_max_rate(self):
+        summary = summarize_pad()
+        assert summary.power_at(1e15) == pytest.approx(summary.energy_per_bit * summary.max_bit_rate)
+        with pytest.raises(ValueError):
+            summary.power_at(-1.0)
+
+    def test_summary_validation(self):
+        with pytest.raises(ValueError):
+            InterconnectSummary(name="x", area=0.0, max_bit_rate=1.0, energy_per_bit=1.0,
+                                supports_broadcast=False)

@@ -1,0 +1,80 @@
+"""Tests for repro.modulation.framing."""
+
+import pytest
+
+from repro.modulation.framing import Frame, FrameSync, Preamble
+
+
+class TestPreamble:
+    def test_matches_and_correlation(self):
+        preamble = Preamble(symbols=(0, 3, 0, 3))
+        assert preamble.matches([0, 3, 0, 3])
+        assert not preamble.matches([0, 3, 0, 2])
+        assert preamble.correlation([0, 3, 0, 2]) == pytest.approx(0.75)
+
+    def test_correlation_length_check(self):
+        with pytest.raises(ValueError):
+            Preamble(symbols=(1, 2)).correlation([1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Preamble(symbols=())
+        with pytest.raises(ValueError):
+            Preamble(symbols=(-1, 2))
+
+
+class TestFrame:
+    def test_serialize_roundtrip(self):
+        frame = Frame(payload_bits=[1, 0, 1, 1, 0, 0, 1, 0, 1])
+        recovered = Frame.deserialize(frame.serialize())
+        assert recovered.payload_bits == frame.payload_bits
+
+    def test_checksum_detects_corruption(self):
+        frame = Frame(payload_bits=[1, 0] * 8)
+        bits = frame.serialize()
+        bits[Frame.LENGTH_FIELD_BITS] ^= 1  # flip a payload bit
+        with pytest.raises(ValueError):
+            Frame.deserialize(bits)
+
+    def test_truncated_stream_rejected(self):
+        frame = Frame(payload_bits=[1] * 20)
+        with pytest.raises(ValueError):
+            Frame.deserialize(frame.serialize()[:-10])
+        with pytest.raises(ValueError):
+            Frame.deserialize([0, 1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Frame(payload_bits=[])
+        with pytest.raises(ValueError):
+            Frame(payload_bits=[2])
+
+
+class TestFrameSync:
+    def test_finds_preamble_in_symbol_stream(self):
+        sync = FrameSync(Preamble(symbols=(0, 3, 0, 3, 2, 1)))
+        stream = [1, 2, 0, 3, 0, 3, 2, 1, 7, 7]
+        assert sync.find(stream) == 8
+
+    def test_returns_none_when_absent(self):
+        sync = FrameSync(Preamble(symbols=(0, 3, 0, 3)))
+        assert sync.find([1, 1, 1]) is None
+        assert sync.find([1, 1, 1, 1, 1, 1]) is None
+
+    def test_soft_threshold_tolerates_one_error(self):
+        sync = FrameSync(Preamble(symbols=(0, 3, 0, 3, 2, 1)), threshold=0.8)
+        stream = [0, 3, 0, 3, 2, 7, 5, 5]  # one corrupted preamble symbol
+        assert sync.find(stream) == 6
+
+    def test_frame_symbols_layout(self):
+        sync = FrameSync(Preamble(symbols=(0, 3)))
+        frame = Frame(payload_bits=[1, 0, 1, 1])
+        symbols = sync.frame_symbols(bits_per_symbol=2, frame=frame)
+        assert symbols[:2] == [0, 3]
+        assert all(0 <= s < 4 for s in symbols[2:])
+        with pytest.raises(ValueError):
+            sync.frame_symbols(0, frame)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            FrameSync(threshold=0.0)

@@ -1,0 +1,147 @@
+"""Tests for repro.noc.packet, topology and arbitration."""
+
+import pytest
+
+from repro.analysis.units import MM, UM
+from repro.noc.arbitration import RoundRobinArbiter, TdmaSchedule
+from repro.noc.packet import Packet
+from repro.noc.topology import NodeAddress, StackTopology
+from repro.photonics.stack import DieStack
+
+
+class TestPacket:
+    def test_serialize_roundtrip(self):
+        packet = Packet(source=3, destination=7, payload=[1, 0, 1, 1], sequence=42)
+        recovered = Packet.deserialize(packet.serialize())
+        assert recovered.source == 3
+        assert recovered.destination == 7
+        assert recovered.sequence == 42
+        assert recovered.payload == [1, 0, 1, 1]
+
+    def test_total_bits(self):
+        packet = Packet(source=0, destination=1, payload=[1] * 10)
+        assert packet.total_bits == 32 + 10
+
+    def test_broadcast_address(self):
+        packet = Packet.broadcast_packet(source=2, payload=[1, 0])
+        assert packet.is_broadcast
+        assert not Packet(source=0, destination=3, payload=[1]).is_broadcast
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Packet(source=-1, destination=0, payload=[1])
+        with pytest.raises(ValueError):
+            Packet(source=0, destination=256, payload=[1])
+        with pytest.raises(ValueError):
+            Packet(source=0, destination=0, payload=[])
+        with pytest.raises(ValueError):
+            Packet(source=0, destination=0, payload=[2])
+        with pytest.raises(ValueError):
+            Packet.deserialize([0, 1, 0])
+
+
+class TestTopology:
+    def test_node_layout(self):
+        topology = StackTopology(DieStack.uniform(count=4), nodes_per_die=4)
+        assert topology.node_count == 16
+        assert len(topology.nodes_on_die(2)) == 4
+        assert topology.node(0).die == 0
+        assert topology.node(15).die == 3
+
+    def test_dies_spanned_and_transmission(self):
+        topology = StackTopology(DieStack.uniform(count=6, wavelength=850e-9), nodes_per_die=1)
+        assert topology.dies_spanned(0, 5) == 5
+        assert topology.channel_transmission(0, 1) > topology.channel_transmission(0, 5)
+
+    def test_horizontal_distance(self):
+        topology = StackTopology(DieStack.uniform(count=1), nodes_per_die=4, die_size=10 * MM)
+        assert topology.horizontal_distance(0, 1) > 0
+        assert topology.horizontal_distance(0, 0) == 0.0
+
+    def test_worst_case_pair(self):
+        topology = StackTopology(DieStack.uniform(count=5), nodes_per_die=2)
+        bottom, top = topology.worst_case_pair()
+        assert topology.node(bottom).die == 0
+        assert topology.node(top).die == 4
+
+    def test_validation(self):
+        stack = DieStack.uniform(count=2)
+        with pytest.raises(ValueError):
+            StackTopology(stack, nodes_per_die=0)
+        topology = StackTopology(stack)
+        with pytest.raises(KeyError):
+            topology.node(99)
+        with pytest.raises(IndexError):
+            topology.nodes_on_die(9)
+        with pytest.raises(ValueError):
+            NodeAddress(die=-1)
+
+
+class TestTdmaSchedule:
+    def test_slot_ownership(self):
+        schedule = TdmaSchedule(owners=(0, 1, 2))
+        assert schedule.owner_of_slot(0) == 0
+        assert schedule.owner_of_slot(4) == 1
+        assert schedule.frame_length == 3
+
+    def test_share_and_slots(self):
+        schedule = TdmaSchedule(owners=(0, 1, 0, 2))
+        assert schedule.share_of(0) == pytest.approx(0.5)
+        assert schedule.slots_for(0) == [0, 2]
+
+    def test_next_slot_for(self):
+        schedule = TdmaSchedule(owners=(0, 1, 2, 1))
+        assert schedule.next_slot_for(1, from_slot=0) == 1
+        assert schedule.next_slot_for(1, from_slot=2) == 3
+        assert schedule.next_slot_for(0, from_slot=1) == 4
+        with pytest.raises(ValueError):
+            schedule.next_slot_for(9, from_slot=0)
+
+    def test_uniform_constructor(self):
+        schedule = TdmaSchedule.uniform(5)
+        assert schedule.frame_length == 5
+        assert all(schedule.share_of(node) == pytest.approx(0.2) for node in range(5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TdmaSchedule(owners=())
+        with pytest.raises(ValueError):
+            TdmaSchedule(owners=(0,)).owner_of_slot(-1)
+
+
+class TestRoundRobinArbiter:
+    def test_fair_rotation(self):
+        arbiter = RoundRobinArbiter(node_count=3)
+        for node in (0, 1, 2):
+            arbiter.request(node, f"pkt{node}")
+        grants = [arbiter.grant()[0] for _ in range(3)]
+        assert grants == [0, 1, 2]
+
+    def test_skips_idle_nodes(self):
+        arbiter = RoundRobinArbiter(node_count=4)
+        arbiter.request(2, "only")
+        node, item = arbiter.grant()
+        assert node == 2 and item == "only"
+        assert arbiter.grant() is None
+
+    def test_work_conserving_under_asymmetric_load(self):
+        arbiter = RoundRobinArbiter(node_count=2)
+        for index in range(4):
+            arbiter.request(0, index)
+        arbiter.request(1, "x")
+        order = [arbiter.grant()[0] for _ in range(5)]
+        assert order == [0, 1, 0, 0, 0]
+        assert arbiter.grants_issued == 5
+
+    def test_pending_count(self):
+        arbiter = RoundRobinArbiter(node_count=2)
+        arbiter.request(0, "a")
+        arbiter.request(0, "b")
+        assert arbiter.pending_count(0) == 2
+        assert arbiter.pending_count() == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(node_count=0)
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(node_count=1).request(5, "x")

@@ -1,0 +1,157 @@
+"""Tests for repro.photonics.channel, crosstalk and photon_stream."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.units import NM, UM
+from repro.photonics.channel import ChannelBudget, OpticalChannel
+from repro.photonics.crosstalk import CrosstalkModel
+from repro.photonics.photon_stream import (
+    PhotonPulse,
+    detection_probability,
+    photons_for_detection_probability,
+    poisson_photon_count,
+    pulse_arrival_times,
+)
+from repro.photonics.stack import DieStack
+from repro.simulation.randomness import RandomSource
+
+
+class TestChannelBudget:
+    def test_total_transmission_is_product(self):
+        budget = ChannelBudget(coupling=0.9, propagation=0.5, detector_capture=0.2)
+        assert budget.total_transmission == pytest.approx(0.09)
+        assert budget.total_loss_db == pytest.approx(10.46, rel=1e-2)
+
+    def test_breakdown_keys(self):
+        budget = ChannelBudget(coupling=1.0, propagation=1.0, detector_capture=1.0)
+        breakdown = budget.breakdown()
+        assert breakdown["total_db"] == pytest.approx(0.0)
+        assert set(breakdown) == {"coupling_db", "propagation_db", "detector_capture_db", "total_db"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChannelBudget(coupling=1.5, propagation=1.0, detector_capture=1.0)
+
+
+class TestOpticalChannel:
+    def test_vertical_channel_through_stack(self):
+        stack = DieStack.uniform(count=5, wavelength=850 * NM)
+        channel = OpticalChannel(stack=stack, source_layer=0, destination_layer=4)
+        assert 0 < channel.transmission() < 1
+        assert channel.path_length() == pytest.approx(sum(l.thickness for l in stack.layers[:4]))
+        assert channel.propagation_delay() > 0
+
+    def test_deeper_span_is_lossier(self):
+        stack = DieStack.uniform(count=8, wavelength=850 * NM)
+        near = OpticalChannel(stack=stack, source_layer=0, destination_layer=1)
+        far = OpticalChannel(stack=stack, source_layer=0, destination_layer=7)
+        assert far.transmission() < near.transmission()
+
+    def test_horizontal_channel(self):
+        channel = OpticalChannel(stack=None, horizontal_distance=1e-3)
+        assert 0 < channel.transmission() <= 1
+        assert channel.propagation_delay() == pytest.approx(1e-3 / 299792458.0)
+
+    def test_propagate_attenuates_and_delays(self):
+        stack = DieStack.uniform(count=3, wavelength=850 * NM)
+        channel = OpticalChannel(stack=stack, source_layer=0, destination_layer=2)
+        pulse = PhotonPulse(emission_time=0.0, duration=1e-9, mean_photons=1000.0, wavelength=850 * NM)
+        received = channel.propagate(pulse)
+        assert received.mean_photons < pulse.mean_photons
+        assert received.emission_time > 0.0
+
+    def test_required_photons_at_source(self):
+        stack = DieStack.uniform(count=4, wavelength=850 * NM)
+        channel = OpticalChannel(stack=stack, source_layer=0, destination_layer=3)
+        source_photons = channel.required_photons_at_source(50.0)
+        assert source_photons > 50.0
+        assert source_photons * channel.transmission() == pytest.approx(50.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OpticalChannel(source_diameter=0.0)
+        with pytest.raises(ValueError):
+            OpticalChannel(horizontal_distance=-1.0)
+        with pytest.raises(ValueError):
+            OpticalChannel(excess_loss=0.0)
+
+
+class TestCrosstalk:
+    def test_own_channel_beats_neighbours(self):
+        model = CrosstalkModel(channel_pitch=50e-6)
+        assert model.coupling(0.0) > model.nearest_neighbour_crosstalk()
+
+    def test_crosstalk_decreases_with_pitch(self):
+        tight = CrosstalkModel(channel_pitch=20e-6)
+        loose = CrosstalkModel(channel_pitch=100e-6)
+        assert loose.nearest_neighbour_crosstalk() <= tight.nearest_neighbour_crosstalk()
+
+    def test_matrix_shape_and_symmetry(self):
+        model = CrosstalkModel()
+        matrix = model.crosstalk_matrix(5)
+        assert matrix.shape == (5, 5)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_aggregate_interference_largest_in_the_middle(self):
+        model = CrosstalkModel(channel_pitch=25e-6)
+        edge = model.aggregate_interference(channels=9, victim=0)
+        middle = model.aggregate_interference(channels=9, victim=4)
+        assert middle >= edge
+
+    def test_minimum_pitch_for_isolation(self):
+        model = CrosstalkModel(floor=1e-8)
+        pitch = model.minimum_pitch_for_isolation(30.0)
+        assert model.coupling(pitch) == pytest.approx(1e-3, rel=0.05)
+        with pytest.raises(ValueError):
+            model.minimum_pitch_for_isolation(100.0)  # below the scattering floor
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrosstalkModel(channel_pitch=0.0)
+        with pytest.raises(ValueError):
+            CrosstalkModel().coupling(-1.0)
+
+
+class TestPhotonStream:
+    def test_pulse_energy_consistency(self):
+        pulse = PhotonPulse(emission_time=0.0, duration=1e-9, mean_photons=100.0, wavelength=650 * NM)
+        assert pulse.mean_energy == pytest.approx(100.0 * 3.06e-19, rel=0.01)
+
+    def test_attenuated(self):
+        pulse = PhotonPulse(0.0, 1e-9, 100.0, 650 * NM)
+        assert pulse.attenuated(0.1).mean_photons == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            pulse.attenuated(2.0)
+
+    def test_poisson_count_statistics(self):
+        source = RandomSource(0)
+        counts = [poisson_photon_count(20.0, source) for _ in range(2000)]
+        assert np.mean(counts) == pytest.approx(20.0, rel=0.05)
+
+    def test_arrival_times_within_pulse(self):
+        pulse = PhotonPulse(emission_time=5e-9, duration=1e-9, mean_photons=50.0, wavelength=650 * NM)
+        times = pulse_arrival_times(pulse, RandomSource(1))
+        assert np.all((times >= 5e-9) & (times < 6e-9))
+        assert np.all(np.diff(times) >= 0)
+
+    def test_arrival_times_with_explicit_count(self):
+        pulse = PhotonPulse(0.0, 1e-9, 5.0, 650 * NM)
+        assert pulse_arrival_times(pulse, RandomSource(2), count=7).size == 7
+        assert pulse_arrival_times(pulse, RandomSource(2), count=0).size == 0
+
+    def test_detection_probability_formula(self):
+        assert detection_probability(0.0, 0.3) == 0.0
+        assert detection_probability(10.0, 0.3) == pytest.approx(1 - math.exp(-3.0))
+        with pytest.raises(ValueError):
+            detection_probability(-1.0, 0.3)
+        with pytest.raises(ValueError):
+            detection_probability(1.0, 1.5)
+
+    def test_photons_for_detection_probability_inverse(self):
+        photons = photons_for_detection_probability(0.999, 0.25)
+        assert detection_probability(photons, 0.25) == pytest.approx(0.999)
+        with pytest.raises(ValueError):
+            photons_for_detection_probability(1.0, 0.25)

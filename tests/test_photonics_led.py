@@ -1,0 +1,93 @@
+"""Tests for repro.photonics.led and driver."""
+
+import pytest
+
+from repro.analysis.units import NS, PS
+from repro.photonics.driver import LedDriver, LedDriverConfig
+from repro.photonics.led import MicroLed, MicroLedConfig
+
+
+class TestMicroLed:
+    def test_no_emission_below_threshold(self):
+        led = MicroLed()
+        assert led.optical_power(0.0) == 0.0
+        assert led.optical_power(led.config.threshold_current) == 0.0
+
+    def test_linear_above_threshold(self):
+        led = MicroLed(MicroLedConfig(threshold_current=1e-3, slope_efficiency=0.1,
+                                      extraction_efficiency=1.0))
+        assert led.optical_power(2e-3) == pytest.approx(0.1 * 1e-3)
+        assert led.optical_power(3e-3) == pytest.approx(0.1 * 2e-3)
+
+    def test_saturates_at_max_current(self):
+        led = MicroLed()
+        assert led.optical_power(1.0) == led.optical_power(led.config.max_current)
+
+    def test_pulse_energy_and_photons(self):
+        led = MicroLed()
+        energy = led.pulse_energy(10e-3, 1 * NS)
+        photons = led.photons_per_pulse(10e-3, 1 * NS)
+        assert energy > 0
+        assert photons > 1e3  # a bright sub-ns pulse carries many thousands of photons
+
+    def test_current_for_photons_roundtrip(self):
+        led = MicroLed()
+        current = led.current_for_photons(5000.0, 500 * PS)
+        assert led.photons_per_pulse(current, 500 * PS) == pytest.approx(5000.0, rel=1e-6)
+
+    def test_current_for_photons_can_exceed_rating(self):
+        led = MicroLed()
+        with pytest.raises(ValueError):
+            led.current_for_photons(1e12, 100 * PS)
+
+    def test_pulse_shape_peaks_at_drive_power(self):
+        led = MicroLed()
+        shape = led.pulse_shape(10e-3, 1 * NS, points=50)
+        assert shape.max() == pytest.approx(led.optical_power(10e-3))
+        assert shape[0] == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroLedConfig(wavelength=0.0)
+        with pytest.raises(ValueError):
+            MicroLedConfig(max_current=0.1e-3, threshold_current=0.2e-3)
+        with pytest.raises(ValueError):
+            MicroLed().pulse_energy(1e-3, 0.0)
+        with pytest.raises(ValueError):
+            MicroLed().optical_power(-1.0)
+
+
+class TestLedDriver:
+    def test_switched_capacitance_includes_chain_and_load(self):
+        driver = LedDriver(LedDriverConfig(load_capacitance=100e-15, stage_capacitance=1e-15,
+                                           stage_count=3, taper=2.0))
+        assert driver.switched_capacitance() == pytest.approx(100e-15 + 7e-15)
+
+    def test_energy_per_pulse_components(self):
+        driver = LedDriver()
+        switching = driver.switching_energy_per_pulse()
+        total = driver.energy_per_pulse(5e-3, 300 * PS)
+        assert total > switching
+
+    def test_average_power_scales_with_rate(self):
+        driver = LedDriver()
+        slow = driver.average_power(5e-3, 300 * PS, 1e6)
+        fast = driver.average_power(5e-3, 300 * PS, 1e8)
+        assert fast > slow
+        assert slow >= driver.config.leakage_power
+
+    def test_energy_per_bit_improves_with_ppm_order(self):
+        driver = LedDriver()
+        assert driver.energy_per_bit(5e-3, 300 * PS, bits_per_pulse=8) < driver.energy_per_bit(
+            5e-3, 300 * PS, bits_per_pulse=1
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LedDriverConfig(supply_voltage=0.0)
+        with pytest.raises(ValueError):
+            LedDriver().energy_per_bit(1e-3, 1 * NS, 0)
+        with pytest.raises(ValueError):
+            LedDriver().average_power(1e-3, 1 * NS, -1.0)
+        with pytest.raises(ValueError):
+            LedDriver().conduction_energy_per_pulse(-1.0, 1 * NS)

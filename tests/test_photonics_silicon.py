@@ -1,0 +1,79 @@
+"""Tests for repro.photonics.silicon."""
+
+import pytest
+
+from repro.analysis.units import NM, UM
+from repro.photonics.silicon import (
+    SiliconAbsorption,
+    fresnel_interface_transmission,
+    silicon_absorption_coefficient,
+)
+
+
+class TestAbsorptionCoefficient:
+    def test_monotone_decrease_with_wavelength(self):
+        assert (
+            silicon_absorption_coefficient(450 * NM)
+            > silicon_absorption_coefficient(650 * NM)
+            > silicon_absorption_coefficient(850 * NM)
+            > silicon_absorption_coefficient(1050 * NM)
+        )
+
+    def test_order_of_magnitude_at_850nm(self):
+        # Standard tabulations put alpha(850 nm) around 5e4 1/m (1/e depth ~18 um).
+        alpha = silicon_absorption_coefficient(850 * NM)
+        assert 2e4 < alpha < 2e5
+
+    def test_clamps_out_of_range(self):
+        assert silicon_absorption_coefficient(2000 * NM) == silicon_absorption_coefficient(1100 * NM)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            silicon_absorption_coefficient(0.0)
+
+
+class TestSlabTransmission:
+    def test_thin_die_transmits_more_than_thick(self):
+        slab = SiliconAbsorption(wavelength=850 * NM)
+        assert slab.transmission(10 * UM) > slab.transmission(50 * UM)
+
+    def test_zero_thickness_is_transparent(self):
+        assert SiliconAbsorption(wavelength=650 * NM).transmission(0.0) == pytest.approx(1.0)
+
+    def test_nir_penetrates_farther_than_blue(self):
+        assert (
+            SiliconAbsorption(wavelength=850 * NM).penetration_depth()
+            > SiliconAbsorption(wavelength=450 * NM).penetration_depth()
+        )
+
+    def test_temperature_increases_absorption(self):
+        slab = SiliconAbsorption(wavelength=850 * NM)
+        assert slab.transmission(25 * UM, temperature=100.0) < slab.transmission(25 * UM, temperature=27.0)
+
+    def test_max_thickness_inverse_of_transmission(self):
+        slab = SiliconAbsorption(wavelength=850 * NM)
+        thickness = slab.max_thickness_for_transmission(0.5)
+        assert slab.transmission(thickness) == pytest.approx(0.5, rel=1e-6)
+        with pytest.raises(ValueError):
+            slab.max_thickness_for_transmission(1.5)
+
+    def test_negative_thickness_rejected(self):
+        with pytest.raises(ValueError):
+            SiliconAbsorption(wavelength=850 * NM).transmission(-1.0)
+
+
+class TestFresnel:
+    def test_silicon_air_interface_loses_about_30_percent(self):
+        assert fresnel_interface_transmission(1.0, 3.5) == pytest.approx(0.69, abs=0.02)
+
+    def test_matched_indices_are_lossless(self):
+        assert fresnel_interface_transmission(1.5, 1.5) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        assert fresnel_interface_transmission(1.0, 3.5) == pytest.approx(
+            fresnel_interface_transmission(3.5, 1.0)
+        )
+
+    def test_rejects_nonpositive_indices(self):
+        with pytest.raises(ValueError):
+            fresnel_interface_transmission(0.0, 1.0)

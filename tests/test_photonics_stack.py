@@ -1,0 +1,113 @@
+"""Tests for repro.photonics.stack and microoptics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.units import NM, UM
+from repro.photonics.microoptics import MicroLens, coupling_efficiency
+from repro.photonics.stack import DieLayer, DieStack
+
+
+class TestDieLayer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DieLayer(name="", thickness=25 * UM)
+        with pytest.raises(ValueError):
+            DieLayer(name="die", thickness=0.0)
+        with pytest.raises(ValueError):
+            DieLayer(name="die", interface_transmission=0.0)
+
+
+class TestDieStack:
+    def test_uniform_constructor(self):
+        stack = DieStack.uniform(count=5, thickness=20 * UM)
+        assert stack.die_count == 5
+        assert stack.total_thickness() == pytest.approx(100 * UM)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            DieStack([DieLayer(name="a"), DieLayer(name="a")])
+        with pytest.raises(ValueError):
+            DieStack([])
+
+    def test_layer_index_lookup(self):
+        stack = DieStack([DieLayer(name="cpu"), DieLayer(name="mem")])
+        assert stack.layer_index("mem") == 1
+        with pytest.raises(KeyError):
+            stack.layer_index("gpu")
+
+    def test_adjacent_dies_have_no_intermediate_absorption(self):
+        stack = DieStack.uniform(count=4, wavelength=850 * NM)
+        adjacent = stack.transmission(0, 1)
+        far = stack.transmission(0, 3)
+        assert far < adjacent
+        # Adjacent transmission only pays the end-face Fresnel losses.
+        assert adjacent == pytest.approx(stack.transmission(2, 3))
+
+    def test_transmission_symmetric_and_self_unity(self):
+        stack = DieStack.uniform(count=6)
+        assert stack.transmission(1, 4) == pytest.approx(stack.transmission(4, 1))
+        assert stack.transmission(2, 2) == 1.0
+
+    def test_transmission_profile_monotone_from_source(self):
+        stack = DieStack.uniform(count=8, wavelength=850 * NM)
+        profile = stack.transmission_profile(source=0)
+        assert profile[0] == 1.0
+        assert np.all(np.diff(profile[1:]) <= 0)
+
+    def test_longer_wavelength_transmits_deeper(self):
+        red = DieStack.uniform(count=10, wavelength=650 * NM)
+        nir = DieStack.uniform(count=10, wavelength=950 * NM)
+        assert nir.worst_case_transmission() > red.worst_case_transmission()
+
+    def test_thinner_dies_transmit_deeper(self):
+        thin = DieStack.uniform(count=10, thickness=10 * UM, wavelength=850 * NM)
+        thick = DieStack.uniform(count=10, thickness=50 * UM, wavelength=850 * NM)
+        assert thin.worst_case_transmission() > thick.worst_case_transmission()
+
+    def test_max_reachable_dies_consistent_with_transmission(self):
+        stack = DieStack.uniform(count=2, thickness=10 * UM, wavelength=1050 * NM)
+        depth = stack.max_reachable_dies(minimum_transmission=1e-3)
+        assert depth >= 2
+        probe = DieStack.uniform(count=depth, thickness=10 * UM, wavelength=1050 * NM)
+        assert probe.worst_case_transmission() >= 1e-3 * 0.5  # within a die of the threshold
+
+    def test_index_bounds(self):
+        stack = DieStack.uniform(count=3)
+        with pytest.raises(IndexError):
+            stack.transmission(0, 5)
+        with pytest.raises(IndexError):
+            stack.layer_transmission(9)
+
+
+class TestMicroOptics:
+    def test_numerical_aperture(self):
+        lens = MicroLens(diameter=30e-6, focal_length=60e-6)
+        assert lens.numerical_aperture == pytest.approx(math.sin(math.atan(0.25)), rel=1e-6)
+
+    def test_lens_improves_coupling_at_distance(self):
+        without = coupling_efficiency(10e-6, 8e-6, distance=500e-6, lens=None)
+        with_lens = coupling_efficiency(10e-6, 8e-6, distance=500e-6, lens=MicroLens())
+        assert with_lens > without
+
+    def test_coupling_decreases_with_distance(self):
+        near = coupling_efficiency(10e-6, 8e-6, distance=10e-6)
+        far = coupling_efficiency(10e-6, 8e-6, distance=1000e-6)
+        assert far < near <= 1.0
+
+    def test_zero_distance_capped_at_unity(self):
+        assert coupling_efficiency(5e-6, 50e-6, distance=0.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            coupling_efficiency(0.0, 8e-6, 10e-6)
+        with pytest.raises(ValueError):
+            coupling_efficiency(10e-6, 8e-6, -1.0)
+        with pytest.raises(ValueError):
+            coupling_efficiency(10e-6, 8e-6, 1e-6, emission_half_angle=2.0)
+        with pytest.raises(ValueError):
+            MicroLens(diameter=0.0)
+        with pytest.raises(ValueError):
+            MicroLens().collimation_half_angle(0.0)

@@ -1,0 +1,148 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.units import PS
+from repro.core.throughput import (
+    bits_per_symbol,
+    detection_cycle,
+    measurement_window,
+    throughput,
+)
+from repro.modulation.error_correction import HammingSecDed
+from repro.modulation.ppm import PpmCodec
+from repro.modulation.scrambler import MultiplicativeScrambler
+from repro.modulation.symbols import SlotGrid, bits_to_int, int_to_bits
+from repro.simulation.events import EventQueue
+from repro.tdc.coarse_counter import CoarseCounter
+from repro.tdc.nonlinearity import compute_dnl_inl
+from repro.tdc.thermometer import binary_to_thermometer, majority_filter, thermometer_to_binary
+
+
+# --------------------------------------------------------------------------- bits
+@given(value=st.integers(min_value=0, max_value=2 ** 16 - 1), width=st.integers(16, 24))
+def test_bit_roundtrip(value, width):
+    assert bits_to_int(int_to_bits(value, width)) == value
+
+
+@given(bits=st.lists(st.integers(0, 1), min_size=1, max_size=32))
+def test_bits_to_int_bounded(bits):
+    assert 0 <= bits_to_int(bits) < 2 ** len(bits)
+
+
+# --------------------------------------------------------------------- thermometer
+@given(value=st.integers(0, 64), length=st.just(64))
+def test_thermometer_roundtrip(value, length):
+    assert thermometer_to_binary(binary_to_thermometer(value, length)) == value
+
+
+@given(value=st.integers(0, 32))
+def test_majority_filter_idempotent_on_clean_codes(value):
+    code = binary_to_thermometer(value, 32)
+    assert np.array_equal(majority_filter(code), code)
+
+
+# ----------------------------------------------------------------------------- PPM
+@given(bits=st.lists(st.integers(0, 1), min_size=4, max_size=40).filter(lambda b: len(b) % 4 == 0))
+def test_ppm_encode_decode_roundtrip(bits):
+    codec = PpmCodec(SlotGrid(bits_per_symbol=4, slot_duration=1e-9, guard_time=8e-9))
+    symbols = codec.encode_bits(bits)
+    decoded = codec.decode_stream([symbol.pulse_time for symbol in symbols])
+    assert decoded == list(bits)
+
+
+@given(value=st.integers(0, 255))
+def test_ppm_pulse_time_within_data_window(value):
+    grid = SlotGrid(bits_per_symbol=8, slot_duration=0.5e-9, guard_time=4e-9)
+    codec = PpmCodec(grid)
+    symbol = codec.encode_value(value)
+    assert 0 <= symbol.pulse_time < grid.data_window
+
+
+# ----------------------------------------------------------------- scrambler / FEC
+@given(bits=st.lists(st.integers(0, 1), min_size=1, max_size=200), state=st.integers(0, 127))
+def test_scrambler_roundtrip(bits, state):
+    scrambler = MultiplicativeScrambler()
+    assert scrambler.descramble(scrambler.scramble(bits, state), state) == bits
+
+
+@given(
+    data=st.lists(st.integers(0, 1), min_size=8, max_size=8),
+    error_position=st.integers(0, 12),
+)
+def test_hamming_corrects_any_single_error(data, error_position):
+    code = HammingSecDed()
+    codeword = code.encode_block(data)
+    codeword[error_position] ^= 1
+    assert code.decode_block(codeword).data_bits == data
+
+
+# ------------------------------------------------------------------ paper equations
+@given(
+    n=st.sampled_from([4, 8, 16, 32, 64, 96, 128, 256]),
+    c=st.integers(0, 8),
+    delta=st.floats(min_value=10e-12, max_value=200e-12),
+)
+def test_throughput_equation_invariants(n, c, delta):
+    mw = measurement_window(n, c, delta)
+    dc = detection_cycle(n, c, delta)
+    tp = throughput(n, c, delta)
+    # MW always exceeds DC by exactly one fine range.
+    assert mw - dc == pytest.approx(n * delta)
+    # Throughput times the window recovers the bits per symbol.
+    assert tp * mw == pytest.approx(bits_per_symbol(n, c))
+    # All quantities are positive.
+    assert mw > 0 and dc > 0 and tp > 0
+
+
+@given(
+    n=st.sampled_from([8, 16, 32, 64]),
+    c=st.integers(0, 6),
+    delta=st.floats(min_value=20e-12, max_value=100e-12),
+)
+def test_throughput_decreases_when_range_extended(n, c, delta):
+    assert throughput(n, c + 1, delta) <= throughput(n, c, delta) + 1e-9
+
+
+# -------------------------------------------------------------------- coarse counter
+@given(
+    arrival=st.floats(min_value=0.0, max_value=75e-9),
+    bits=st.integers(1, 5),
+)
+def test_coarse_split_reconstruct_roundtrip(arrival, bits):
+    counter = CoarseCounter(clock_frequency=200e6, bits=bits)
+    if arrival >= counter.full_range:
+        return
+    # Arrivals within float noise of a clock edge are legitimately ambiguous
+    # (they may be attributed to either adjacent period); skip that measure-zero set.
+    phase = arrival % counter.period
+    if min(phase, counter.period - phase) < 1e-12:
+        return
+    code, residual = counter.split(arrival)
+    assert 0 <= code < counter.modulus
+    assert 0 < residual <= counter.period
+    assert counter.reconstruct(code, residual) == pytest.approx(arrival, abs=1e-15)
+
+
+# ----------------------------------------------------------------------- DNL / INL
+@given(counts=st.lists(st.integers(0, 1000), min_size=2, max_size=200).filter(lambda c: sum(c) > 0))
+def test_dnl_properties(counts):
+    dnl, inl = compute_dnl_inl(counts)
+    # DNL averages to zero by construction and is bounded below by -1.
+    assert np.mean(dnl) == pytest.approx(0.0, abs=1e-9)
+    assert np.all(dnl >= -1.0)
+    # INL is the cumulative sum of DNL.
+    assert inl[-1] == pytest.approx(np.sum(dnl))
+
+
+# ----------------------------------------------------------------------- event queue
+@given(times=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=50))
+def test_event_queue_pops_sorted(times):
+    queue = EventQueue()
+    for t in times:
+        queue.push(t)
+    popped = [queue.pop().time for _ in range(len(times))]
+    assert popped == sorted(popped)

@@ -1,0 +1,134 @@
+"""Tests for repro.simulation.engine and process."""
+
+import pytest
+
+from repro.simulation.engine import Simulator
+from repro.simulation.events import Event
+from repro.simulation.process import Process, ProcessState
+
+
+class Ticker(Process):
+    """Schedules a tick every `interval` seconds and records the times."""
+
+    def __init__(self, name: str, interval: float, limit: int = 10) -> None:
+        super().__init__(name)
+        self.interval = interval
+        self.limit = limit
+        self.ticks = []
+
+    def on_start(self) -> None:
+        self.schedule(self.interval, kind="tick")
+
+    def on_event(self, event: Event) -> None:
+        self.ticks.append(event.time)
+        if len(self.ticks) < self.limit:
+            self.schedule(self.interval, kind="tick")
+
+
+class TestSimulatorBasics:
+    def test_time_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_delivers_events_in_order(self):
+        sim = Simulator()
+        seen = []
+        sim.add_hook(lambda event: seen.append(event.kind))
+        sim.schedule(2.0, kind="b")
+        sim.schedule(1.0, kind="a")
+        sim.run()
+        assert seen == ["a", "b"]
+        assert sim.now == 2.0
+
+    def test_run_until_limit(self):
+        sim = Simulator()
+        ticker = Ticker("t", interval=1.0, limit=100)
+        sim.add_process(ticker)
+        sim.run(until=5.5)
+        assert len(ticker.ticks) == 5
+        assert sim.now == 5.5
+
+    def test_end_time_constructor_limit(self):
+        sim = Simulator(end_time=3.0)
+        ticker = Ticker("t", interval=1.0, limit=100)
+        sim.add_process(ticker)
+        sim.run()
+        assert len(ticker.ticks) == 3
+
+    def test_max_events_safety_valve(self):
+        sim = Simulator()
+        ticker = Ticker("t", interval=1.0, limit=10_000)
+        sim.add_process(ticker)
+        delivered = sim.run(max_events=7)
+        assert delivered == 7
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, kind="x")
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5)
+
+    def test_cancel_prevents_delivery(self):
+        sim = Simulator()
+        seen = []
+        sim.add_hook(lambda event: seen.append(event.kind))
+        event = sim.schedule(1.0, kind="cancelled")
+        sim.schedule(2.0, kind="kept")
+        sim.cancel(event)
+        sim.run()
+        assert seen == ["kept"]
+
+
+class TestProcessLifecycle:
+    def test_duplicate_names_rejected(self):
+        sim = Simulator()
+        sim.add_process(Ticker("same", 1.0))
+        with pytest.raises(ValueError):
+            sim.add_process(Ticker("same", 1.0))
+
+    def test_on_start_called_once(self):
+        sim = Simulator()
+        ticker = Ticker("t", interval=1.0, limit=3)
+        sim.add_process(ticker)
+        sim.run(until=1.0)
+        sim.run(until=3.0)
+        assert len(ticker.ticks) == 3
+
+    def test_finish_transitions_state(self):
+        sim = Simulator()
+        ticker = Ticker("t", interval=1.0, limit=1)
+        sim.add_process(ticker)
+        sim.run()
+        assert ticker.state is ProcessState.RUNNING
+        sim.finish()
+        assert ticker.state is ProcessState.STOPPED
+
+    def test_unbound_process_properties_raise(self):
+        process = Process("lonely")
+        with pytest.raises(RuntimeError):
+            _ = process.simulator
+
+    def test_rebinding_to_other_simulator_rejected(self):
+        process = Ticker("t", 1.0)
+        Simulator().add_process(process)
+        with pytest.raises(RuntimeError):
+            Simulator().add_process(process)
+
+    def test_target_must_be_registered(self):
+        sim = Simulator()
+        stranger = Ticker("stranger", 1.0)
+        with pytest.raises(ValueError):
+            sim.schedule(1.0, target=stranger)
+
+    def test_process_lookup(self):
+        sim = Simulator()
+        ticker = sim.add_process(Ticker("t", 1.0))
+        assert sim.process("t") is ticker
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Process("")

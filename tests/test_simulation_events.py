@@ -1,0 +1,81 @@
+"""Tests for repro.simulation.events."""
+
+import pytest
+
+from repro.simulation.events import Event, EventQueue
+
+
+class TestEventOrdering:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push(3.0, kind="c")
+        queue.push(1.0, kind="a")
+        queue.push(2.0, kind="b")
+        assert [queue.pop().kind for _ in range(3)] == ["a", "b", "c"]
+
+    def test_ties_broken_by_priority_then_insertion(self):
+        queue = EventQueue()
+        queue.push(1.0, kind="late", priority=1)
+        queue.push(1.0, kind="early", priority=0)
+        queue.push(1.0, kind="later", priority=1)
+        assert queue.pop().kind == "early"
+        assert queue.pop().kind == "late"
+        assert queue.pop().kind == "later"
+
+    def test_negative_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.push(-1.0)
+
+
+class TestQueueOperations:
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(1.0)
+        assert queue
+        assert len(queue) == 1
+
+    def test_peek_does_not_remove(self):
+        queue = EventQueue()
+        queue.push(1.0, kind="x")
+        assert queue.peek().kind == "x"
+        assert len(queue) == 1
+
+    def test_peek_empty_returns_none(self):
+        assert EventQueue().peek() is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_cancellation(self):
+        queue = EventQueue()
+        keep = queue.push(1.0, kind="keep")
+        cancel = queue.push(0.5, kind="cancel")
+        queue.cancel(cancel)
+        assert len(queue) == 1
+        assert queue.pop().kind == "keep"
+
+    def test_cancel_after_peek_cleanup(self):
+        queue = EventQueue()
+        cancelled = queue.push(0.5, kind="cancel")
+        queue.push(1.0, kind="keep")
+        queue.cancel(cancelled)
+        assert queue.peek().kind == "keep"
+
+    def test_drain_consumes_everything(self):
+        queue = EventQueue()
+        for t in (3.0, 1.0, 2.0):
+            queue.push(t)
+        times = [event.time for event in queue.drain()]
+        assert times == [1.0, 2.0, 3.0]
+        assert not queue
+
+    def test_payload_not_compared(self):
+        queue = EventQueue()
+        queue.push(1.0, payload={"unorderable": object()})
+        queue.push(1.0, payload={"other": object()})
+        assert len(queue) == 2
+        queue.pop()
+        queue.pop()

@@ -1,0 +1,74 @@
+"""Tests for repro.simulation.montecarlo."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.montecarlo import MonteCarloResult, MonteCarloRunner
+
+
+class TestMonteCarloRunner:
+    def test_reproducible(self):
+        runner = MonteCarloRunner(seed=1)
+        first = runner.run(lambda source: source.uniform(), trials=20)
+        second = MonteCarloRunner(seed=1).run(lambda source: source.uniform(), trials=20)
+        assert np.array_equal(first.samples, second.samples)
+
+    def test_trials_are_independent(self):
+        runner = MonteCarloRunner(seed=1)
+        result = runner.run(lambda source: source.uniform(), trials=50)
+        assert len(set(result.samples.tolist())) == 50
+
+    def test_mean_of_uniform(self):
+        runner = MonteCarloRunner(seed=2)
+        result = runner.run(lambda source: source.uniform(), trials=2000)
+        assert result.mean == pytest.approx(0.5, abs=0.03)
+        assert 0.0 <= result.minimum <= result.maximum <= 1.0
+
+    def test_metadata_collection(self):
+        runner = MonteCarloRunner(seed=3)
+        result = runner.run(lambda source: (1.0, {"tag": "x"}), trials=4)
+        assert result.trials == 4
+        assert all(entry == {"tag": "x"} for entry in result.metadata)
+
+    def test_progress_callback(self):
+        seen = []
+        runner = MonteCarloRunner(seed=0)
+        runner.run(lambda source: 1.0, trials=5, progress=lambda i, v: seen.append(i))
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            MonteCarloRunner().run(lambda source: 1.0, trials=0)
+
+    def test_estimate_probability(self):
+        runner = MonteCarloRunner(seed=4)
+        estimate = runner.estimate_probability(lambda source: source.uniform() < 0.25, trials=3000)
+        assert estimate == pytest.approx(0.25, abs=0.03)
+
+    def test_sweep_runs_each_parameter(self):
+        runner = MonteCarloRunner(seed=5)
+        results = runner.sweep(
+            lambda scale: (lambda source: scale * source.uniform()),
+            parameter_values=[1.0, 2.0],
+            trials_per_point=200,
+        )
+        assert set(results) == {1.0, 2.0}
+        assert results[2.0].mean == pytest.approx(2 * results[1.0].mean, rel=0.2)
+
+
+class TestMonteCarloResult:
+    def test_statistics(self):
+        result = MonteCarloResult(samples=np.array([1.0, 2.0, 3.0]))
+        assert result.mean == pytest.approx(2.0)
+        assert result.std == pytest.approx(1.0)
+        assert result.standard_error() == pytest.approx(1.0 / np.sqrt(3))
+        assert result.percentile(50) == pytest.approx(2.0)
+
+    def test_single_sample_std_zero(self):
+        result = MonteCarloResult(samples=np.array([5.0]))
+        assert result.std == 0.0
+
+    def test_empty_raises(self):
+        result = MonteCarloResult(samples=np.array([]))
+        with pytest.raises(ValueError):
+            _ = result.mean

@@ -1,0 +1,99 @@
+"""Tests for repro.simulation.randomness."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.randomness import RandomSource, split_seed
+
+
+class TestSplitSeed:
+    def test_deterministic(self):
+        assert split_seed(1, "a") == split_seed(1, "a")
+
+    def test_labels_give_different_streams(self):
+        assert split_seed(1, "a") != split_seed(1, "b")
+
+    def test_seeds_give_different_streams(self):
+        assert split_seed(1, "a") != split_seed(2, "a")
+
+
+class TestRandomSource:
+    def test_reproducible_for_same_seed(self):
+        a = RandomSource(42)
+        b = RandomSource(42)
+        assert a.uniform() == b.uniform()
+        assert a.normal(0, 1) == b.normal(0, 1)
+
+    def test_spawn_independent_but_deterministic(self):
+        a = RandomSource(42).spawn("child")
+        b = RandomSource(42).spawn("child")
+        c = RandomSource(42).spawn("other")
+        assert a.uniform() == b.uniform()
+        assert RandomSource(42).spawn("child").uniform() != c.uniform()
+
+    def test_bernoulli_extremes(self):
+        source = RandomSource(0)
+        assert source.bernoulli(1.0) is True
+        assert source.bernoulli(0.0) is False
+        with pytest.raises(ValueError):
+            source.bernoulli(1.5)
+
+    def test_truncated_normal_respects_bounds(self):
+        source = RandomSource(0)
+        for _ in range(100):
+            value = source.truncated_normal(0.0, 1.0, -0.5, 0.5)
+            assert -0.5 <= value <= 0.5
+        with pytest.raises(ValueError):
+            source.truncated_normal(0.0, 1.0, 1.0, -1.0)
+
+    def test_exponential_positive_and_validated(self):
+        source = RandomSource(0)
+        assert source.exponential(1e6) > 0
+        with pytest.raises(ValueError):
+            source.exponential(0.0)
+
+    def test_poisson_mean(self):
+        source = RandomSource(0)
+        draws = [source.poisson(5.0) for _ in range(2000)]
+        assert np.mean(draws) == pytest.approx(5.0, rel=0.05)
+        with pytest.raises(ValueError):
+            source.poisson(-1.0)
+
+    def test_choice(self):
+        source = RandomSource(0)
+        assert source.choice(["only"]) == "only"
+        assert source.choice(["a", "b"]) in ("a", "b")
+        with pytest.raises(ValueError):
+            source.choice([])
+
+    def test_integers_scalar_and_array(self):
+        source = RandomSource(0)
+        value = source.integers(0, 10)
+        assert isinstance(value, int) and 0 <= value < 10
+        array = source.integers(0, 10, size=5)
+        assert array.shape == (5,)
+
+    def test_normal_array_negative_std_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSource(0).normal_array(0.0, -1.0, 5)
+
+
+class TestPoissonArrivals:
+    def test_rate_matches_expectation(self):
+        source = RandomSource(3)
+        times = source.poisson_arrival_times(rate=1e6, duration=1e-3)
+        assert times.size == pytest.approx(1000, rel=0.15)
+        assert np.all(np.diff(times) >= 0)
+        assert np.all((times >= 0) & (times < 1e-3))
+
+    def test_zero_rate_or_duration(self):
+        source = RandomSource(0)
+        assert source.poisson_arrival_times(0.0, 1.0).size == 0
+        assert source.poisson_arrival_times(1e6, 0.0).size == 0
+
+    def test_negative_inputs_rejected(self):
+        source = RandomSource(0)
+        with pytest.raises(ValueError):
+            source.poisson_arrival_times(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            source.poisson_arrival_times(1.0, -1.0)

@@ -1,0 +1,70 @@
+"""Tests for repro.simulation.recorder."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.engine import Simulator
+from repro.simulation.recorder import TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_record_and_query(self):
+        recorder = TraceRecorder()
+        recorder.record(1.0, "spad_fire", "photon")
+        recorder.record(2.0, "spad_fire", "dark")
+        recorder.record(1.5, "clock")
+        assert len(recorder) == 3
+        assert recorder.kinds() == ["spad_fire", "clock"]
+        assert recorder.values("spad_fire") == ["photon", "dark"]
+        assert list(recorder.times("spad_fire")) == [1.0, 2.0]
+
+    def test_count_window(self):
+        recorder = TraceRecorder()
+        for t in (0.5, 1.5, 2.5):
+            recorder.record(t, "hit")
+        assert recorder.count("hit", start=1.0, end=3.0) == 2
+        assert recorder.count("hit") == 3
+
+    def test_intervals(self):
+        recorder = TraceRecorder()
+        for t in (1.0, 3.0, 6.0):
+            recorder.record(t, "hit")
+        assert list(recorder.intervals("hit")) == [2.0, 3.0]
+        assert recorder.intervals("missing").size == 0
+
+    def test_rate_with_explicit_duration(self):
+        recorder = TraceRecorder()
+        for t in np.linspace(0, 0.9, 10):
+            recorder.record(float(t), "hit")
+        assert recorder.rate("hit", duration=1.0) == pytest.approx(10.0)
+
+    def test_rate_inferred_duration(self):
+        recorder = TraceRecorder()
+        recorder.record(0.0, "hit")
+        recorder.record(2.0, "hit")
+        assert recorder.rate("hit") == pytest.approx(0.5)
+
+    def test_rate_edge_cases(self):
+        recorder = TraceRecorder()
+        assert recorder.rate("none") == 0.0
+        recorder.record(1.0, "single")
+        with pytest.raises(ValueError):
+            recorder.rate("single")
+        with pytest.raises(ValueError):
+            recorder.rate("single", duration=-1.0)
+
+    def test_clear(self):
+        recorder = TraceRecorder()
+        recorder.record(1.0, "x")
+        recorder.clear()
+        assert len(recorder) == 0
+
+    def test_as_simulator_hook(self):
+        sim = Simulator()
+        recorder = TraceRecorder()
+        sim.add_hook(recorder.observe_event)
+        sim.schedule(1.0, kind="a", payload=123)
+        sim.schedule(2.0, kind="b")
+        sim.run()
+        assert len(recorder) == 2
+        assert recorder.values("a") == [123]

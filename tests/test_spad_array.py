@@ -1,0 +1,84 @@
+"""Tests for repro.spad.array."""
+
+import pytest
+
+from repro.analysis.units import NS
+from repro.spad.array import SpadArray
+from repro.spad.device import DetectionOrigin, SpadConfig
+
+
+class TestGeometry:
+    def test_pixel_count_and_area(self):
+        array = SpadArray(rows=4, columns=8, pixel_pitch=25e-6)
+        assert array.pixel_count == 32
+        assert array.footprint_area == pytest.approx(32 * 25e-6 ** 2)
+
+    def test_pixel_lookup_and_bounds(self):
+        array = SpadArray(rows=2, columns=2)
+        assert array.pixel(1, 1) is array.pixels()[3]
+        with pytest.raises(IndexError):
+            array.pixel(2, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpadArray(rows=0, columns=1)
+        with pytest.raises(ValueError):
+            SpadArray(rows=1, columns=1, pixel_pitch=0.0)
+
+    def test_pixels_have_independent_random_streams(self):
+        array = SpadArray(rows=1, columns=2, seed=9)
+        a, b = array.pixels()
+        # Same configuration but different streams: their first uniform draws differ.
+        assert a._random.uniform() != b._random.uniform()
+
+
+class TestAggregateBehaviour:
+    def test_aggregate_dcr_scales_with_pixels(self):
+        small = SpadArray(rows=1, columns=1)
+        large = SpadArray(rows=4, columns=4)
+        assert large.aggregate_dark_count_rate() == pytest.approx(
+            16 * small.aggregate_dark_count_rate(), rel=1e-6
+        )
+
+    def test_broadcast_detection_on_all_pixels(self):
+        array = SpadArray(rows=2, columns=2, seed=1)
+        events = array.detect_in_window(0.0, 40 * NS, photon_time=10 * NS, mean_photons_per_pixel=1000.0)
+        detected = [e for e in events if e is not None and e.origin is DetectionOrigin.PHOTON]
+        assert len(detected) == 4
+
+    def test_reset(self):
+        array = SpadArray(rows=1, columns=2, seed=1)
+        array.detect_in_window(0.0, 40 * NS, photon_time=10 * NS, mean_photons_per_pixel=1000.0)
+        array.reset()
+        assert all(pixel.is_ready(0.0) for pixel in array.pixels())
+
+    def test_coincidence_detection_suppresses_nothing_when_bright(self):
+        array = SpadArray(rows=2, columns=2, seed=2)
+        time = array.coincidence_detect(
+            0.0, 40 * NS, photon_time=10 * NS, mean_photons_per_pixel=1000.0,
+            required=3, coincidence_window=2 * NS,
+        )
+        assert time == pytest.approx(10 * NS, abs=1 * NS)
+
+    def test_coincidence_returns_none_without_light(self):
+        array = SpadArray(rows=2, columns=2, seed=3)
+        time = array.coincidence_detect(
+            0.0, 40 * NS, photon_time=None, mean_photons_per_pixel=0.0,
+            required=2, coincidence_window=1 * NS,
+        )
+        assert time is None
+
+    def test_coincidence_validation(self):
+        array = SpadArray(rows=1, columns=2)
+        with pytest.raises(ValueError):
+            array.coincidence_detect(0.0, 40 * NS, None, 0.0, required=5, coincidence_window=1 * NS)
+        with pytest.raises(ValueError):
+            array.coincidence_detect(0.0, 40 * NS, None, 0.0, required=1, coincidence_window=0.0)
+
+    def test_channel_slice(self):
+        array = SpadArray(rows=2, columns=3)
+        assert len(array.channel_slice(4)) == 4
+        with pytest.raises(ValueError):
+            array.channel_slice(0)
+        with pytest.raises(ValueError):
+            array.channel_slice(7)

@@ -1,0 +1,66 @@
+"""Tests for repro.spad.pdp."""
+
+import pytest
+
+from repro.analysis.units import NM
+from repro.spad.pdp import PdpCurve, default_cmos_pdp
+
+
+class TestDefaultCurve:
+    def test_peak_in_the_green(self):
+        wavelength, pdp = default_cmos_pdp().peak()
+        assert 450 * NM <= wavelength <= 600 * NM
+        assert 0.3 <= pdp <= 0.4
+
+    def test_red_pdp_reasonable(self):
+        pdp = default_cmos_pdp().pdp(650 * NM)
+        assert 0.15 <= pdp <= 0.3
+
+    def test_falls_into_nir(self):
+        curve = default_cmos_pdp()
+        assert curve.pdp(850 * NM) < curve.pdp(650 * NM) < curve.pdp(500 * NM)
+
+    def test_clamps_outside_range(self):
+        curve = default_cmos_pdp()
+        assert curve.pdp(2000 * NM) == curve.pdp(900 * NM)
+        assert curve.pdp(200 * NM) == curve.pdp(350 * NM)
+
+
+class TestBiasDependence:
+    def test_reference_bias_reproduces_table(self):
+        curve = default_cmos_pdp()
+        base = curve.pdp(500 * NM)
+        assert curve.pdp(500 * NM, excess_bias=curve.reference_excess_bias) == pytest.approx(base)
+
+    def test_higher_bias_raises_pdp(self):
+        curve = default_cmos_pdp()
+        assert curve.pdp(500 * NM, excess_bias=5.0) > curve.pdp(500 * NM, excess_bias=2.0)
+
+    def test_zero_bias_gives_zero(self):
+        assert default_cmos_pdp().pdp(500 * NM, excess_bias=0.0) == pytest.approx(0.0)
+
+    def test_pdp_never_exceeds_one(self):
+        curve = default_cmos_pdp()
+        assert curve.pdp(500 * NM, excess_bias=100.0) <= 1.0
+
+    def test_negative_bias_rejected(self):
+        with pytest.raises(ValueError):
+            default_cmos_pdp().pdp(500 * NM, excess_bias=-1.0)
+
+
+class TestValidation:
+    def test_wavelengths_must_increase(self):
+        with pytest.raises(ValueError):
+            PdpCurve(wavelengths=(500e-9, 400e-9), pdp_values=(0.1, 0.2))
+
+    def test_lengths_must_match(self):
+        with pytest.raises(ValueError):
+            PdpCurve(wavelengths=(400e-9, 500e-9), pdp_values=(0.1,))
+
+    def test_pdp_range_checked(self):
+        with pytest.raises(ValueError):
+            PdpCurve(wavelengths=(400e-9, 500e-9), pdp_values=(0.1, 1.5))
+
+    def test_wavelength_positive(self):
+        with pytest.raises(ValueError):
+            default_cmos_pdp().pdp(0.0)

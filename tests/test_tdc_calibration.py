@@ -1,0 +1,85 @@
+"""Tests for repro.tdc.calibration."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.units import PS
+from repro.simulation.randomness import RandomSource
+from repro.tdc.calibration import CalibrationTable, calibrate_from_code_density, calibration_residual_inl
+from repro.tdc.coarse_counter import CoarseCounter
+from repro.tdc.converter import TimeToDigitalConverter
+from repro.tdc.delay_element import DelayElementModel
+from repro.tdc.delay_line import TappedDelayLine
+from repro.tdc.fpga import build_fpga_tdc
+
+
+def make_mismatched_tdc(seed: int = 5):
+    line = TappedDelayLine(
+        DelayElementModel(nominal_delay=100 * PS, mismatch_sigma=0.1),
+        length=40,
+        random_source=RandomSource(seed),
+    )
+    coarse = CoarseCounter(clock_frequency=1.0 / (36 * 100 * PS), bits=1)
+    return TimeToDigitalConverter(line, coarse)
+
+
+class TestCalibrationTable:
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            CalibrationTable(codes=np.array([0, 1]), bin_edges=np.array([0.0, 1.0]), temperature=20.0)
+        with pytest.raises(ValueError):
+            CalibrationTable(
+                codes=np.array([0]), bin_edges=np.array([1.0, 0.0]), temperature=20.0
+            )
+
+    def test_bin_properties(self):
+        table = CalibrationTable(
+            codes=np.array([3, 4, 5]),
+            bin_edges=np.array([0.0, 1.0, 3.0, 6.0]),
+            temperature=20.0,
+        )
+        assert list(table.bin_widths) == [1.0, 2.0, 3.0]
+        assert table.effective_lsb == pytest.approx(2.0)
+        assert table.resolution_bound() == pytest.approx(1.5)
+        assert table.correct(4) == pytest.approx(2.0)
+
+    def test_correct_clamps_unknown_codes(self):
+        table = CalibrationTable(
+            codes=np.array([10, 11]), bin_edges=np.array([0.0, 1.0, 2.0]), temperature=20.0
+        )
+        assert table.correct(0) == pytest.approx(0.5)
+        assert table.correct(99) == pytest.approx(1.5)
+
+    def test_correct_many(self):
+        table = CalibrationTable(
+            codes=np.array([0, 1]), bin_edges=np.array([0.0, 2.0, 4.0]), temperature=20.0
+        )
+        assert list(table.correct_many([0, 1, 1])) == [1.0, 3.0, 3.0]
+
+
+class TestCalibrationProcedure:
+    def test_calibrated_bin_widths_match_element_delays(self):
+        tdc = make_mismatched_tdc()
+        table = calibrate_from_code_density(tdc, samples=150_000, random_source=RandomSource(1))
+        # The sum of calibrated bin widths reconstructs the usable range.
+        assert table.bin_edges[-1] == pytest.approx(tdc.usable_range, rel=1e-6)
+        assert table.effective_lsb == pytest.approx(tdc.lsb, rel=0.15)
+
+    def test_calibration_reduces_reconstruction_error(self):
+        tdc = make_mismatched_tdc()
+        table = calibrate_from_code_density(tdc, samples=150_000, random_source=RandomSource(2))
+        residual = calibration_residual_inl(tdc, table, probe_points=500)
+        assert residual < 1.5
+
+    def test_paper_inl_bound_met_on_fpga_tdc(self):
+        """The paper reports INL below 1 LSB; the calibrated converter meets it."""
+        tdc = build_fpga_tdc(random_source=RandomSource(11))
+        table = calibrate_from_code_density(tdc, samples=120_000, random_source=RandomSource(3))
+        residual = calibration_residual_inl(tdc, table, probe_points=800)
+        assert residual < 1.0
+
+    def test_probe_points_validation(self):
+        tdc = make_mismatched_tdc()
+        table = calibrate_from_code_density(tdc, samples=20_000)
+        with pytest.raises(ValueError):
+            calibration_residual_inl(tdc, table, probe_points=1)

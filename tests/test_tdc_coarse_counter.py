@@ -1,0 +1,69 @@
+"""Tests for repro.tdc.coarse_counter."""
+
+import pytest
+
+from repro.analysis.units import MHZ, NS
+from repro.tdc.coarse_counter import CoarseCounter
+
+
+class TestBasics:
+    def test_period_of_200mhz_clock_is_5ns(self):
+        counter = CoarseCounter(clock_frequency=200 * MHZ, bits=4)
+        assert counter.period == pytest.approx(5 * NS)
+        assert counter.modulus == 16
+        assert counter.full_range == pytest.approx(80 * NS)
+
+    def test_zero_bits_counter(self):
+        counter = CoarseCounter(clock_frequency=200 * MHZ, bits=0)
+        assert counter.modulus == 1
+        assert counter.full_range == pytest.approx(5 * NS)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            CoarseCounter(clock_frequency=0.0)
+        with pytest.raises(ValueError):
+            CoarseCounter(bits=-1)
+
+
+class TestCodes:
+    def test_coarse_code_progression(self):
+        counter = CoarseCounter(clock_frequency=200 * MHZ, bits=2)
+        assert counter.coarse_code(0.0) == 0
+        assert counter.coarse_code(4.9 * NS) == 0
+        assert counter.coarse_code(5.1 * NS) == 1
+        assert counter.coarse_code(19.9 * NS) == 3
+
+    def test_wraps_modulo_range(self):
+        counter = CoarseCounter(clock_frequency=200 * MHZ, bits=2)
+        assert counter.coarse_code(21 * NS) == 0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            CoarseCounter().coarse_code(-1.0)
+
+
+class TestSplitReconstruct:
+    def test_split_gives_residual_to_next_edge(self):
+        counter = CoarseCounter(clock_frequency=200 * MHZ, bits=3)
+        code, residual = counter.split(7 * NS)
+        assert code == 1
+        assert residual == pytest.approx(3 * NS)
+
+    def test_split_on_edge_attributes_full_period(self):
+        counter = CoarseCounter(clock_frequency=200 * MHZ, bits=3)
+        code, residual = counter.split(10 * NS)
+        assert code == 2
+        assert residual == pytest.approx(5 * NS)
+
+    def test_reconstruct_inverts_split(self):
+        counter = CoarseCounter(clock_frequency=200 * MHZ, bits=3)
+        for arrival in (0.3e-9, 4.2e-9, 17.77e-9, 33.0e-9):
+            code, residual = counter.split(arrival)
+            assert counter.reconstruct(code, residual) == pytest.approx(arrival)
+
+    def test_reconstruct_validation(self):
+        counter = CoarseCounter(bits=2)
+        with pytest.raises(ValueError):
+            counter.reconstruct(4, 1e-9)
+        with pytest.raises(ValueError):
+            counter.reconstruct(0, -1e-9)

@@ -1,0 +1,88 @@
+"""Tests for repro.tdc.delay_element."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.units import NS, PS
+from repro.simulation.randomness import RandomSource
+from repro.tdc.delay_element import DelayElementModel
+
+
+class TestPvtScaling:
+    def test_reference_point_is_unity(self):
+        model = DelayElementModel()
+        assert model.pvt_scale(model.reference_temperature, model.reference_voltage) == pytest.approx(1.0)
+
+    def test_delay_increases_with_temperature(self):
+        model = DelayElementModel(temperature_coefficient=1e-3)
+        assert model.mean_delay(temperature=80.0) > model.mean_delay(temperature=20.0)
+
+    def test_delay_decreases_with_supply(self):
+        model = DelayElementModel(voltage_coefficient=0.15)
+        assert model.mean_delay(voltage=1.8) < model.mean_delay(voltage=1.5)
+
+    def test_unphysical_operating_point_rejected(self):
+        model = DelayElementModel(voltage_coefficient=1.0)
+        with pytest.raises(ValueError):
+            model.pvt_scale(20.0, 10.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            DelayElementModel(nominal_delay=0.0)
+        with pytest.raises(ValueError):
+            DelayElementModel(mismatch_sigma=-0.1)
+        with pytest.raises(ValueError):
+            DelayElementModel(structural_period=-1)
+
+
+class TestSampling:
+    def test_without_source_delays_are_nominal(self):
+        model = DelayElementModel(nominal_delay=50 * PS)
+        delays = model.sample_delays(10)
+        assert np.allclose(delays, 50 * PS)
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            DelayElementModel().sample_delays(0)
+
+    def test_mismatch_statistics(self):
+        model = DelayElementModel(nominal_delay=50 * PS, mismatch_sigma=0.1)
+        delays = model.sample_delays(5000, RandomSource(1))
+        assert np.mean(delays) == pytest.approx(50 * PS, rel=0.02)
+        assert np.std(delays) / np.mean(delays) == pytest.approx(0.1, rel=0.1)
+
+    def test_delays_always_positive(self):
+        model = DelayElementModel(nominal_delay=50 * PS, mismatch_sigma=1.0)
+        delays = model.sample_delays(1000, RandomSource(2))
+        assert np.all(delays > 0)
+
+    def test_structural_profile(self):
+        model = DelayElementModel(structural_period=4, structural_extra=0.5)
+        profile = model.structural_profile(8)
+        assert profile[3] == pytest.approx(1.5)
+        assert profile[7] == pytest.approx(1.5)
+        assert profile[0] == pytest.approx(1.0)
+
+    def test_temperature_scales_sampled_delays(self):
+        model = DelayElementModel(nominal_delay=50 * PS, temperature_coefficient=1e-3)
+        cold = model.sample_delays(10, temperature=0.0)
+        hot = model.sample_delays(10, temperature=80.0)
+        assert np.all(hot > cold)
+
+
+class TestChainSizing:
+    def test_elements_to_cover_5ns_window(self):
+        """With delta ~54 ps, covering the 200 MHz clock period needs ~93 elements."""
+        model = DelayElementModel(nominal_delay=53.8 * PS)
+        assert model.elements_to_cover(5 * NS) == 93
+
+    def test_margin_increases_count(self):
+        model = DelayElementModel(nominal_delay=50 * PS)
+        assert model.elements_to_cover(5 * NS, margin=0.1) > model.elements_to_cover(5 * NS)
+
+    def test_validation(self):
+        model = DelayElementModel()
+        with pytest.raises(ValueError):
+            model.elements_to_cover(0.0)
+        with pytest.raises(ValueError):
+            model.elements_to_cover(1 * NS, margin=-0.1)

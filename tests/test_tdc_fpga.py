@@ -1,0 +1,65 @@
+"""Tests for repro.tdc.fpga — the paper's proof-of-concept configuration."""
+
+import pytest
+
+from repro.analysis.units import MHZ, NS
+from repro.simulation.randomness import RandomSource
+from repro.tdc.fpga import (
+    VIRTEX2PRO_PROFILE,
+    FpgaCarryChainProfile,
+    build_fpga_delay_line,
+    build_fpga_tdc,
+)
+
+
+class TestProfile:
+    def test_default_profile_matches_paper_setup(self):
+        assert VIRTEX2PRO_PROFILE.system_clock == pytest.approx(200 * MHZ)
+        assert VIRTEX2PRO_PROFILE.chain_length == 96
+        assert VIRTEX2PRO_PROFILE.clock_period == pytest.approx(5 * NS)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FpgaCarryChainProfile(element_delay=0.0)
+        with pytest.raises(ValueError):
+            FpgaCarryChainProfile(chain_length=0)
+
+    def test_element_model_carries_structure(self):
+        model = VIRTEX2PRO_PROFILE.element_model()
+        assert model.structural_period == VIRTEX2PRO_PROFILE.clb_period
+        assert model.structural_extra == VIRTEX2PRO_PROFILE.clb_extra_delay
+
+
+class TestPaperClaims:
+    """Quantitative statements from Section 3 of the paper."""
+
+    def test_96_element_chain_covers_the_5ns_window(self):
+        line = build_fpga_delay_line(random_source=RandomSource(0), temperature=20.0)
+        assert line.covers(5 * NS)
+
+    def test_at_most_93_elements_used_at_20C(self):
+        line = build_fpga_delay_line(random_source=RandomSource(0), temperature=20.0)
+        used = line.elements_used_for(5 * NS)
+        assert 90 <= used <= 96
+        assert used <= 93 + 1  # the paper reports a maximum of 93
+
+    def test_fewer_elements_needed_when_hot(self):
+        cold = build_fpga_delay_line(random_source=RandomSource(0), temperature=0.0)
+        hot = build_fpga_delay_line(random_source=RandomSource(0), temperature=80.0)
+        assert hot.elements_used_for(5 * NS) < cold.elements_used_for(5 * NS)
+
+
+class TestBuildTdc:
+    def test_default_build(self):
+        tdc = build_fpga_tdc(random_source=RandomSource(1))
+        assert tdc.fine_elements == 96
+        assert tdc.coarse_bits == 0
+        assert tdc.usable_range == pytest.approx(5 * NS)
+
+    def test_coarse_extension(self):
+        tdc = build_fpga_tdc(coarse_bits=4, random_source=RandomSource(1))
+        assert tdc.usable_range == pytest.approx(80 * NS)
+
+    def test_metastability_option(self):
+        tdc = build_fpga_tdc(with_metastability=True, random_source=RandomSource(1))
+        assert tdc.metastability is not None

@@ -1,0 +1,91 @@
+"""Tests for repro.tdc.nonlinearity."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.units import PS
+from repro.simulation.randomness import RandomSource
+from repro.tdc.coarse_counter import CoarseCounter
+from repro.tdc.converter import TimeToDigitalConverter
+from repro.tdc.delay_element import DelayElementModel
+from repro.tdc.delay_line import TappedDelayLine
+from repro.tdc.nonlinearity import code_density_test, compute_dnl_inl, dnl_from_bin_widths
+
+
+class TestComputeDnlInl:
+    def test_uniform_histogram_has_zero_dnl(self):
+        dnl, inl = compute_dnl_inl([100, 100, 100, 100])
+        assert np.allclose(dnl, 0.0)
+        assert np.allclose(inl, 0.0)
+
+    def test_known_imbalance(self):
+        dnl, inl = compute_dnl_inl([150, 50])
+        assert dnl[0] == pytest.approx(0.5)
+        assert dnl[1] == pytest.approx(-0.5)
+        assert inl[1] == pytest.approx(0.0)
+
+    def test_missing_code_gives_minus_one(self):
+        dnl, _ = compute_dnl_inl([10, 0, 10])
+        assert dnl[1] == pytest.approx(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compute_dnl_inl([])
+        with pytest.raises(ValueError):
+            compute_dnl_inl([0, 0, 0])
+
+
+class TestDnlFromBinWidths:
+    def test_equal_widths(self):
+        dnl, inl = dnl_from_bin_widths([1.0, 1.0, 1.0])
+        assert np.allclose(dnl, 0.0)
+
+    def test_wide_bin_positive_dnl(self):
+        dnl, _ = dnl_from_bin_widths([1.0, 2.0, 1.0])
+        assert dnl[1] > 0
+        assert dnl[0] < 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dnl_from_bin_widths([])
+        with pytest.raises(ValueError):
+            dnl_from_bin_widths([1.0, -1.0])
+
+
+class TestCodeDensityTest:
+    def _ideal_tdc(self):
+        line = TappedDelayLine(
+            DelayElementModel(nominal_delay=100 * PS, mismatch_sigma=0.0), length=32
+        )
+        coarse = CoarseCounter(clock_frequency=1.0 / (32 * 100 * PS), bits=0)
+        return TimeToDigitalConverter(line, coarse)
+
+    def test_ideal_converter_has_small_dnl(self):
+        report = code_density_test(self._ideal_tdc(), samples=40_000, random_source=RandomSource(0))
+        # Statistical noise only: sigma ~ sqrt(bins/samples) ~ 0.03.
+        assert report.dnl_peak < 0.15
+        assert report.inl_peak < 0.3
+        assert report.missing_codes().size == 0
+
+    def test_mismatched_converter_shows_structure(self):
+        line = TappedDelayLine(
+            DelayElementModel(
+                nominal_delay=100 * PS, mismatch_sigma=0.0, structural_period=4, structural_extra=0.5
+            ),
+            length=36,
+        )
+        coarse = CoarseCounter(clock_frequency=1.0 / (32 * 100 * PS), bits=0)
+        tdc = TimeToDigitalConverter(line, coarse)
+        report = code_density_test(tdc, samples=60_000, random_source=RandomSource(1))
+        # Boundary elements are 50 % wider -> DNL of roughly +0.4 there.
+        assert report.dnl_peak > 0.25
+
+    def test_report_summary_and_counts(self):
+        report = code_density_test(self._ideal_tdc(), samples=5_000, random_source=RandomSource(2))
+        assert report.samples == 5_000
+        assert report.counts.sum() == 5_000
+        assert "DNL peak" in report.summary()
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            code_density_test(self._ideal_tdc(), samples=0)
