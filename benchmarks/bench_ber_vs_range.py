@@ -17,7 +17,10 @@ from repro.core.ber import analytic_bit_error_rate, ber_vs_photons, monte_carlo_
 from repro.core.config import LinkConfig
 
 GUARDS = [0.0, 8 * NS, 24 * NS, 64 * NS]
-BITS = 4_000
+# The Monte-Carlo estimator runs the vectorised batch engine (fast=True is the
+# monte_carlo_bit_error_rate default), so the sweep affords an order of
+# magnitude more statistics than the scalar path used to.
+BITS = 40_000
 
 
 def run_sweeps():
@@ -33,7 +36,7 @@ def run_sweeps():
     waterfall = ber_vs_photons(
         LinkConfig(ppm_bits=4, slot_duration=1 * NS, spad_dead_time=32 * NS),
         photon_levels=[0.5, 2.0, 5.0, 20.0, 80.0],
-        bits_per_point=2_000,
+        bits_per_point=20_000,
         seed=11,
     )
     return range_rows, waterfall

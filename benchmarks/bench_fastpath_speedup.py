@@ -1,0 +1,106 @@
+"""FASTPATH — scalar vs. batch transmission throughput (symbols/sec).
+
+Times the scalar symbol-by-symbol :class:`~repro.core.link.OpticalLink`
+against the vectorised :class:`~repro.core.fastlink.FastOpticalLink` on the
+10^5-symbol BER workload (K=4, 500 ps slots, 32 ns SPAD) and writes the
+measurements to ``BENCH_fastpath.json`` at the repository root so future PRs
+have a perf trajectory to regress against.
+
+The acceptance bar for the batch engine is a >=10x symbols/sec speedup while
+remaining statistically equivalent to the scalar path (equivalence is asserted
+separately in ``tests/test_core_fastlink.py``; this benchmark cross-checks the
+BER agreement on the timed runs as a sanity bound).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.report import ExperimentReport, ReportTable
+from repro.analysis.units import NS, PS, format_si
+from repro.core.config import LinkConfig
+from repro.core.fastlink import FastOpticalLink
+from repro.core.link import OpticalLink
+
+SYMBOLS = 100_000
+CONFIG = LinkConfig(
+    ppm_bits=4, slot_duration=500 * PS, spad_dead_time=32 * NS, mean_detected_photons=5.0
+)
+BITS = SYMBOLS * CONFIG.ppm_bits
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_fastpath.json"
+
+
+def time_path(link_class, seed: int = 7):
+    link = link_class(CONFIG, seed=seed)
+    start = time.perf_counter()
+    result = link.transmit_random(BITS)
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def run_comparison():
+    scalar_result, scalar_elapsed = time_path(OpticalLink)
+    batch_result, batch_elapsed = time_path(FastOpticalLink)
+    return scalar_result, scalar_elapsed, batch_result, batch_elapsed
+
+
+def test_fastpath_speedup(benchmark):
+    scalar_result, scalar_elapsed, batch_result, batch_elapsed = benchmark.pedantic(
+        run_comparison, rounds=1, iterations=1
+    )
+
+    scalar_rate = SYMBOLS / scalar_elapsed
+    batch_rate = SYMBOLS / batch_elapsed
+    speedup = batch_rate / scalar_rate
+
+    record = {
+        "workload": {
+            "symbols": SYMBOLS,
+            "bits": BITS,
+            "ppm_bits": CONFIG.ppm_bits,
+            "slot_duration_s": CONFIG.slot_duration,
+            "spad_dead_time_s": CONFIG.spad_dead_time,
+            "mean_detected_photons": CONFIG.mean_detected_photons,
+        },
+        "scalar": {
+            "seconds": scalar_elapsed,
+            "symbols_per_sec": scalar_rate,
+            "ber": scalar_result.bit_error_rate,
+            "ser": scalar_result.symbol_error_rate,
+        },
+        "batch": {
+            "seconds": batch_elapsed,
+            "symbols_per_sec": batch_rate,
+            "ber": batch_result.bit_error_rate,
+            "ser": batch_result.symbol_error_rate,
+        },
+        "speedup": speedup,
+    }
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    report = ExperimentReport(
+        "FASTPATH",
+        "Scalar vs. batch transmission engine on the 10^5-symbol BER workload",
+        paper_claim="statistical figures need 10^5-10^7 symbols per operating point; "
+                    "the simulator must evaluate whole ensembles as array operations",
+    )
+    table = ReportTable(columns=["path", "wall time", "symbols/sec", "BER"])
+    table.add_row("scalar (OpticalLink)", f"{scalar_elapsed:.2f} s",
+                  format_si(scalar_rate, "sym/s"), f"{scalar_result.bit_error_rate:.3e}")
+    table.add_row("batch (FastOpticalLink)", f"{batch_elapsed:.3f} s",
+                  format_si(batch_rate, "sym/s"), f"{batch_result.bit_error_rate:.3e}")
+    report.add_table(table, caption=f"{SYMBOLS:,} symbols, K=4, 500 ps slots, 32 ns SPAD")
+    report.add_comparison("batch speedup", ">=10x symbols/sec", f"{speedup:.1f}x")
+    print()
+    print(report.render())
+    print(f"perf record written to {RECORD_PATH}")
+
+    assert speedup >= 10.0
+    # Same physics on both paths: the BER estimates must agree within the
+    # combined Monte-Carlo noise (generous 5-sigma-ish binomial bound).
+    tolerance = 5.0 * (scalar_result.bit_error_rate / BITS) ** 0.5 + 5.0 / BITS
+    assert abs(scalar_result.bit_error_rate - batch_result.bit_error_rate) < max(
+        tolerance, 0.01
+    )

@@ -32,6 +32,7 @@ Quickstart
 """
 
 from repro.core import (
+    FastOpticalLink,
     LinkConfig,
     OpticalLink,
     TdcDesign,
@@ -45,6 +46,7 @@ __version__ = "1.0.0"
 __all__ = [
     "LinkConfig",
     "OpticalLink",
+    "FastOpticalLink",
     "TdcDesign",
     "measurement_window",
     "throughput",

@@ -9,6 +9,8 @@ This package ties the substrates together into the system the paper proposes:
   selection under dead-time/resolution constraints.
 * :mod:`repro.core.config` / :mod:`repro.core.link` — the end-to-end optical
   link simulator (micro-LED → channel → SPAD → TDC → PPM decoder).
+* :mod:`repro.core.fastlink` — the vectorised batch transmission engine, the
+  fast path for Monte-Carlo-scale symbol ensembles.
 * :mod:`repro.core.error_model` / :mod:`repro.core.ber` — analytic and
   Monte-Carlo symbol/bit error rates from jitter, dark counts, afterpulsing
   and missed detections.
@@ -31,6 +33,7 @@ from repro.core.throughput import (
 from repro.core.design_space import DesignPoint, DesignSpace, figure4_grid
 from repro.core.config import LinkConfig
 from repro.core.link import OpticalLink, TransmissionResult
+from repro.core.fastlink import FastOpticalLink
 from repro.core.error_model import ErrorBudget, symbol_error_budget
 from repro.core.ber import analytic_bit_error_rate, monte_carlo_bit_error_rate
 from repro.core.power import PowerBreakdown, link_power, pad_power_comparison
@@ -50,6 +53,7 @@ __all__ = [
     "figure4_grid",
     "LinkConfig",
     "OpticalLink",
+    "FastOpticalLink",
     "TransmissionResult",
     "ErrorBudget",
     "symbol_error_budget",

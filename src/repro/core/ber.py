@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.config import LinkConfig
 from repro.core.error_model import symbol_error_budget
+from repro.core.fastlink import FastOpticalLink
 from repro.core.link import OpticalLink
 from repro.simulation.randomness import RandomSource
 
@@ -69,16 +70,24 @@ def monte_carlo_bit_error_rate(
     config: LinkConfig,
     bits: int = 10_000,
     seed: int = 0,
+    fast: bool = True,
 ) -> BerEstimate:
-    """Estimate the BER by simulating ``bits`` random payload bits end to end."""
+    """Estimate the BER by simulating ``bits`` random payload bits end to end.
+
+    ``fast=True`` (the default) runs the vectorised batch engine
+    (:class:`~repro.core.fastlink.FastOpticalLink`); ``fast=False`` runs the
+    scalar symbol-by-symbol link.  The two are statistically equivalent but
+    not draw-for-draw identical (see :mod:`repro.core.fastlink`).
+    """
     if bits <= 0:
         raise ValueError("bits must be positive")
     # Round up to a whole number of symbols.
     symbols = -(-bits // config.ppm_bits)
     total_bits = symbols * config.ppm_bits
     source = RandomSource(seed)
-    payload = [int(b) for b in source.generator.integers(0, 2, size=total_bits)]
-    link = OpticalLink(config, seed=seed + 1)
+    payload = source.generator.integers(0, 2, size=total_bits).tolist()
+    link_class = FastOpticalLink if fast else OpticalLink
+    link = link_class(config, seed=seed + 1)
     result = link.transmit_bits(payload)
     return BerEstimate(bit_errors=result.bit_errors, bits_simulated=total_bits)
 

@@ -1,0 +1,129 @@
+"""Vectorised batch transmission engine — the link simulator's fast path.
+
+:class:`FastOpticalLink` is a drop-in replacement for
+:class:`~repro.core.link.OpticalLink` that simulates all S symbols of a
+payload at once instead of one per Python-interpreter iteration.  The paper's
+headline figures (BER vs. range, the TP/DC surfaces) are statistical estimates
+needing 10^5–10^7 simulated PPM symbols per operating point; at that scale the
+scalar path is interpreter-bound, not model-bound.
+
+Scalar-vs-batch contract
+------------------------
+The batch engine is *statistically equivalent* to the scalar path — same
+physical models, same distributions, same decision rules — but not draw-for-
+draw identical: randomness is consumed in bulk array draws (one per physical
+process) rather than interleaved per event, so the two paths produce different
+(equally valid) sample paths from the same seed.  Each path is individually
+deterministic given its seed.
+
+The pipeline is NumPy end to end:
+
+1. PPM encoding packs the whole payload into a symbol-value array and a
+   pulse-time array (``PpmCodec.encode_bits_to_values`` /
+   ``pulse_times_for_values``).
+2. :meth:`SpadDevice.detect_in_windows` pre-draws photon detection Bernoullis,
+   jitter, Poisson dark-count arrivals and afterpulse trap releases as arrays,
+   then resolves the winner of each window.  Only this winner resolution runs
+   as a sequential scan, because dead time and afterpulsing genuinely couple
+   consecutive windows: whether window ``i`` re-arms at its start — and which
+   trap release is pending — depends on *when* window ``i-1`` fired, which is
+   itself a stochastic outcome.  No barrier of array passes can resolve that
+   chain, so the scan walks the windows once over plain Python floats.
+3. :meth:`TimeToDigitalConverter.convert_array` quantises every detection with
+   a single ``np.searchsorted`` against the delay line's cached tap times.
+4. ``PpmCodec.decode_times`` maps the measured times back to slot values and
+   the bit matrix is unpacked in one shot.
+
+The result is the same :class:`~repro.core.link.TransmissionResult` the scalar
+path returns, at a ≥10× (typically 30–100×) symbols/sec advantage on
+10^5-symbol workloads (see ``benchmarks/bench_fastpath_speedup.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.link import OpticalLink, TransmissionResult
+from repro.modulation.symbols import ints_to_bit_matrix
+from repro.spad.device import ORIGIN_BY_CODE
+
+
+class FastOpticalLink(OpticalLink):
+    """Drop-in :class:`OpticalLink` whose transmit path is the batch engine.
+
+    Construction, configuration, seeding and the returned
+    :class:`TransmissionResult` are identical to the scalar link; only
+    :meth:`transmit_bits` is overridden.  Use the scalar class when you need
+    draw-for-draw reproduction of legacy results, the fast class everywhere
+    throughput matters.
+    """
+
+    def transmit_bits(self, bits: Sequence[int]) -> TransmissionResult:
+        """Send a payload over the link, simulating every symbol in one batch.
+
+        Same contract as :meth:`OpticalLink.transmit_bits`: the payload is
+        padded with zeros to a whole number of symbols and error statistics
+        cover the original bit positions.
+        """
+        raw = np.asarray(bits)
+        if raw.size == 0:
+            raise ValueError("bits must be non-empty")
+        # Validate before casting: an int64 cast would silently truncate
+        # fractional "bits" that the scalar path rejects.
+        if not np.isin(raw, (0, 1)).all():
+            raise ValueError("bits must be 0 or 1")
+        payload_arr = raw.astype(np.int64, copy=False)
+        payload = payload_arr.tolist()
+        k = self.config.ppm_bits
+        remainder = len(payload) % k
+        if remainder:
+            padded = np.concatenate([payload_arr, np.zeros(k - remainder, dtype=np.int64)])
+        else:
+            padded = payload_arr
+
+        values = self.codec.encode_bits_to_values(padded)
+        symbol_count = int(values.size)
+        symbol_duration = self.config.symbol_duration
+        mean_photons = self.mean_photons_at_detector()
+
+        # The receiver's windows are assumed aligned to the (symbol-invariant)
+        # propagation delay by clock recovery, so pulse times are window-
+        # relative slot centres; the channel only enters through attenuation.
+        pulse_offsets = self.codec.pulse_times_for_values(values)
+
+        self.spad.reset()
+        times, origins = self.spad.detect_in_windows(
+            symbol_duration, pulse_offsets, mean_photons
+        )
+
+        detected = origins >= 0
+        decoded = np.zeros(symbol_count, dtype=np.int64)
+        if np.any(detected):
+            window_starts = np.flatnonzero(detected).astype(float) * symbol_duration
+            relative = times[detected] - window_starts
+            relative = np.clip(relative, 0.0, self.tdc.usable_range * 0.999999)
+            conversion = self.tdc.convert_array(relative)
+            measured = np.clip(
+                conversion.measured_times, 0.0, symbol_duration * 0.999999
+            )
+            decoded[detected] = self.codec.decode_times(measured)
+
+        received_matrix = ints_to_bit_matrix(decoded, k)
+        received_bits = received_matrix.ravel().tolist()
+
+        counts = {origin.value: 0 for origin in ORIGIN_BY_CODE.values()}
+        counts["missed"] = int(np.count_nonzero(~detected))
+        codes, code_counts = np.unique(origins[detected], return_counts=True)
+        for code, code_count in zip(codes, code_counts):
+            counts[ORIGIN_BY_CODE[int(code)].value] = int(code_count)
+
+        return TransmissionResult(
+            transmitted_bits=payload,
+            received_bits=received_bits[: len(payload)],
+            symbols_sent=symbol_count,
+            symbol_errors=int(np.count_nonzero(decoded != values)),
+            detection_counts=counts,
+            elapsed_time=symbol_count * symbol_duration,
+        )

@@ -165,9 +165,6 @@ class OpticalLink:
         symbols = self.codec.encode_bits(padded)
         symbol_duration = self.config.symbol_duration
         mean_photons = self.mean_photons_at_detector()
-        propagation_delay = (
-            self.channel.propagation_delay() if self.channel is not None else 0.0
-        )
 
         received_bits: List[int] = []
         symbol_errors = 0
@@ -185,11 +182,10 @@ class OpticalLink:
             # every measurement window (this is what lets the detection cycle
             # be matched to the PPM range, as the paper's DC(N, C) assumes).
             self.spad.rearm(window_start)
-            photon_time = window_start + symbol.pulse_time + propagation_delay
-            # Propagation delay shifts every symbol identically, so the
-            # receiver's window is assumed aligned to it (clock recovery);
-            # fold it back into the window.
-            photon_time -= propagation_delay
+            # The channel's propagation delay shifts every symbol identically,
+            # so the receiver's window is assumed aligned to it (clock
+            # recovery) and the pulse lands at its window-relative slot time.
+            photon_time = window_start + symbol.pulse_time
             detection = self.spad.detect_in_window(
                 window_start, symbol_duration, photon_time, mean_photons
             )
@@ -221,7 +217,7 @@ class OpticalLink:
         if bit_count <= 0:
             raise ValueError("bit_count must be positive")
         source = RandomSource(payload_seed)
-        payload = [int(b) for b in source.generator.integers(0, 2, size=bit_count)]
+        payload = source.generator.integers(0, 2, size=bit_count).tolist()
         return self.transmit_bits(payload)
 
     # -- figures of merit ----------------------------------------------------------------

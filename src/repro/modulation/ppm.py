@@ -15,7 +15,12 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.modulation.symbols import SlotGrid, bits_to_int, int_to_bits
+from repro.modulation.symbols import (
+    SlotGrid,
+    bit_matrix_to_ints,
+    bits_to_int,
+    int_to_bits,
+)
 
 
 @dataclass(frozen=True)
@@ -68,6 +73,29 @@ class PpmCodec:
             symbols.append(self.encode_value(bits_to_int(group)))
         return symbols
 
+    def encode_bits_to_values(self, bits: Sequence[int]) -> np.ndarray:
+        """Vectorised :meth:`encode_bits`: symbol values only, as one array.
+
+        The batch transmission engine works on symbol-value arrays rather than
+        :class:`PpmSymbol` objects; pulse times follow from
+        :meth:`pulse_times_for_values`.
+        """
+        if len(bits) == 0:
+            raise ValueError("bits must be non-empty")
+        if len(bits) % self.bits_per_symbol != 0:
+            raise ValueError(
+                f"bit count {len(bits)} is not a multiple of K={self.bits_per_symbol}"
+            )
+        matrix = np.asarray(bits, dtype=np.int64).reshape(-1, self.bits_per_symbol)
+        return bit_matrix_to_ints(matrix)
+
+    def pulse_times_for_values(self, values: np.ndarray) -> np.ndarray:
+        """Pulse emission times (slot centres, within the symbol) for a value array."""
+        values = np.asarray(values, dtype=np.int64)
+        if values.size and (values.min() < 0 or values.max() >= self.grid.slot_count):
+            raise ValueError(f"values must lie within [0, {self.grid.slot_count})")
+        return (values + 0.5) * self.grid.slot_duration
+
     def pulse_schedule(self, bits: Sequence[int]) -> np.ndarray:
         """Absolute pulse emission times for a bit stream (symbols back to back)."""
         symbols = self.encode_bits(bits)
@@ -85,6 +113,10 @@ class PpmCodec:
         """
         slot = self.grid.slot_of_time(arrival_time)
         return slot
+
+    def decode_times(self, arrival_times: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`decode_time` over an array of measured arrival times."""
+        return self.grid.slots_of_times(arrival_times)
 
     def decode_to_bits(self, arrival_time: Optional[float], erasure_value: int = 0) -> List[int]:
         """Decode one symbol to K bits; a missed detection (``None``) decodes to ``erasure_value``."""

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
+import numpy as np
+
 
 def int_to_bits(value: int, width: int) -> List[int]:
     """Big-endian bit vector of ``value`` using exactly ``width`` bits.
@@ -42,6 +44,37 @@ def bits_to_int(bits: Sequence[int]) -> int:
             raise ValueError(f"bits must be 0 or 1, got {bit}")
         value = (value << 1) | bit
     return value
+
+
+def ints_to_bit_matrix(values: np.ndarray, width: int) -> np.ndarray:
+    """Vectorised :func:`int_to_bits`: one big-endian row of ``width`` bits per value.
+
+    >>> ints_to_bit_matrix(np.array([5, 1]), 4).tolist()
+    [[0, 1, 0, 1], [0, 0, 0, 1]]
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    values = np.asarray(values, dtype=np.int64)
+    if values.size and (values.min() < 0 or values.max() >= (1 << width)):
+        raise ValueError(f"values must lie within [0, 2^{width})")
+    shifts = np.arange(width - 1, -1, -1, dtype=np.int64)
+    return ((values[:, None] >> shifts) & 1).astype(np.int64)
+
+
+def bit_matrix_to_ints(bits: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`bits_to_int` over the rows of a big-endian bit matrix.
+
+    >>> bit_matrix_to_ints(np.array([[0, 1, 0, 1], [0, 0, 0, 1]])).tolist()
+    [5, 1]
+    """
+    bits = np.asarray(bits, dtype=np.int64)
+    if bits.ndim != 2 or bits.shape[1] == 0:
+        raise ValueError("bits must be a 2-D matrix with at least one column")
+    if bits.size and not np.isin(bits, (0, 1)).all():
+        raise ValueError("bits must be 0 or 1")
+    width = bits.shape[1]
+    weights = 1 << np.arange(width - 1, -1, -1, dtype=np.int64)
+    return bits @ weights
 
 
 @dataclass(frozen=True)
@@ -113,6 +146,18 @@ class SlotGrid:
         if time >= self.data_window:
             return self.slot_count - 1
         return int(time / self.slot_duration)
+
+    def slots_of_times(self, times: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`slot_of_time` over an array of arrival times."""
+        times = np.asarray(times, dtype=float)
+        if times.size and (times.min() < 0 or times.max() >= self.symbol_duration):
+            raise ValueError(
+                f"times must lie within the symbol range [0, {self.symbol_duration})"
+            )
+        slots = np.minimum(
+            (times / self.slot_duration).astype(np.int64), self.slot_count - 1
+        )
+        return np.where(times >= self.data_window, self.slot_count - 1, slots)
 
     def with_guard(self, guard_time: float) -> "SlotGrid":
         """Copy of the grid with a different guard interval."""

@@ -5,6 +5,19 @@ rate, coverage of the fine chain over temperature) are estimated by running
 the same stochastic trial many times with independent seeds.  The runner here
 standardises seeding, accumulation and summary statistics for such
 experiments.
+
+Scalar-vs-batch contract
+------------------------
+:meth:`MonteCarloRunner.run` invokes a scalar trial once per repetition with a
+freshly constructed :class:`RandomSource` — simple, but the per-trial source
+construction and Python call dominate cheap trials.
+:meth:`MonteCarloRunner.run_batch` instead pre-splits one child seed per
+*chunk* and hands the trial a bare ``numpy.random.Generator`` together with
+the number of trials to evaluate, so an array-valued trial can vectorise the
+whole chunk internally (the same design as the batch link engine in
+:mod:`repro.core.fastlink`).  Results are deterministic in
+``(seed, chunk_size)``; the two entry points sample the same distributions but
+are not draw-for-draw identical.
 """
 
 from __future__ import annotations
@@ -109,6 +122,51 @@ class MonteCarloRunner:
             if progress is not None:
                 progress(index, float(value))
         return MonteCarloResult(samples=values, metadata=metadata)
+
+    def run_batch(
+        self,
+        batch_trial: Callable[[np.random.Generator, int], np.ndarray],
+        trials: int,
+        chunk_size: int = 4096,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> MonteCarloResult:
+        """Execute ``trials`` repetitions through a *vectorised* trial function.
+
+        Parameters
+        ----------
+        batch_trial:
+            Callable ``(generator, count) -> array`` returning one scalar
+            outcome per trial, shape ``(count,)``.  The generator is freshly
+            seeded per chunk (seeds pre-split via :func:`split_seed`), so no
+            per-trial :class:`RandomSource` is ever constructed.
+        trials:
+            Total number of repetitions (must be positive).
+        chunk_size:
+            Maximum number of trials evaluated per call.  Chunking bounds peak
+            memory for array-valued trials and fixes the seeding layout:
+            results are reproducible for a given ``(seed, chunk_size)``.
+        progress:
+            Optional callback ``(trials_done, trials_total)`` invoked after
+            each chunk.
+        """
+        if trials <= 0:
+            raise ValueError(f"trials must be positive, got {trials}")
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        values = np.empty(trials, dtype=float)
+        for start in range(0, trials, chunk_size):
+            count = min(chunk_size, trials - start)
+            seed = split_seed(self._seed, f"{self._label}:batch:{start}")
+            generator = np.random.default_rng(seed)
+            chunk = np.asarray(batch_trial(generator, count), dtype=float)
+            if chunk.shape != (count,):
+                raise ValueError(
+                    f"batch_trial must return shape ({count},), got {chunk.shape}"
+                )
+            values[start : start + count] = chunk
+            if progress is not None:
+                progress(start + count, trials)
+        return MonteCarloResult(samples=values)
 
     def estimate_probability(
         self,

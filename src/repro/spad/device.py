@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from math import inf, isinf, nan
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -39,6 +40,17 @@ class DetectionOrigin(enum.Enum):
     PHOTON = "photon"
     DARK_COUNT = "dark_count"
     AFTERPULSE = "afterpulse"
+
+
+#: Integer origin codes used by the batch interface (:meth:`SpadDevice.detect_in_windows`):
+#: ``-1`` means no detection in the window.
+ORIGIN_CODE_MISSED = -1
+ORIGIN_BY_CODE = {
+    0: DetectionOrigin.PHOTON,
+    1: DetectionOrigin.DARK_COUNT,
+    2: DetectionOrigin.AFTERPULSE,
+}
+CODE_BY_ORIGIN = {origin: code for code, origin in ORIGIN_BY_CODE.items()}
 
 
 @dataclass(frozen=True)
@@ -261,6 +273,140 @@ class SpadDevice:
         if winner is not None:
             self._register_fire(winner.time)
         return winner
+
+    # -- batch window-based detection ----------------------------------------------
+    def detect_in_windows(
+        self,
+        window_duration: float,
+        photon_offsets: np.ndarray,
+        mean_photons: float = 1.0,
+        start_time: float = 0.0,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batch analogue of :meth:`detect_in_window` over consecutive windows.
+
+        Simulates one measurement window per entry of ``photon_offsets``
+        (arrival time of the optical pulse *relative to its window start*;
+        ``NaN`` marks a window with no pulse), with window ``i`` spanning
+        ``[start_time + i*T, start_time + (i+1)*T)``.  As in the scalar path,
+        the receiver attempts a gated re-arm at every window start.
+
+        All randomness — photon detection, jitter, dark-count arrivals and
+        afterpulse trap releases — is pre-drawn as arrays; the only remaining
+        per-window work is the *sequential-dependency scan* that cannot be
+        vectorised: the dead-time/re-arm state and the pending afterpulse of
+        window ``i`` depend on the winning detection of window ``i-1``.  The
+        scan runs over plain Python floats (no per-event RNG calls, no object
+        construction), which is what makes the batch path fast.
+
+        Returns ``(times, origins)``: absolute detection times (``NaN`` when
+        the window reported nothing) and int8 origin codes (see
+        :data:`ORIGIN_BY_CODE`; ``-1`` = missed).  Device state (last fire,
+        pending afterpulse) is updated so batches can be chained with scalar
+        calls.
+        """
+        if window_duration <= 0:
+            raise ValueError("window_duration must be positive")
+        offsets = np.asarray(photon_offsets, dtype=float)
+        if offsets.ndim != 1:
+            raise ValueError("photon_offsets must be one-dimensional")
+        if self._last_fire_time is not None and start_time < self._last_fire_time:
+            raise ValueError("cannot start a batch before the last avalanche")
+        count = offsets.size
+        if count == 0:
+            return np.empty(0), np.empty(0, dtype=np.int8)
+        has_pulse = ~np.isnan(offsets)
+        if np.any((offsets[has_pulse] < 0) | (offsets[has_pulse] >= window_duration)):
+            raise ValueError("photon offsets must lie inside the window")
+
+        rng = self._random.generator
+        duration = float(window_duration)
+
+        # Pre-drawn randomness (one bulk draw per physical process).
+        p_detect = self.detection_probability_for_photons(mean_photons)
+        detected = (rng.random(count) < p_detect) & has_pulse
+        jitter = self.jitter.sample_array(self._random, count)
+        photon_rel = np.maximum(np.where(has_pulse, offsets, 0.0) + jitter, 0.0)
+        photon_valid = detected & (photon_rel < duration)
+
+        dark_rate = self.dark_counts.rate(self.config.temperature, self.config.excess_bias)
+        dark_counts = rng.poisson(dark_rate * duration, count)
+        dark_rel = rng.uniform(0.0, duration, int(dark_counts.sum()))
+        dark_bounds = np.zeros(count + 1, dtype=np.int64)
+        np.cumsum(dark_counts, out=dark_bounds[1:])
+
+        trap_filled = rng.random(count) < self.afterpulsing.probability
+        trap_release = rng.exponential(self.afterpulsing.time_constant, count)
+
+        # Sequential-dependency scan over plain Python scalars.
+        photon_rel_l = photon_rel.tolist()
+        photon_valid_l = photon_valid.tolist()
+        dark_rel_l = dark_rel.tolist()
+        dark_bounds_l = dark_bounds.tolist()
+        trap_filled_l = trap_filled.tolist()
+        trap_release_l = trap_release.tolist()
+
+        dead_time = self.quenching.dead_time
+        gate_recovery = self.quenching.effective_gate_recovery
+        last_fire = -inf if self._last_fire_time is None else self._last_fire_time
+        pending = self._pending_afterpulse
+
+        out_times: List[float] = []
+        out_origins: List[int] = []
+        base = float(start_time)
+        for index in range(count):
+            # Multiply rather than accumulate so window boundaries match the
+            # ``start_time + i*T`` grid callers reconstruct bit-exactly.
+            window_start = base + index * duration
+            window_end = window_start + duration
+            # Gated re-arm at the window start (scalar path: ``rearm``); when
+            # the quench/recharge has not finished, the device only recovers
+            # once the free-running dead time elapses.
+            if window_start - last_fire >= gate_recovery:
+                ready = window_start
+            else:
+                ready = last_fire + dead_time
+            best = inf
+            origin = ORIGIN_CODE_MISSED
+            if photon_valid_l[index]:
+                time = window_start + photon_rel_l[index]
+                if time >= ready:
+                    best = time
+                    origin = 0
+            for position in range(dark_bounds_l[index], dark_bounds_l[index + 1]):
+                time = window_start + dark_rel_l[position]
+                if time >= ready and time < best:
+                    best = time
+                    origin = 1
+            if (
+                pending is not None
+                and window_start <= pending < window_end
+                and pending >= ready
+                and pending < best
+            ):
+                best = pending
+                origin = 2
+            # A trap release inside this window is consumed whether or not it
+            # fired (scalar path: end of ``detect_in_window``).
+            if pending is not None and pending < window_end:
+                pending = None
+            if origin >= 0:
+                out_times.append(best)
+                out_origins.append(origin)
+                last_fire = best
+                # ``_register_fire``: sample the next trap release.
+                if trap_filled_l[index]:
+                    pending = best + trap_release_l[index]
+                else:
+                    pending = None
+            else:
+                out_times.append(nan)
+                out_origins.append(ORIGIN_CODE_MISSED)
+
+        # Persist the carry-over state for chained batches / scalar calls.
+        self._last_fire_time = None if isinf(last_fire) else last_fire
+        self._pending_afterpulse = pending
+        self._rearmed_at = None
+        return np.asarray(out_times, dtype=float), np.asarray(out_origins, dtype=np.int8)
 
     # -- continuous detection -------------------------------------------------------
     def first_detection(

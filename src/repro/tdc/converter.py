@@ -28,6 +28,31 @@ from repro.simulation.randomness import RandomSource
 
 
 @dataclass(frozen=True)
+class TdcBatchConversion:
+    """Result of converting a whole array of arrival times at once.
+
+    Field-for-field the array analogue of :class:`TdcConversion`; produced by
+    :meth:`TimeToDigitalConverter.convert_array`, the batch fast path used by
+    the vectorised link engine.
+    """
+
+    coarse_codes: np.ndarray
+    fine_codes: np.ndarray
+    codes: np.ndarray
+    measured_times: np.ndarray
+    true_times: np.ndarray
+    saturated: np.ndarray
+
+    @property
+    def errors(self) -> np.ndarray:
+        """Signed measurement errors [s]."""
+        return self.measured_times - self.true_times
+
+    def __len__(self) -> int:
+        return int(self.codes.size)
+
+
+@dataclass(frozen=True)
 class TdcConversion:
     """Result of a single TDC conversion."""
 
@@ -152,21 +177,43 @@ class TimeToDigitalConverter:
         standard unbiased reconstruction); the arrival time is then the next
         edge minus that interval.
         """
-        fine_time_to_edge = (fine_code + 0.5) * self.lsb
-        fine_time_to_edge = min(fine_time_to_edge, self.coarse.period)
-        return self.coarse.reconstruct(coarse_code, fine_time_to_edge)
+        return float(self.reconstruct_times(coarse_code, fine_code))
 
-    def convert_many(self, arrival_times: np.ndarray) -> np.ndarray:
-        """Vector of output codes for an array of arrival times (used by code-density tests).
+    def reconstruct_times(self, coarse_codes: np.ndarray, fine_codes: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`reconstruct_time` — the single mid-bin reconstruction
+        shared by the scalar and batch conversion paths."""
+        coarse_codes = np.asarray(coarse_codes)
+        if np.any((coarse_codes < 0) | (coarse_codes >= self.coarse.modulus)):
+            raise ValueError(f"coarse codes must be within [0, {self.coarse.modulus})")
+        fine_time_to_edge = np.minimum(
+            (np.asarray(fine_codes) + 0.5) * self.lsb, self.coarse.period
+        )
+        return (coarse_codes + 1) * self.coarse.period - fine_time_to_edge
 
-        Takes a fast vectorised path when no metastability model is attached;
-        otherwise falls back to per-sample conversion so bubbles are injected.
+    def convert_array(self, arrival_times: np.ndarray) -> TdcBatchConversion:
+        """Convert a whole array of arrival times in one vectorised pass.
+
+        Produces the same codes and reconstructed times as calling
+        :meth:`convert` per sample, but quantises the entire batch with a
+        single :func:`np.searchsorted` against the delay line's cached tap
+        times.  When a metastability model is attached the method falls back
+        to per-sample conversion so bubbles are injected.
         """
         times = np.asarray(arrival_times, dtype=float)
         if self.metastability is not None:
-            return np.asarray([self.convert(t).code for t in times], dtype=int)
+            conversions = [self.convert(float(t)) for t in times.ravel()]
+            shape = times.shape
+            return TdcBatchConversion(
+                coarse_codes=np.asarray([c.coarse_code for c in conversions], dtype=int).reshape(shape),
+                fine_codes=np.asarray([c.fine_code for c in conversions], dtype=int).reshape(shape),
+                codes=np.asarray([c.code for c in conversions], dtype=int).reshape(shape),
+                measured_times=np.asarray([c.measured_time for c in conversions], dtype=float).reshape(shape),
+                true_times=times.copy(),
+                saturated=np.asarray([c.saturated for c in conversions], dtype=bool).reshape(shape),
+            )
         if np.any(times < 0):
             raise ValueError("arrival times must be non-negative")
+        saturated = times >= self.usable_range
         clamped = np.minimum(times, np.nextafter(self.usable_range, 0.0))
         period = self.coarse.period
         coarse_codes = np.floor(clamped / period).astype(int) % self.coarse.modulus
@@ -174,7 +221,22 @@ class TimeToDigitalConverter:
         residual = np.where(phase == 0.0, period, period - phase)
         fine_codes = np.searchsorted(self.delay_line.tap_times, residual, side="right")
         fine_codes = np.minimum(fine_codes, self.fine_elements - 1)
-        return coarse_codes * self.fine_elements + (self.fine_elements - 1 - fine_codes)
+        return TdcBatchConversion(
+            coarse_codes=coarse_codes,
+            fine_codes=fine_codes,
+            codes=coarse_codes * self.fine_elements + (self.fine_elements - 1 - fine_codes),
+            measured_times=self.reconstruct_times(coarse_codes, fine_codes),
+            true_times=times.copy(),
+            saturated=saturated,
+        )
+
+    def convert_many(self, arrival_times: np.ndarray) -> np.ndarray:
+        """Vector of output codes for an array of arrival times (used by code-density tests).
+
+        Thin wrapper over :meth:`convert_array` kept for the code-density
+        tooling, which only needs the codes.
+        """
+        return self.convert_array(arrival_times).codes
 
     def quantization_rms(self) -> float:
         """RMS quantisation error of an ideal converter with this LSB [s]."""

@@ -47,17 +47,36 @@ class TappedDelayLine:
         else:
             self._reference_delays = element_model.sample_delays(length, random_source)
         self._scale = element_model.pvt_scale(self.temperature, self.voltage)
+        self._element_delays_cache: Optional[np.ndarray] = None
+        self._tap_times_cache: Optional[np.ndarray] = None
 
     # -- geometry ---------------------------------------------------------
     @property
     def element_delays(self) -> np.ndarray:
-        """Per-element delays at the current operating point [s]."""
-        return self._reference_delays * self._scale
+        """Per-element delays at the current operating point [s].
+
+        Cached (and returned read-only) because every TDC conversion consults
+        the chain geometry; the cache is invalidated by
+        :meth:`set_operating_point`.
+        """
+        if self._element_delays_cache is None:
+            delays = self._reference_delays * self._scale
+            delays.flags.writeable = False
+            self._element_delays_cache = delays
+        return self._element_delays_cache
 
     @property
     def tap_times(self) -> np.ndarray:
-        """Cumulative propagation time up to (and including) each tap [s]."""
-        return np.cumsum(self.element_delays)
+        """Cumulative propagation time up to (and including) each tap [s].
+
+        Cached (and returned read-only); invalidated by
+        :meth:`set_operating_point`.
+        """
+        if self._tap_times_cache is None:
+            taps = np.cumsum(self.element_delays)
+            taps.flags.writeable = False
+            self._tap_times_cache = taps
+        return self._tap_times_cache
 
     @property
     def total_delay(self) -> float:
@@ -71,6 +90,8 @@ class TappedDelayLine:
         if voltage is not None:
             self.voltage = voltage
         self._scale = self.element_model.pvt_scale(self.temperature, self.voltage)
+        self._element_delays_cache = None
+        self._tap_times_cache = None
 
     # -- measurement --------------------------------------------------------
     def taps_reached(self, elapsed: float) -> int:

@@ -1,0 +1,181 @@
+"""Tests for repro.core.fastlink — the vectorised batch transmission engine.
+
+The batch path must be statistically equivalent to the scalar path (same
+physics, same distributions) and individually deterministic per seed; it is
+*not* required to be draw-for-draw identical to the scalar path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.units import NS, PS
+from repro.core.ber import monte_carlo_bit_error_rate
+from repro.core.config import LinkConfig
+from repro.core.fastlink import FastOpticalLink
+from repro.core.link import OpticalLink, TransmissionResult
+from repro.spad.device import ORIGIN_BY_CODE
+
+
+MODERATE = LinkConfig(ppm_bits=4, mean_detected_photons=5.0)
+BRIGHT = LinkConfig(ppm_bits=4, mean_detected_photons=200.0)
+
+
+class TestStatisticalEquivalence:
+    """Scalar vs. batch on identical configs, within Monte-Carlo tolerance."""
+
+    BITS = 24_000
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        scalar = OpticalLink(MODERATE, seed=42).transmit_random(self.BITS)
+        batch = FastOpticalLink(MODERATE, seed=42).transmit_random(self.BITS)
+        return scalar, batch
+
+    def test_ber_within_monte_carlo_tolerance(self, pair):
+        scalar, batch = pair
+        # Binomial std of each estimate, doubled for symbol-correlated bit
+        # errors, 5 sigma on the combined difference.
+        p = max(scalar.bit_error_rate, 1.0 / self.BITS)
+        tolerance = 5.0 * 2.0 * np.sqrt(2.0 * p * (1 - p) / self.BITS)
+        assert abs(scalar.bit_error_rate - batch.bit_error_rate) < tolerance
+
+    def test_ser_within_monte_carlo_tolerance(self, pair):
+        scalar, batch = pair
+        symbols = scalar.symbols_sent
+        assert batch.symbols_sent == symbols
+        p = max(scalar.symbol_error_rate, 1.0 / symbols)
+        tolerance = 5.0 * np.sqrt(2.0 * p * (1 - p) / symbols)
+        assert abs(scalar.symbol_error_rate - batch.symbol_error_rate) < tolerance
+
+    def test_detection_origin_distributions_match(self, pair):
+        scalar, batch = pair
+        symbols = scalar.symbols_sent
+        assert set(scalar.detection_counts) == set(batch.detection_counts)
+        for origin in scalar.detection_counts:
+            p = max(scalar.detection_counts[origin] / symbols, 1.0 / symbols)
+            tolerance = 5.0 * np.sqrt(2.0 * p * (1 - p) / symbols)
+            delta = abs(scalar.detection_counts[origin] - batch.detection_counts[origin])
+            assert delta / symbols < tolerance, origin
+
+    def test_error_free_regime_agrees_exactly(self):
+        # Wide slots push the jitter mis-slot probability to ~1e-5/symbol, so
+        # both paths must round-trip the payload exactly.
+        config = LinkConfig(ppm_bits=4, slot_duration=4 * NS, mean_detected_photons=200.0)
+        payload = [1, 0, 1, 1, 0, 0, 1, 0] * 4
+        scalar = OpticalLink(config, seed=1).transmit_bits(payload)
+        batch = FastOpticalLink(config, seed=1).transmit_bits(payload)
+        assert scalar.bit_errors == 0
+        assert batch.bit_errors == 0
+        assert batch.received_bits == payload
+
+    def test_ber_estimator_fast_and_scalar_paths_agree(self):
+        fast = monte_carlo_bit_error_rate(MODERATE, bits=8000, seed=3, fast=True)
+        scalar = monte_carlo_bit_error_rate(MODERATE, bits=8000, seed=3, fast=False)
+        assert fast.ber == pytest.approx(scalar.ber, abs=5.0 * (fast.confidence_95 + scalar.confidence_95))
+
+
+class TestDeterminism:
+    def test_same_seed_identical_result(self):
+        a = FastOpticalLink(MODERATE, seed=9).transmit_random(4000)
+        b = FastOpticalLink(MODERATE, seed=9).transmit_random(4000)
+        assert a.received_bits == b.received_bits
+        assert a.transmitted_bits == b.transmitted_bits
+        assert a.symbol_errors == b.symbol_errors
+        assert a.detection_counts == b.detection_counts
+        assert a.elapsed_time == b.elapsed_time
+
+    def test_different_seed_differs(self):
+        a = FastOpticalLink(MODERATE, seed=9).transmit_random(4000)
+        b = FastOpticalLink(MODERATE, seed=10).transmit_random(4000)
+        assert a.received_bits != b.received_bits
+
+
+class TestBatchContract:
+    def test_payload_preserved_and_padded(self):
+        link = FastOpticalLink(BRIGHT, seed=2)
+        payload = [1, 0, 1, 1, 0]  # 5 bits -> padded to 8
+        result = link.transmit_bits(payload)
+        assert isinstance(result, TransmissionResult)
+        assert result.transmitted_bits == payload
+        assert len(result.received_bits) == len(payload)
+        assert result.symbols_sent == 2
+
+    def test_zero_photons_loses_everything(self):
+        link = FastOpticalLink(LinkConfig(ppm_bits=4, mean_detected_photons=0.0), seed=3)
+        result = link.transmit_bits([1] * 16)
+        assert result.detection_counts["missed"] == result.symbols_sent
+        assert result.bit_errors > 0
+
+    def test_throughput_matches_configuration(self):
+        link = FastOpticalLink(MODERATE, seed=4)
+        result = link.transmit_random(400)
+        assert result.throughput == pytest.approx(MODERATE.raw_bit_rate, rel=1e-6)
+
+    def test_validation(self):
+        link = FastOpticalLink(seed=0)
+        with pytest.raises(ValueError):
+            link.transmit_bits([])
+        with pytest.raises(ValueError):
+            link.transmit_bits([2])
+        with pytest.raises(ValueError):
+            # Fractional values must not be silently truncated to valid bits.
+            link.transmit_bits([0.5])
+        with pytest.raises(ValueError):
+            link.transmit_random(0)
+
+    def test_received_bits_are_plain_ints(self):
+        result = FastOpticalLink(BRIGHT, seed=5).transmit_bits([1, 0, 1, 1])
+        assert all(isinstance(bit, int) for bit in result.received_bits)
+
+
+class TestSpadBatchWindows:
+    def test_origin_codes_cover_enum(self):
+        assert {origin.value for origin in ORIGIN_BY_CODE.values()} == {
+            "photon",
+            "dark_count",
+            "afterpulse",
+        }
+
+    def test_empty_batch(self):
+        link = FastOpticalLink(MODERATE, seed=6)
+        times, origins = link.spad.detect_in_windows(32 * NS, np.empty(0))
+        assert times.size == 0 and origins.size == 0
+
+    def test_nan_offsets_mean_no_pulse(self):
+        link = FastOpticalLink(LinkConfig(ppm_bits=4, mean_detected_photons=500.0), seed=6)
+        offsets = np.full(64, np.nan)
+        times, origins = link.spad.detect_in_windows(32 * NS, offsets, mean_photons=500.0)
+        # Without pulses only (rare) dark counts can fire.
+        assert not np.any(origins == 0)
+
+    def test_detection_times_lie_inside_their_windows(self):
+        link = FastOpticalLink(MODERATE, seed=7)
+        duration = MODERATE.symbol_duration
+        offsets = np.full(256, 1.0 * NS)
+        times, origins = link.spad.detect_in_windows(duration, offsets, mean_photons=50.0)
+        detected = origins >= 0
+        relative = times[detected] - np.flatnonzero(detected) * duration
+        assert np.all(relative >= 0)
+        assert np.all(relative < duration)
+
+    def test_offset_validation(self):
+        link = FastOpticalLink(MODERATE, seed=8)
+        with pytest.raises(ValueError):
+            link.spad.detect_in_windows(32 * NS, np.array([-1.0 * NS]))
+        with pytest.raises(ValueError):
+            link.spad.detect_in_windows(32 * NS, np.array([40 * NS]))
+        with pytest.raises(ValueError):
+            link.spad.detect_in_windows(0.0, np.array([1.0 * NS]))
+
+    def test_batch_cannot_start_before_last_avalanche(self):
+        # Mirrors the scalar ``rearm`` guard: device state cannot go backwards.
+        link = FastOpticalLink(BRIGHT, seed=9)
+        link.transmit_bits([1, 0] * 20)
+        assert link.spad._last_fire_time is not None
+        with pytest.raises(ValueError):
+            link.spad.detect_in_windows(32 * NS, np.array([1.0 * NS]))
+        # Chaining forward from the current state is fine.
+        times, origins = link.spad.detect_in_windows(
+            32 * NS, np.array([1.0 * NS]), mean_photons=200.0, start_time=1e-6
+        )
+        assert times.size == 1

@@ -56,6 +56,55 @@ class TestMonteCarloRunner:
         assert results[2.0].mean == pytest.approx(2 * results[1.0].mean, rel=0.2)
 
 
+class TestRunBatch:
+    def test_reproducible_for_same_seed_and_chunking(self):
+        trial = lambda rng, count: rng.uniform(size=count)
+        first = MonteCarloRunner(seed=1).run_batch(trial, trials=100, chunk_size=32)
+        second = MonteCarloRunner(seed=1).run_batch(trial, trials=100, chunk_size=32)
+        assert np.array_equal(first.samples, second.samples)
+
+    def test_chunks_draw_independent_streams(self):
+        trial = lambda rng, count: rng.uniform(size=count)
+        result = MonteCarloRunner(seed=2).run_batch(trial, trials=100, chunk_size=10)
+        assert len(set(result.samples.tolist())) == 100
+
+    def test_mean_of_uniform(self):
+        trial = lambda rng, count: rng.uniform(size=count)
+        result = MonteCarloRunner(seed=3).run_batch(trial, trials=5000)
+        assert result.mean == pytest.approx(0.5, abs=0.03)
+
+    def test_partial_final_chunk(self):
+        result = MonteCarloRunner(seed=4).run_batch(
+            lambda rng, count: np.full(count, 1.0), trials=25, chunk_size=10
+        )
+        assert result.trials == 25
+        assert result.mean == 1.0
+
+    def test_progress_reports_chunk_boundaries(self):
+        seen = []
+        MonteCarloRunner(seed=5).run_batch(
+            lambda rng, count: np.zeros(count),
+            trials=25,
+            chunk_size=10,
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen == [(10, 25), (20, 25), (25, 25)]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MonteCarloRunner(seed=6).run_batch(
+                lambda rng, count: np.zeros(count + 1), trials=10
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MonteCarloRunner().run_batch(lambda rng, count: np.zeros(count), trials=0)
+        with pytest.raises(ValueError):
+            MonteCarloRunner().run_batch(
+                lambda rng, count: np.zeros(count), trials=10, chunk_size=0
+            )
+
+
 class TestMonteCarloResult:
     def test_statistics(self):
         result = MonteCarloResult(samples=np.array([1.0, 2.0, 3.0]))

@@ -109,3 +109,54 @@ class TestConversion:
             conversion = tdc.convert(float(arrival))
             # Bubble correction keeps the error within a couple of LSB.
             assert abs(conversion.error) <= 3 * tdc.lsb
+
+
+class TestBatchConversion:
+    def test_convert_array_matches_scalar_convert_field_by_field(self):
+        tdc = make_ideal_tdc(coarse_bits=2)
+        times = np.linspace(1 * PS, tdc.usable_range * 1.01, 60)
+        batch = tdc.convert_array(times)
+        for index, time in enumerate(times):
+            scalar = tdc.convert(float(time))
+            assert batch.coarse_codes[index] == scalar.coarse_code
+            assert batch.fine_codes[index] == scalar.fine_code
+            assert batch.codes[index] == scalar.code
+            assert batch.measured_times[index] == pytest.approx(scalar.measured_time)
+            assert batch.saturated[index] == scalar.saturated
+        assert np.array_equal(batch.true_times, times)
+        assert len(batch) == 60
+
+    def test_convert_array_mismatched_chain_matches_scalar(self):
+        line = TappedDelayLine(
+            DelayElementModel(nominal_delay=100 * PS, mismatch_sigma=0.1),
+            length=55,
+            random_source=RandomSource(3),
+        )
+        coarse = CoarseCounter(clock_frequency=1.0 / (50 * 100 * PS), bits=2)
+        tdc = TimeToDigitalConverter(line, coarse)
+        times = np.linspace(1 * PS, tdc.usable_range * 0.999, 120)
+        batch = tdc.convert_array(times)
+        scalar_codes = np.array([tdc.convert(float(t)).code for t in times])
+        scalar_measured = np.array([tdc.convert(float(t)).measured_time for t in times])
+        assert np.array_equal(batch.codes, scalar_codes)
+        assert np.allclose(batch.measured_times, scalar_measured)
+
+    def test_convert_array_metastability_fallback(self):
+        line = TappedDelayLine(
+            DelayElementModel(nominal_delay=100 * PS, mismatch_sigma=0.0), length=50
+        )
+        coarse = CoarseCounter(clock_frequency=1.0 / (50 * 100 * PS), bits=0)
+        tdc = TimeToDigitalConverter(
+            line,
+            coarse,
+            metastability=MetastabilityModel(aperture=20 * PS, flip_probability=1.0),
+            random_source=RandomSource(1),
+        )
+        times = np.linspace(10 * PS, tdc.usable_range * 0.99, 10)
+        batch = tdc.convert_array(times)
+        assert len(batch) == 10
+        assert np.all(np.abs(batch.errors) <= 3 * tdc.lsb)
+
+    def test_convert_array_rejects_negative_times(self):
+        with pytest.raises(ValueError):
+            make_ideal_tdc().convert_array(np.array([-1e-9]))

@@ -89,3 +89,36 @@ class TestOperatingPoint:
         c = TappedDelayLine(model, length=16, random_source=RandomSource(2))
         assert np.array_equal(a.element_delays, b.element_delays)
         assert not np.array_equal(a.element_delays, c.element_delays)
+
+
+class TestGeometryCaching:
+    """tap_times/element_delays are cached per operating point (hot TDC path)."""
+
+    def test_repeated_access_returns_same_array_object(self):
+        model = DelayElementModel(nominal_delay=100 * PS, mismatch_sigma=0.05)
+        line = TappedDelayLine(model, length=16, random_source=RandomSource(1))
+        assert line.tap_times is line.tap_times
+        assert line.element_delays is line.element_delays
+
+    def test_cached_arrays_are_read_only(self):
+        line = TappedDelayLine(DelayElementModel(nominal_delay=100 * PS), length=8)
+        with pytest.raises(ValueError):
+            line.tap_times[0] = 0.0
+        with pytest.raises(ValueError):
+            line.element_delays[0] = 0.0
+
+    def test_set_operating_point_invalidates_cache(self):
+        model = DelayElementModel(
+            nominal_delay=100 * PS, mismatch_sigma=0.05, temperature_coefficient=1e-3
+        )
+        line = TappedDelayLine(model, length=16, random_source=RandomSource(1), temperature=20.0)
+        cold_taps = line.tap_times
+        cold_delays = line.element_delays
+        line.set_operating_point(temperature=80.0)
+        hot_taps = line.tap_times
+        assert hot_taps is not cold_taps
+        assert np.all(hot_taps > cold_taps)
+        assert line.element_delays is not cold_delays
+        # Moving back re-derives the original geometry from the frozen mismatch.
+        line.set_operating_point(temperature=20.0)
+        assert np.allclose(line.tap_times, cold_taps)
