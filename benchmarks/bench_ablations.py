@@ -14,8 +14,8 @@ import pytest
 
 from repro.analysis.report import ExperimentReport, ReportTable
 from repro.analysis.units import NS, PS, format_si
+from repro.core.backend import make_link
 from repro.core.config import LinkConfig
-from repro.core.fastlink import FastOpticalLink
 from repro.modulation.line_coding import OnOffKeyingCodec
 from repro.simulation.randomness import RandomSource
 from repro.tdc.coarse_counter import CoarseCounter
@@ -34,7 +34,7 @@ def run_ablations():
     for k in PPM_ORDERS:
         config = LinkConfig(ppm_bits=k, slot_duration=500 * PS, spad_dead_time=32 * NS,
                             mean_detected_photons=50.0)
-        result = FastOpticalLink(config, seed=k).transmit_random(BITS)
+        result = make_link(config, backend="batch", seed=k).transmit_random(BITS)
         order_rows.append((k, config.raw_bit_rate, result.bit_error_rate))
 
     # 2. OOK baseline at the same detection cycle.

@@ -13,13 +13,14 @@ import pytest
 
 from repro.analysis.report import ExperimentReport, ReportTable
 from repro.analysis.units import NS, PS, format_si
-from repro.core.ber import analytic_bit_error_rate, ber_vs_photons, monte_carlo_bit_error_rate
+from repro.core.ber import analytic_bit_error_rate, monte_carlo_bit_error_rate
 from repro.core.config import LinkConfig
+from repro.scenarios import ExperimentRunner, get_scenario
 
 GUARDS = [0.0, 8 * NS, 24 * NS, 64 * NS]
-# The Monte-Carlo estimator runs the vectorised batch engine (fast=True is the
-# monte_carlo_bit_error_rate default), so the sweep affords an order of
-# magnitude more statistics than the scalar path used to.
+# The Monte-Carlo estimator runs the vectorised batch backend (the registry
+# default), so the sweep affords an order of magnitude more statistics than
+# the scalar path used to.
 BITS = 40_000
 
 
@@ -30,15 +31,14 @@ def run_sweeps():
             ppm_bits=4, slot_duration=500 * PS, spad_dead_time=32 * NS,
             extra_guard=guard, mean_detected_photons=50.0,
         )
-        estimate = monte_carlo_bit_error_rate(config, bits=BITS, seed=int(guard * 1e9) + 1)
+        estimate = monte_carlo_bit_error_rate(
+            config, bits=BITS, seed=int(guard * 1e9) + 1, backend="batch"
+        )
         range_rows.append((config, estimate, analytic_bit_error_rate(config)))
 
-    waterfall = ber_vs_photons(
-        LinkConfig(ppm_bits=4, slot_duration=1 * NS, spad_dead_time=32 * NS),
-        photon_levels=[0.5, 2.0, 5.0, 20.0, 80.0],
-        bits_per_point=20_000,
-        seed=11,
-    )
+    # The received-energy waterfall is the library's declarative scenario,
+    # compiled onto the batch Monte-Carlo machinery by the experiment runner.
+    waterfall = ExperimentRunner(get_scenario("ber-vs-photons"), seed=11).run()
     return range_rows, waterfall
 
 
@@ -62,9 +62,16 @@ def test_ber_versus_range_and_photons(benchmark):
     report.add_table(table, caption="Range/guard sweep at a 32 ns SPAD dead time (K=4, 500 ps slots)")
 
     photon_table = ReportTable(columns=["mean detected photons / pulse", "simulated BER"])
-    for photons, estimate in waterfall:
-        photon_table.add_row(photons, f"{estimate.ber:.2e}")
-    report.add_table(photon_table, caption="Received-energy waterfall (K=4, 1 ns slots)")
+    for point in waterfall.points:
+        half = point.confidence["ber"]
+        photon_table.add_row(
+            point.parameters["mean_detected_photons"],
+            f"{point.metric('ber'):.2e} ± {half:.1e}",
+        )
+    report.add_table(
+        photon_table,
+        caption="Received-energy waterfall (scenario 'ber-vs-photons', K=4, 1 ns slots)",
+    )
 
     shortest = range_rows[0]
     longest = range_rows[-1]
@@ -83,4 +90,6 @@ def test_ber_versus_range_and_photons(benchmark):
     # Shape assertions.
     assert shortest[0].raw_bit_rate > longest[0].raw_bit_rate
     assert longest[1].ber <= shortest[1].ber + 0.01
-    assert waterfall[0][1].ber > waterfall[-1][1].ber
+    photons, bers = waterfall.metric_series("ber")
+    assert photons[0] < photons[-1]
+    assert bers[0] > bers[-1]

@@ -1,10 +1,11 @@
-"""FASTPATH — scalar vs. batch transmission throughput (symbols/sec).
+"""FASTPATH — scalar vs. batch backend throughput (symbols/sec).
 
-Times the scalar symbol-by-symbol :class:`~repro.core.link.OpticalLink`
-against the vectorised :class:`~repro.core.fastlink.FastOpticalLink` on the
-10^5-symbol BER workload (K=4, 500 ps slots, 32 ns SPAD) and writes the
-measurements to ``BENCH_fastpath.json`` at the repository root so future PRs
-have a perf trajectory to regress against.
+Times the two registered link backends — ``"scalar"`` (symbol by symbol) and
+``"batch"`` (vectorised), both constructed through the
+:func:`repro.core.backend.make_link` registry — on the 10^5-symbol BER
+workload (K=4, 500 ps slots, 32 ns SPAD) and writes the measurements to
+``BENCH_fastpath.json`` at the repository root so future PRs have a perf
+trajectory to regress against.
 
 The acceptance bar for the batch engine is a >=10x symbols/sec speedup while
 remaining statistically equivalent to the scalar path (equivalence is asserted
@@ -20,9 +21,8 @@ import pytest
 
 from repro.analysis.report import ExperimentReport, ReportTable
 from repro.analysis.units import NS, PS, format_si
+from repro.core.backend import make_link
 from repro.core.config import LinkConfig
-from repro.core.fastlink import FastOpticalLink
-from repro.core.link import OpticalLink
 
 SYMBOLS = 100_000
 CONFIG = LinkConfig(
@@ -32,8 +32,8 @@ BITS = SYMBOLS * CONFIG.ppm_bits
 RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_fastpath.json"
 
 
-def time_path(link_class, seed: int = 7):
-    link = link_class(CONFIG, seed=seed)
+def time_path(backend: str, seed: int = 7):
+    link = make_link(CONFIG, backend=backend, seed=seed)
     start = time.perf_counter()
     result = link.transmit_random(BITS)
     elapsed = time.perf_counter() - start
@@ -41,8 +41,8 @@ def time_path(link_class, seed: int = 7):
 
 
 def run_comparison():
-    scalar_result, scalar_elapsed = time_path(OpticalLink)
-    batch_result, batch_elapsed = time_path(FastOpticalLink)
+    scalar_result, scalar_elapsed = time_path("scalar")
+    batch_result, batch_elapsed = time_path("batch")
     return scalar_result, scalar_elapsed, batch_result, batch_elapsed
 
 
@@ -87,9 +87,9 @@ def test_fastpath_speedup(benchmark):
                     "the simulator must evaluate whole ensembles as array operations",
     )
     table = ReportTable(columns=["path", "wall time", "symbols/sec", "BER"])
-    table.add_row("scalar (OpticalLink)", f"{scalar_elapsed:.2f} s",
+    table.add_row("scalar backend", f"{scalar_elapsed:.2f} s",
                   format_si(scalar_rate, "sym/s"), f"{scalar_result.bit_error_rate:.3e}")
-    table.add_row("batch (FastOpticalLink)", f"{batch_elapsed:.3f} s",
+    table.add_row("batch backend", f"{batch_elapsed:.3f} s",
                   format_si(batch_rate, "sym/s"), f"{batch_result.bit_error_rate:.3e}")
     report.add_table(table, caption=f"{SYMBOLS:,} symbols, K=4, 500 ps slots, 32 ns SPAD")
     report.add_comparison("batch speedup", ">=10x symbols/sec", f"{speedup:.1f}x")

@@ -15,9 +15,9 @@ import pytest
 
 from repro.analysis.report import ExperimentReport, ReportTable
 from repro.analysis.units import NS, PS, format_si
+from repro.core.backend import make_link
 from repro.core.config import LinkConfig
 from repro.core.design_space import DesignSpace
-from repro.core.fastlink import FastOpticalLink
 
 PARALLEL_CHANNELS = 32
 BITS_PER_CHANNEL = 2_000
@@ -28,7 +28,7 @@ def run_links():
     fast_config = LinkConfig(
         ppm_bits=4, slot_duration=500 * PS, spad_dead_time=8 * NS, mean_detected_photons=80.0
     )
-    fast_link = FastOpticalLink(fast_config, seed=3)
+    fast_link = make_link(fast_config, backend="batch", seed=3)
     fast_result = fast_link.transmit_random(BITS_PER_CHANNEL)
 
     # Conservative 32 ns detection cycle, matched range.
@@ -36,7 +36,9 @@ def run_links():
         ppm_bits=4, slot_duration=500 * PS, spad_dead_time=32 * NS, mean_detected_photons=80.0
     )
     slow_results = [
-        FastOpticalLink(slow_config, seed=100 + channel).transmit_random(BITS_PER_CHANNEL, payload_seed=channel)
+        make_link(slow_config, backend="batch", seed=100 + channel).transmit_random(
+            BITS_PER_CHANNEL, payload_seed=channel
+        )
         for channel in range(PARALLEL_CHANNELS)
     ]
     return fast_config, fast_result, slow_config, slow_results

@@ -19,8 +19,7 @@ from repro.analysis.units import NS, PS, format_si
 from repro.core.calibration import CalibrationPolicy
 from repro.core.config import LinkConfig
 from repro.core.design_space import DesignSpace, figure4_grid
-from repro.core.fastlink import FastOpticalLink
-from repro.simulation.montecarlo import MonteCarloRunner
+from repro.simulation.montecarlo import MonteCarloRunner, link_symbol_error_trial
 
 
 def main(dead_time_ns: float = 32.0) -> None:
@@ -62,21 +61,13 @@ def main(dead_time_ns: float = 32.0) -> None:
     print(f"  throughput overhead             : {policy.throughput_overhead() * 100:.3f} %")
 
     # Validate the operating point end to end: a batched Monte-Carlo where
-    # each "trial" is one PPM symbol pushed through the vectorised link
-    # engine, chunked by MonteCarloRunner.run_batch.
+    # each "trial" is one PPM symbol pushed through the batch link backend
+    # (selected by name via the registry), chunked by run_batch.
     config = LinkConfig(ppm_bits=4, spad_dead_time=dead_time, mean_detected_photons=20.0)
-
-    def symbol_errors(rng: np.random.Generator, count: int) -> np.ndarray:
-        link = FastOpticalLink(config, seed=int(rng.integers(0, 2**31)))
-        payload = rng.integers(0, 2, size=count * config.ppm_bits).tolist()
-        result = link.transmit_bits(payload)
-        sent = np.asarray(result.transmitted_bits).reshape(count, -1)
-        received = np.asarray(result.received_bits).reshape(count, -1)
-        return np.any(sent != received, axis=1).astype(float)
 
     trials = 20_000
     outcome = MonteCarloRunner(seed=42, label="design-validation").run_batch(
-        symbol_errors, trials=trials, chunk_size=8192
+        link_symbol_error_trial(config, backend="batch"), trials=trials, chunk_size=8192
     )
     print(f"\nMonte-Carlo validation ({trials:,} symbols, batched link engine):")
     print(f"  symbol error rate   : {outcome.mean:.2e} ± {outcome.standard_error():.1e}")

@@ -4,12 +4,16 @@ Run with ``python examples/quickstart.py``.
 
 The example builds the default link of the paper's system — a 16-PPM channel
 (4 bits per optical pulse) with 500 ps slots, a 32 ns actively-quenched SPAD
-and a red micro-LED — transmits a short message, and prints the decoded text
-together with the link statistics and the analytic error budget.
+and a red micro-LED — through the link-backend registry (``make_link``),
+transmits a short message, and prints the decoded text together with the link
+statistics and the analytic error budget.  It then runs one of the named
+declarative scenarios through the ``repro.scenarios`` experiment layer, which
+is how the paper's figures are reproduced at scale.
 """
 
-from repro.core import FastOpticalLink, LinkConfig
+from repro.core import LinkConfig, make_link
 from repro.core.error_model import symbol_error_budget
+from repro.scenarios import ExperimentRunner, get_scenario
 
 
 def text_to_bits(text: str) -> list:
@@ -31,9 +35,10 @@ def bits_to_text(bits: list) -> str:
 
 def main() -> None:
     config = LinkConfig(ppm_bits=4)
-    # The batch engine is a drop-in replacement for OpticalLink and the
-    # default choice whenever more than a handful of symbols are simulated.
-    link = FastOpticalLink(config, seed=2026)
+    # make_link is the package's front door: backends are selected by name
+    # ("batch" is the vectorised default, "scalar" the symbol-by-symbol
+    # reference) so no caller hard-codes a link class.
+    link = make_link(config, backend="batch", seed=2026)
 
     message = "hello from the optical through-chip bus!"
     payload = text_to_bits(message)
@@ -60,6 +65,15 @@ def main() -> None:
     print(f"  jitter mis-slotting  : {budget.jitter_misslot:.2e}")
     print(f"  dominant mechanism   : {budget.dominant_mechanism()}")
     print(f"  implied BER          : {budget.bit_error_rate(config.ppm_bits):.2e}")
+
+    # Experiments are declarative: a named Scenario compiled onto the batch
+    # Monte-Carlo machinery by ExperimentRunner (here at a reduced budget so
+    # the quickstart stays quick).
+    print()
+    print("=== declarative scenario: the BER waterfall ===")
+    scenario = get_scenario("ber-vs-photons").with_budget(4_000)
+    report = ExperimentRunner(scenario, seed=7).run()
+    print(report.summary())
 
 
 if __name__ == "__main__":

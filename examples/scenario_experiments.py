@@ -1,0 +1,62 @@
+"""Declarative experiments: scenarios, backends and structured reports.
+
+Run with ``python examples/scenario_experiments.py``.
+
+Shows the package's experiment front door end to end:
+
+1. list the named paper scenarios and run two of them through
+   ``ExperimentRunner`` (reduced budgets so the example finishes in seconds);
+2. define a *custom* scenario purely as data, round-trip it through JSON, and
+   run it on both registered link backends to show the statistical (not
+   draw-for-draw) backend equivalence contract.
+"""
+
+import json
+
+from repro.core import available_backends, backend_capabilities
+from repro.scenarios import (
+    ExperimentRunner,
+    Scenario,
+    get_scenario,
+    named_scenarios,
+)
+
+
+def main() -> None:
+    print("=== registered link backends ===")
+    for name in available_backends():
+        print(f"  {name:8s} {backend_capabilities(name)}")
+
+    print("\n=== named paper scenarios ===")
+    for name in named_scenarios():
+        print(f"  {name:20s} {get_scenario(name).description}")
+
+    for name in ("ber-vs-range", "design-space-grid"):
+        print(f"\n=== {name} ===")
+        scenario = get_scenario(name).with_budget(4_000)
+        report = ExperimentRunner(scenario, seed=11).run()
+        print(report.summary())
+
+    # A scenario is plain data: build one, serialise it, load it back.
+    custom = Scenario(
+        name="dead-time-study",
+        description="BER and goodput versus SPAD dead time at fixed pulse energy",
+        link_overrides={"ppm_bits": 4, "mean_detected_photons": 30.0},
+        sweep_axes={"spad_dead_time": (8e-9, 16e-9, 32e-9, 64e-9)},
+        metrics=("ber", "goodput"),
+        bits_per_point=4_000,
+    )
+    payload = json.dumps(custom.to_mapping())
+    restored = Scenario.from_mapping(json.loads(payload))
+    assert restored == custom
+    print(f"\n=== custom scenario (restored from {len(payload)} bytes of JSON) ===")
+    for backend in available_backends():
+        report = ExperimentRunner(restored, seed=3, backend=backend).run()
+        print(f"\n-- backend={backend} --")
+        print(report.summary())
+    print("\n=> backends share the physics and the TransmissionResult contract; "
+          "their estimates agree within the printed confidence intervals.")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,34 +17,69 @@ optical interconnect depends on:
   tooling used by the stochastic device models.
 * :mod:`repro.noc` — multi-chip vertical optical bus, broadcast and arbitration.
 * :mod:`repro.core` — the paper's contribution: the end-to-end optical link,
-  its throughput/design-space model (MW, TP, DC equations), error/power/area
-  analysis and the optical clock distribution extension.
+  the link-backend registry (:func:`make_link`), its throughput/design-space
+  model (MW, TP, DC equations), error/power/area analysis and the optical
+  clock distribution extension.
+* :mod:`repro.scenarios` — the declarative experiment layer: frozen
+  :class:`~repro.scenarios.Scenario` descriptions of the paper's sweeps,
+  compiled onto the batch Monte-Carlo machinery by
+  :class:`~repro.scenarios.ExperimentRunner`.
 * :mod:`repro.analysis` — units, sweeps, statistics and report helpers.
 
 Quickstart
 ----------
 
->>> from repro.core import LinkConfig, OpticalLink
->>> link = OpticalLink(LinkConfig(ppm_bits=4), seed=1)
+Links are built through the backend registry — ``"batch"`` (the vectorised
+default) or ``"scalar"`` (the draw-for-draw reference path), never by naming
+an engine class:
+
+>>> from repro import LinkConfig, make_link
+>>> link = make_link(LinkConfig(ppm_bits=4), backend="batch", seed=1)
 >>> result = link.transmit_bits([0, 1, 1, 0, 1, 0, 0, 1])
 >>> result.bit_errors
 0
+
+Experiments — the paper's figures — are declarative scenarios:
+
+>>> from repro.scenarios import ExperimentRunner, get_scenario
+>>> scenario = get_scenario("ber-vs-photons").with_budget(512)
+>>> report = ExperimentRunner(scenario, seed=1).run()
+>>> len(report.points)
+6
+
+Backend contract: all backends share the physics and the
+:class:`~repro.core.link.TransmissionResult` shape, are deterministic per
+seed, and are *statistically* (not draw-for-draw) equivalent to each other.
 """
 
 from repro.core import (
+    BackendCapabilities,
     FastOpticalLink,
+    LinkBackend,
     LinkConfig,
     OpticalLink,
     TdcDesign,
+    available_backends,
+    backend_capabilities,
     detection_cycle,
+    make_link,
     measurement_window,
+    register_backend,
+    resolve_backend,
     throughput,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "LinkConfig",
+    "make_link",
+    "LinkBackend",
+    "BackendCapabilities",
+    "register_backend",
+    "resolve_backend",
+    "available_backends",
+    "backend_capabilities",
     "OpticalLink",
     "FastOpticalLink",
     "TdcDesign",

@@ -15,10 +15,11 @@ from repro.analysis.units import (
 from repro.analysis.statistics import (
     Histogram,
     RunningStats,
+    binomial_confidence_95,
     bootstrap_confidence_interval,
     percentile,
 )
-from repro.analysis.sweep import Sweep, SweepResult, grid_sweep
+from repro.analysis.sweep import Sweep, SweepResult, grid_sweep, link_ber_sweep
 from repro.analysis.plotting import ascii_heatmap, ascii_histogram, ascii_line_plot
 from repro.analysis.report import ExperimentReport, ReportTable
 
@@ -36,10 +37,12 @@ __all__ = [
     "Histogram",
     "RunningStats",
     "percentile",
+    "binomial_confidence_95",
     "bootstrap_confidence_interval",
     "Sweep",
     "SweepResult",
     "grid_sweep",
+    "link_ber_sweep",
     "ascii_heatmap",
     "ascii_histogram",
     "ascii_line_plot",

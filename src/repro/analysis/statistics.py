@@ -181,6 +181,24 @@ class Histogram:
         return float(np.dot(self.bin_centers(), self.counts) / total)
 
 
+def binomial_confidence_95(successes: int, total: int) -> float:
+    """Half width of the 95 % binomial confidence interval (normal approx.).
+
+    The standard error-bar attached to every Monte-Carlo error-rate estimate
+    (BER, SER, missed-detection fraction).  At the degenerate edges — zero or
+    ``total`` successes, where the normal approximation collapses to zero —
+    the "rule of three" upper bound ``3 / total`` is returned instead.
+    """
+    if total <= 0:
+        raise ValueError(f"total must be positive, got {total}")
+    if not 0 <= successes <= total:
+        raise ValueError(f"successes must be within [0, {total}], got {successes}")
+    if successes == 0 or successes == total:
+        return 3.0 / total
+    p = successes / total
+    return 1.96 * float(np.sqrt(p * (1.0 - p) / total))
+
+
 def percentile(samples: Sequence[float], q: float) -> float:
     """Return the ``q``-th percentile (0..100) of ``samples``."""
     if not 0 <= q <= 100:

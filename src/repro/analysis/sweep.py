@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -71,6 +71,16 @@ class SweepResult:
             grid[i, j] = transform(point.value)
         return np.asarray(row_values), np.asarray(col_values), grid
 
+    def to_records(self) -> List[Dict[str, Any]]:
+        """Points as a list of flat dicts, in insertion order.
+
+        Each record maps every parameter name (in ``parameter_names`` order)
+        to its value, plus ``"value"`` for the result — the interchange shape
+        consumed by ``repro.scenarios``'s ``ExperimentReport`` and by anything
+        that wants to tabulate or serialise a sweep.
+        """
+        return [point.as_dict() for point in self.points]
+
     def best(self, key: Callable[[SweepPoint], float], maximize: bool = True) -> SweepPoint:
         """Return the point with extreme ``key``; raises on an empty sweep."""
         if not self.points:
@@ -94,13 +104,18 @@ class Sweep:
     [1, 2, 2, 3]
     """
 
-    axes: Dict[str, Sequence[Any]]
+    axes: Mapping[str, Sequence[Any]]
 
     def __post_init__(self) -> None:
         if not self.axes:
             raise ValueError("a sweep needs at least one axis")
+        # Normalise to a plain dict of tuples so that (a) the axis order is
+        # exactly the mapping's insertion order, deterministically, and (b)
+        # one-shot iterables (generators) are materialised once instead of
+        # being silently exhausted between size()/combinations() calls.
+        self.axes = {name: tuple(values) for name, values in self.axes.items()}
         for name, values in self.axes.items():
-            if len(list(values)) == 0:
+            if len(values) == 0:
                 raise ValueError(f"axis {name!r} has no values")
 
     @property
@@ -115,7 +130,7 @@ class Sweep:
     def size(self) -> int:
         size = 1
         for values in self.axes.values():
-            size *= len(list(values))
+            size *= len(values)
         return size
 
     def run(self, function: Callable[..., Any]) -> SweepResult:
@@ -129,3 +144,36 @@ class Sweep:
 def grid_sweep(function: Callable[..., Any], **axes: Sequence[Any]) -> SweepResult:
     """Functional shorthand for ``Sweep(axes).run(function)``."""
     return Sweep(dict(axes)).run(function)
+
+
+def link_ber_sweep(
+    base_config,
+    axes: Mapping[str, Sequence[Any]],
+    bits_per_point: int = 4_096,
+    seed: int = 0,
+    backend: Optional[str] = None,
+) -> SweepResult:
+    """Grid sweep of the Monte-Carlo BER over :class:`LinkConfig` fields.
+
+    Each axis names a ``LinkConfig`` field (``mean_detected_photons``,
+    ``extra_guard``, ``ppm_bits``, ...); every grid point re-derives the
+    configuration with :func:`dataclasses.replace` and estimates its BER
+    through the link-backend registry — ``backend`` picks the engine by name,
+    so no sweep ever references a concrete link class.  The per-point value is
+    a :class:`~repro.core.ber.BerEstimate`.
+    """
+    # Imported lazily: repro.core.config imports repro.analysis.units, so a
+    # module-level import of repro.core here would be circular.
+    from dataclasses import replace
+
+    from repro.core.ber import monte_carlo_bit_error_rate
+
+    sweep = Sweep(dict(axes))
+    result = SweepResult(sweep.parameter_names)
+    for index, parameters in enumerate(sweep.combinations()):
+        point_config = replace(base_config, **parameters)
+        estimate = monte_carlo_bit_error_rate(
+            point_config, bits=bits_per_point, seed=seed + index, backend=backend
+        )
+        result.append(parameters, estimate)
+    return result

@@ -11,6 +11,9 @@ This package ties the substrates together into the system the paper proposes:
   link simulator (micro-LED → channel → SPAD → TDC → PPM decoder).
 * :mod:`repro.core.fastlink` — the vectorised batch transmission engine, the
   fast path for Monte-Carlo-scale symbol ensembles.
+* :mod:`repro.core.backend` — the :class:`LinkBackend` protocol and registry:
+  :func:`make_link` is the single front door through which every consumer
+  constructs a link, selecting ``"batch"`` or ``"scalar"`` by name.
 * :mod:`repro.core.error_model` / :mod:`repro.core.ber` — analytic and
   Monte-Carlo symbol/bit error rates from jitter, dark counts, afterpulsing
   and missed detections.
@@ -34,6 +37,15 @@ from repro.core.design_space import DesignPoint, DesignSpace, figure4_grid
 from repro.core.config import LinkConfig
 from repro.core.link import OpticalLink, TransmissionResult
 from repro.core.fastlink import FastOpticalLink
+from repro.core.backend import (
+    BackendCapabilities,
+    LinkBackend,
+    available_backends,
+    backend_capabilities,
+    make_link,
+    register_backend,
+    resolve_backend,
+)
 from repro.core.error_model import ErrorBudget, symbol_error_budget
 from repro.core.ber import analytic_bit_error_rate, monte_carlo_bit_error_rate
 from repro.core.power import PowerBreakdown, link_power, pad_power_comparison
@@ -55,6 +67,13 @@ __all__ = [
     "OpticalLink",
     "FastOpticalLink",
     "TransmissionResult",
+    "LinkBackend",
+    "BackendCapabilities",
+    "make_link",
+    "register_backend",
+    "resolve_backend",
+    "available_backends",
+    "backend_capabilities",
     "ErrorBudget",
     "symbol_error_budget",
     "analytic_bit_error_rate",

@@ -1,0 +1,192 @@
+"""Link-backend protocol and registry — the package's front door for links.
+
+PR 1 left two parallel link engines: the scalar symbol-by-symbol
+:class:`~repro.core.link.OpticalLink` and the vectorised batch
+:class:`~repro.core.fastlink.FastOpticalLink`.  Instead of every consumer
+hard-coding which class it instantiates, this module defines the
+:class:`LinkBackend` protocol both engines satisfy, a registry of named
+backends with :class:`BackendCapabilities` flags, and the :func:`make_link`
+factory that all library code (``repro.core.ber``,
+``repro.simulation.montecarlo``, ``repro.analysis.sweep``,
+``repro.scenarios``) and all examples/benchmarks construct links through.
+
+Backend contract
+----------------
+Every backend simulates the same physics (same models, same distributions,
+same decision rules) and is individually deterministic per seed, but backends
+are only required to be *statistically* equivalent to one another — not
+draw-for-draw identical.  The ``"scalar"`` backend is the draw-for-draw
+reference for legacy results; the ``"batch"`` backend (alias ``"fast"``) is
+the default and the one every Monte-Carlo-scale consumer should run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+try:  # Protocol requires 3.8+; runtime_checkable keeps isinstance() working.
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - ancient interpreters only
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+from repro.core.config import LinkConfig
+from repro.core.fastlink import FastOpticalLink
+from repro.core.link import OpticalLink, TransmissionResult
+from repro.photonics.channel import OpticalChannel
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What a registered link backend can do.
+
+    Attributes
+    ----------
+    supports_batch:
+        The transmit path simulates whole payloads as array passes (the
+        vectorised engine); scalar backends iterate symbol by symbol.
+    supports_multichannel:
+        Reserved for the planned ``(symbols, channels)`` SPAD-array batching
+        (the 64x64 imager of ref [5]); no current backend implements it.
+    draw_for_draw_reference:
+        This backend defines the reference sample path for a given seed
+        (legacy results are reproduced draw for draw against it).
+    """
+
+    supports_batch: bool
+    supports_multichannel: bool = False
+    draw_for_draw_reference: bool = False
+
+
+@runtime_checkable
+class LinkBackend(Protocol):
+    """Structural protocol every link backend implements.
+
+    Both :class:`~repro.core.link.OpticalLink` and
+    :class:`~repro.core.fastlink.FastOpticalLink` satisfy it; third-party
+    backends registered through :func:`register_backend` must as well.
+    """
+
+    config: LinkConfig
+
+    def transmit_bits(self, bits: Sequence[int]) -> TransmissionResult: ...
+
+    def transmit_random(self, bit_count: int, payload_seed: int = 1234) -> TransmissionResult: ...
+
+    def mean_photons_at_detector(self) -> float: ...
+
+    def raw_bit_rate(self) -> float: ...
+
+
+# A backend factory mirrors the OpticalLink constructor signature:
+# factory(config, channel=..., seed=...) -> LinkBackend.
+BackendFactory = Callable[..., LinkBackend]
+
+
+@dataclass(frozen=True)
+class _BackendEntry:
+    name: str
+    factory: BackendFactory
+    capabilities: BackendCapabilities
+
+
+_REGISTRY: Dict[str, _BackendEntry] = {}
+_ALIASES: Dict[str, str] = {}
+
+DEFAULT_BACKEND = "batch"
+
+
+def register_backend(
+    name: str,
+    factory: BackendFactory,
+    capabilities: BackendCapabilities,
+    aliases: Sequence[str] = (),
+    replace: bool = False,
+) -> None:
+    """Register a link backend under ``name`` (plus optional aliases).
+
+    ``factory`` must accept the :class:`~repro.core.link.OpticalLink`
+    constructor signature ``(config, channel=None, seed=0)``.  Registering an
+    already-taken name (or alias) raises unless ``replace=True``.
+    """
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    taken = set(_REGISTRY) | set(_ALIASES)
+    requested = {name, *aliases}
+    if not replace and requested & taken:
+        clash = sorted(requested & taken)
+        raise ValueError(f"backend name(s) already registered: {', '.join(clash)}")
+    for alias in list(_ALIASES):
+        if replace and (_ALIASES[alias] == name or alias in requested):
+            del _ALIASES[alias]
+    _REGISTRY[name] = _BackendEntry(name=name, factory=factory, capabilities=capabilities)
+    for alias in aliases:
+        _ALIASES[alias] = name
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Canonical names of every registered backend, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Resolve a backend name or alias to its canonical name.
+
+    ``None`` resolves to the default (``"batch"``).  Unknown names raise a
+    :class:`ValueError` listing what is available.
+    """
+    if backend is None:
+        backend = DEFAULT_BACKEND
+    if not isinstance(backend, str):
+        raise TypeError(f"backend must be a string or None, got {type(backend).__name__}")
+    name = _ALIASES.get(backend, backend)
+    if name not in _REGISTRY:
+        known = ", ".join(sorted(set(_REGISTRY) | set(_ALIASES)))
+        raise ValueError(f"unknown link backend {backend!r}; available: {known}")
+    return name
+
+
+def backend_capabilities(backend: Optional[str] = None) -> BackendCapabilities:
+    """Capability flags of a registered backend (default backend when ``None``)."""
+    return _REGISTRY[resolve_backend(backend)].capabilities
+
+
+def make_link(
+    config: Optional[LinkConfig] = None,
+    backend: Optional[str] = None,
+    *,
+    channel: Optional[OpticalChannel] = None,
+    seed: int = 0,
+) -> LinkBackend:
+    """Construct a link through the backend registry.
+
+    Parameters
+    ----------
+    config:
+        Link configuration; the default :class:`LinkConfig` when ``None``.
+    backend:
+        Registered backend name (``"batch"``, ``"scalar"``) or alias
+        (``"fast"``); ``None`` selects the default batch engine.
+    channel:
+        Optional optical channel, forwarded to the backend factory.
+    seed:
+        Seed for all stochastic behaviour of the constructed link.
+    """
+    entry = _REGISTRY[resolve_backend(backend)]
+    return entry.factory(config if config is not None else LinkConfig(), channel=channel, seed=seed)
+
+
+register_backend(
+    "scalar",
+    OpticalLink,
+    BackendCapabilities(supports_batch=False, draw_for_draw_reference=True),
+)
+register_backend(
+    "batch",
+    FastOpticalLink,
+    BackendCapabilities(supports_batch=True),
+    aliases=("fast",),
+)

@@ -4,8 +4,9 @@ Two independent estimators of the same quantity:
 
 * :func:`analytic_bit_error_rate` evaluates the closed-form error budget of
   :mod:`repro.core.error_model`;
-* :func:`monte_carlo_bit_error_rate` pushes random payloads through the full
-  stochastic :class:`~repro.core.link.OpticalLink` and counts disagreements.
+* :func:`monte_carlo_bit_error_rate` pushes random payloads through a full
+  stochastic link — built via the backend registry of
+  :mod:`repro.core.backend` — and counts disagreements.
 
 The benchmarks use the Monte-Carlo estimate and report the analytic value next
 to it as a sanity check.
@@ -13,15 +14,16 @@ to it as a sanity check.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
+from repro.analysis.statistics import binomial_confidence_95
+from repro.core.backend import make_link, resolve_backend
 from repro.core.config import LinkConfig
 from repro.core.error_model import symbol_error_budget
-from repro.core.fastlink import FastOpticalLink
-from repro.core.link import OpticalLink
 from repro.simulation.randomness import RandomSource
 
 
@@ -60,25 +62,36 @@ class BerEstimate:
         When zero errors were observed, returns the 95 % upper bound
         ``3 / bits_simulated`` ("rule of three").
         """
-        if self.bit_errors == 0:
-            return 3.0 / self.bits_simulated
-        p = self.ber
-        return 1.96 * float(np.sqrt(p * (1.0 - p) / self.bits_simulated))
+        return binomial_confidence_95(self.bit_errors, self.bits_simulated)
 
 
 def monte_carlo_bit_error_rate(
     config: LinkConfig,
     bits: int = 10_000,
     seed: int = 0,
-    fast: bool = True,
+    backend: Optional[str] = None,
+    fast: Optional[bool] = None,
 ) -> BerEstimate:
     """Estimate the BER by simulating ``bits`` random payload bits end to end.
 
-    ``fast=True`` (the default) runs the vectorised batch engine
-    (:class:`~repro.core.fastlink.FastOpticalLink`); ``fast=False`` runs the
-    scalar symbol-by-symbol link.  The two are statistically equivalent but
-    not draw-for-draw identical (see :mod:`repro.core.fastlink`).
+    ``backend`` selects a registered link backend (see
+    :mod:`repro.core.backend`): ``"batch"`` — the default — runs the
+    vectorised engine, ``"scalar"`` the symbol-by-symbol link.  Backends are
+    statistically equivalent but not draw-for-draw identical.
+
+    ``fast=`` is deprecated: it is the pre-registry boolean spelling of the
+    same choice and maps onto ``backend="batch"`` / ``backend="scalar"``.
     """
+    if fast is not None:
+        if backend is not None:
+            raise ValueError("pass either backend= or the deprecated fast=, not both")
+        warnings.warn(
+            "monte_carlo_bit_error_rate(fast=...) is deprecated; "
+            "use backend='batch' or backend='scalar' instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        backend = "batch" if fast else "scalar"
     if bits <= 0:
         raise ValueError("bits must be positive")
     # Round up to a whole number of symbols.
@@ -86,8 +99,7 @@ def monte_carlo_bit_error_rate(
     total_bits = symbols * config.ppm_bits
     source = RandomSource(seed)
     payload = source.generator.integers(0, 2, size=total_bits).tolist()
-    link_class = FastOpticalLink if fast else OpticalLink
-    link = link_class(config, seed=seed + 1)
+    link = make_link(config, backend=backend, seed=seed + 1)
     result = link.transmit_bits(payload)
     return BerEstimate(bit_errors=result.bit_errors, bits_simulated=total_bits)
 
@@ -97,15 +109,20 @@ def ber_vs_photons(
     photon_levels,
     bits_per_point: int = 5_000,
     seed: int = 0,
+    backend: Optional[str] = None,
 ):
     """Monte-Carlo BER sweep versus received pulse energy.
 
     Returns a list of ``(mean_detected_photons, BerEstimate)`` pairs — the
-    waterfall curve every optical link is characterised by.
+    waterfall curve every optical link is characterised by.  ``backend``
+    selects the link backend for every point (default: batch engine).
     """
+    backend = resolve_backend(backend)
     results = []
     for index, photons in enumerate(photon_levels):
         point_config = config.with_detected_photons(float(photons))
-        estimate = monte_carlo_bit_error_rate(point_config, bits=bits_per_point, seed=seed + index)
+        estimate = monte_carlo_bit_error_rate(
+            point_config, bits=bits_per_point, seed=seed + index, backend=backend
+        )
         results.append((float(photons), estimate))
     return results

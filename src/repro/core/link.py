@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.core.config import LinkConfig
 from repro.modulation.ppm import PpmCodec
-from repro.modulation.symbols import int_to_bits
+from repro.modulation.symbols import count_bit_errors, int_to_bits
 from repro.photonics.channel import OpticalChannel
 from repro.simulation.randomness import RandomSource
 from repro.spad.device import DetectionOrigin, SpadDevice
@@ -33,7 +33,12 @@ from repro.tdc.delay_line import TappedDelayLine
 
 @dataclass
 class TransmissionResult:
-    """Outcome of transmitting a payload over the link."""
+    """Outcome of transmitting a payload over the link.
+
+    This is the shared result contract of every registered link backend
+    (see :mod:`repro.core.backend`): whichever engine simulated the payload,
+    consumers receive the same fields and derived figures of merit.
+    """
 
     transmitted_bits: List[int]
     received_bits: List[int]
@@ -45,9 +50,9 @@ class TransmissionResult:
     @property
     def bit_errors(self) -> int:
         """Number of payload bit positions that differ."""
-        return sum(
-            1 for sent, received in zip(self.transmitted_bits, self.received_bits) if sent != received
-        )
+        if not self.transmitted_bits:
+            return 0
+        return count_bit_errors(self.transmitted_bits, self.received_bits)
 
     @property
     def bit_error_rate(self) -> float:

@@ -1,0 +1,65 @@
+"""Declarative scenario/experiment layer — how the package is driven.
+
+The paper's figures are *experiments*: sweeps of error rate and throughput
+over operating points.  This subsystem makes them first-class:
+
+* :mod:`repro.scenarios.scenario` — the frozen, JSON-round-trippable
+  :class:`Scenario` value object (link overrides, sweep axes, metrics, trial
+  budget, backend, seed policy).
+* :mod:`repro.scenarios.metrics` — the registry of named figures of merit
+  evaluated per grid point.
+* :mod:`repro.scenarios.library` — named paper scenarios
+  (``ber-vs-photons``, ``ber-vs-range``, ``design-space-grid``,
+  ``multi-chip-bus``, ``ppm-order-sweep``).
+* :mod:`repro.scenarios.runner` — :class:`ExperimentRunner`, which compiles a
+  scenario onto the chunked batch Monte-Carlo machinery through the link
+  backend registry and returns a structured :class:`ExperimentReport`.
+* :mod:`repro.scenarios.smoke` — tiny-budget execution of the whole library.
+
+Quickstart
+----------
+
+>>> from repro.scenarios import ExperimentRunner, get_scenario
+>>> scenario = get_scenario("ber-vs-photons").with_budget(512)
+>>> report = ExperimentRunner(scenario, seed=1).run()
+>>> len(report.points)
+6
+"""
+
+from repro.scenarios.metrics import (
+    PointOutcome,
+    available_metrics,
+    register_metric,
+    resolve_metric,
+)
+from repro.scenarios.scenario import SPECIAL_PARAMETERS, Scenario
+from repro.scenarios.library import (
+    get_scenario,
+    named_scenarios,
+    register_scenario,
+)
+from repro.scenarios.runner import (
+    ExperimentPoint,
+    ExperimentReport,
+    ExperimentRunner,
+    run_scenario,
+)
+from repro.scenarios.smoke import SmokeFailure, run_smoke
+
+__all__ = [
+    "Scenario",
+    "SPECIAL_PARAMETERS",
+    "PointOutcome",
+    "register_metric",
+    "resolve_metric",
+    "available_metrics",
+    "register_scenario",
+    "named_scenarios",
+    "get_scenario",
+    "ExperimentPoint",
+    "ExperimentReport",
+    "ExperimentRunner",
+    "run_scenario",
+    "SmokeFailure",
+    "run_smoke",
+]

@@ -1,0 +1,145 @@
+"""Named library of the paper's scenarios.
+
+Each entry is a declarative :class:`~repro.scenarios.scenario.Scenario`
+describing one of the experiments behind the paper's figures and claims, at a
+production trial budget.  Retrieve one with :func:`get_scenario` (optionally
+shrinking the budget via ``Scenario.with_budget`` for smoke runs) and execute
+it with :class:`~repro.scenarios.runner.ExperimentRunner`.
+
+The library is a registry so downstream users can add their own named
+scenarios next to the paper's (:func:`register_scenario`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.analysis.units import NS, PS, UM
+from repro.scenarios.scenario import Scenario
+
+_LIBRARY: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, replace: bool = False) -> Scenario:
+    """Add a scenario to the named library under ``scenario.name``."""
+    if not replace and scenario.name in _LIBRARY:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    _LIBRARY[scenario.name] = scenario
+    return scenario
+
+
+def named_scenarios() -> Tuple[str, ...]:
+    """Names of every library scenario, in registration order."""
+    return tuple(_LIBRARY)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a library scenario by name, raising with the catalogue on a miss.
+
+    Scenarios are frozen values, so the shared instance is returned directly;
+    derive variants with ``with_budget`` / ``with_backend`` / ``replace``.
+    """
+    try:
+        return _LIBRARY[name]
+    except KeyError:
+        known = ", ".join(sorted(_LIBRARY))
+        raise KeyError(f"unknown scenario {name!r}; available: {known}") from None
+
+
+# -- the paper's scenarios ---------------------------------------------------------
+
+#: Received-energy waterfall: BER versus mean detected photons per pulse — the
+#: curve every optical link is characterised by (and the photon-budget margin
+#: behind the paper's link-budget discussion).
+BER_VS_PHOTONS = register_scenario(
+    Scenario(
+        name="ber-vs-photons",
+        description="BER waterfall versus received pulse energy (photons/pulse)",
+        link_overrides={"ppm_bits": 4, "slot_duration": 1.0 * NS, "spad_dead_time": 32.0 * NS},
+        sweep_axes={"mean_detected_photons": (0.5, 1.0, 2.0, 5.0, 20.0, 80.0)},
+        metrics=("ber", "symbol_error_rate", "detection_rate"),
+        bits_per_point=20_000,
+    )
+)
+
+#: Paper Section 3: the PPM range must be adapted to the SPAD dead time to
+#: bound jitter/afterpulse errors; the shorter the range the higher the
+#: throughput.  Sweeps the symbol range via the extra guard interval.
+BER_VS_RANGE = register_scenario(
+    Scenario(
+        name="ber-vs-range",
+        description="Error rate and throughput versus PPM symbol range at a 32 ns SPAD dead time",
+        link_overrides={
+            "ppm_bits": 4,
+            "slot_duration": 500.0 * PS,
+            "spad_dead_time": 32.0 * NS,
+            "mean_detected_photons": 50.0,
+        },
+        sweep_axes={"extra_guard": (0.0, 8.0 * NS, 24.0 * NS, 64.0 * NS)},
+        metrics=("ber", "throughput", "goodput"),
+        bits_per_point=40_000,
+    )
+)
+
+#: Paper Figure 4 made empirical: the (N, C) TDC design grid, with the raw
+#: throughput of each design and the BER the full stochastic link achieves
+#: when its receiver uses that design.
+DESIGN_SPACE_GRID = register_scenario(
+    Scenario(
+        name="design-space-grid",
+        description="Simulated (N, C) TDC design-space grid: throughput and link BER per design",
+        link_overrides={
+            "ppm_bits": 4,
+            "slot_duration": 500.0 * PS,
+            "spad_dead_time": 32.0 * NS,
+            "mean_detected_photons": 50.0,
+        },
+        sweep_axes={
+            "tdc_fine_elements": (16, 32, 64),
+            "tdc_coarse_bits": (2, 4, 6),
+        },
+        metrics=("ber", "tdc_throughput"),
+        bits_per_point=8_000,
+    )
+)
+
+#: The introduction's motivating system: a vertical optical column through a
+#: stack of thinned dies.  Worst case (bottom-to-top) path; the photon count
+#: is the *emitted* energy, attenuated by the die stack.
+MULTI_CHIP_BUS = register_scenario(
+    Scenario(
+        name="multi-chip-bus",
+        description="Worst-case vertical link through a stack of thinned dies (emitted photons fixed)",
+        link_overrides={
+            "ppm_bits": 4,
+            "slot_duration": 2.0 * NS,
+            "extra_guard": 8.0 * NS,
+            "wavelength": 1050e-9,
+            # Emitted energy sized so the stack attenuation is the story: the
+            # per-pulse detection probability falls from ~0.99 through 2 dies
+            # to ~0.60 through 8.
+            "mean_detected_photons": 2_000.0,
+            "stack_thickness": 15.0 * UM,
+        },
+        sweep_axes={"stack_dies": (2, 4, 8)},
+        metrics=("ber", "detection_rate", "throughput"),
+        bits_per_point=8_000,
+    )
+)
+
+#: PPM-order ablation at a fixed detection cycle: bits per detection versus
+#: error rate — the reason the paper picks PPM over on-off keying.
+PPM_ORDER_SWEEP = register_scenario(
+    Scenario(
+        name="ppm-order-sweep",
+        description="Throughput and error rate versus PPM order K at a fixed 32 ns detection cycle",
+        link_overrides={
+            "slot_duration": 500.0 * PS,
+            "spad_dead_time": 32.0 * NS,
+            "mean_detected_photons": 50.0,
+        },
+        sweep_axes={"ppm_bits": (2, 4, 6, 8)},
+        metrics=("ber", "throughput", "goodput"),
+        bits_per_point=12_000,
+    )
+)

@@ -1,0 +1,160 @@
+"""Metric registry for scenario experiments.
+
+A metric maps the aggregated outcome of one experiment point — payload bits,
+bit/symbol error counts, detection breakdown, the point's link configuration —
+to a single float, optionally with a 95 % confidence half-width.  Scenarios
+name their metrics as strings; the registry resolves them so that scenario
+definitions stay declarative (and serialisable) while new figures of merit can
+be plugged in without touching the runner.
+
+The error-count primitives (``count_bit_errors`` / ``count_symbol_errors``)
+live in :mod:`repro.modulation.symbols` and are shared with
+:class:`~repro.core.link.TransmissionResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.analysis.statistics import binomial_confidence_95
+from repro.core.config import LinkConfig
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """Aggregated Monte-Carlo outcome of one experiment point.
+
+    Produced by the :class:`~repro.scenarios.runner.ExperimentRunner` from the
+    chunked batch transmissions; consumed by the registered metric functions.
+    """
+
+    config: LinkConfig
+    bits: int
+    bit_errors: int
+    symbols: int
+    symbol_errors: int
+    detection_counts: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0 or self.symbols <= 0:
+            raise ValueError("a point outcome needs at least one bit and one symbol")
+        if not 0 <= self.bit_errors <= self.bits:
+            raise ValueError("bit_errors must be within [0, bits]")
+        if not 0 <= self.symbol_errors <= self.symbols:
+            raise ValueError("symbol_errors must be within [0, symbols]")
+
+    @property
+    def missed(self) -> int:
+        return int(self.detection_counts.get("missed", 0))
+
+
+MetricFunction = Callable[[PointOutcome], float]
+ConfidenceFunction = Callable[[PointOutcome], Optional[float]]
+
+_METRICS: Dict[str, Tuple[MetricFunction, Optional[ConfidenceFunction]]] = {}
+
+
+def register_metric(
+    name: str,
+    confidence: Optional[ConfidenceFunction] = None,
+) -> Callable[[MetricFunction], MetricFunction]:
+    """Decorator registering ``function`` as the metric called ``name``.
+
+    ``confidence``, when given, computes the 95 % half-width reported next to
+    the metric value (``None`` marks a deterministic metric with no
+    statistical uncertainty).
+    """
+
+    def decorator(function: MetricFunction) -> MetricFunction:
+        if name in _METRICS:
+            raise ValueError(f"metric {name!r} is already registered")
+        _METRICS[name] = (function, confidence)
+        return function
+
+    return decorator
+
+
+def available_metrics() -> Tuple[str, ...]:
+    """Names of every registered metric, in registration order."""
+    return tuple(_METRICS)
+
+
+def resolve_metric(name: str) -> Tuple[MetricFunction, Optional[ConfidenceFunction]]:
+    """Look up a metric by name, raising with the available names on a miss."""
+    try:
+        return _METRICS[name]
+    except KeyError:
+        known = ", ".join(sorted(_METRICS))
+        raise ValueError(f"unknown metric {name!r}; available: {known}") from None
+
+
+def evaluate_metrics(
+    names: Tuple[str, ...], outcome: PointOutcome
+) -> Tuple[Dict[str, float], Dict[str, Optional[float]]]:
+    """Evaluate the named metrics on ``outcome``.
+
+    Returns ``(values, confidence)`` dicts keyed by metric name; confidence
+    entries are 95 % half-widths or ``None`` for deterministic metrics.
+    """
+    values: Dict[str, float] = {}
+    confidence: Dict[str, Optional[float]] = {}
+    for name in names:
+        function, ci = resolve_metric(name)
+        values[name] = float(function(outcome))
+        confidence[name] = None if ci is None else ci(outcome)
+    return values, confidence
+
+
+# -- built-in metrics -----------------------------------------------------------
+
+
+@register_metric("ber", confidence=lambda o: binomial_confidence_95(o.bit_errors, o.bits))
+def bit_error_rate(outcome: PointOutcome) -> float:
+    """Fraction of payload bits decoded incorrectly."""
+    return outcome.bit_errors / outcome.bits
+
+
+@register_metric(
+    "symbol_error_rate",
+    confidence=lambda o: binomial_confidence_95(o.symbol_errors, o.symbols),
+)
+def symbol_error_rate(outcome: PointOutcome) -> float:
+    """Fraction of PPM symbols decoded incorrectly."""
+    return outcome.symbol_errors / outcome.symbols
+
+
+@register_metric("throughput")
+def throughput(outcome: PointOutcome) -> float:
+    """Raw link throughput with back-to-back symbols [bit/s] (deterministic)."""
+    return outcome.config.raw_bit_rate
+
+
+@register_metric(
+    "goodput",
+    confidence=lambda o: o.config.raw_bit_rate
+    * binomial_confidence_95(o.symbol_errors, o.symbols),
+)
+def goodput(outcome: PointOutcome) -> float:
+    """Throughput of correctly decoded symbols [bit/s]."""
+    return outcome.config.raw_bit_rate * (1.0 - outcome.symbol_errors / outcome.symbols)
+
+
+@register_metric("tdc_throughput")
+def tdc_throughput(outcome: PointOutcome) -> float:
+    """TP(N, C) of the receiver's effective TDC design [bit/s] (deterministic).
+
+    The paper's Figure 4 quantity: unlike :func:`throughput`, it depends on
+    the TDC design point rather than on the PPM symbol timing, so it is the
+    right column for design-space-grid scenarios.
+    """
+    return outcome.config.effective_tdc_design().throughput
+
+
+@register_metric(
+    "detection_rate",
+    confidence=lambda o: binomial_confidence_95(o.missed, o.symbols),
+)
+def detection_rate(outcome: PointOutcome) -> float:
+    """Fraction of measurement windows in which the SPAD reported a detection."""
+    return 1.0 - outcome.missed / outcome.symbols

@@ -1,0 +1,277 @@
+"""Compiling scenarios onto the batch Monte-Carlo machinery.
+
+:class:`ExperimentRunner` takes a declarative
+:class:`~repro.scenarios.scenario.Scenario` and executes it: every grid point
+becomes a chunked :meth:`~repro.simulation.montecarlo.MonteCarloRunner.run_batch`
+run in which each Monte-Carlo trial is one PPM symbol pushed through a link
+built by the backend registry (:func:`repro.core.backend.make_link`).  The
+result is a structured :class:`ExperimentReport`: one
+:class:`ExperimentPoint` per grid point with metric values and 95 % confidence
+half-widths, plus enough metadata (scenario mapping, backend, seed) to
+reproduce the run bit for bit.
+
+This :class:`ExperimentReport` is the *data* artefact of an experiment; the
+text-rendering helper of the same name in :mod:`repro.analysis.report` remains
+the benchmarks' pretty-printer.  :meth:`ExperimentReport.summary` bridges the
+two.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.report import ReportTable
+from repro.analysis.sweep import SweepResult
+from repro.core.backend import resolve_backend
+from repro.scenarios.metrics import PointOutcome, evaluate_metrics
+from repro.scenarios.scenario import Scenario
+from repro.simulation.montecarlo import MonteCarloRunner, link_batch_trial
+from repro.simulation.randomness import split_seed
+
+
+@dataclass(frozen=True)
+class ExperimentPoint:
+    """One evaluated grid point of a scenario experiment."""
+
+    parameters: Mapping[str, Any]
+    metrics: Mapping[str, float]
+    confidence: Mapping[str, Optional[float]]
+    bits: int
+    symbols: int
+    detection_counts: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parameters", dict(self.parameters))
+        object.__setattr__(self, "metrics", dict(self.metrics))
+        object.__setattr__(self, "confidence", dict(self.confidence))
+        object.__setattr__(self, "detection_counts", dict(self.detection_counts))
+
+    def metric(self, name: str) -> float:
+        try:
+            return self.metrics[name]
+        except KeyError:
+            known = ", ".join(sorted(self.metrics))
+            raise KeyError(f"point has no metric {name!r}; available: {known}") from None
+
+    def to_mapping(self) -> Dict[str, Any]:
+        return {
+            "parameters": dict(self.parameters),
+            "metrics": dict(self.metrics),
+            "confidence": dict(self.confidence),
+            "bits": self.bits,
+            "symbols": self.symbols,
+            "detection_counts": dict(self.detection_counts),
+        }
+
+
+@dataclass(frozen=True)
+class ExperimentReport:
+    """Structured outcome of running one scenario end to end."""
+
+    scenario: Mapping[str, Any]
+    backend: str
+    seed: int
+    points: Tuple[ExperimentPoint, ...]
+    total_bits: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scenario", dict(self.scenario))
+        object.__setattr__(self, "points", tuple(self.points))
+
+    @property
+    def name(self) -> str:
+        return str(self.scenario.get("name", "experiment"))
+
+    def metric_series(self, metric: str, axis: Optional[str] = None):
+        """``(axis_values, metric_values)`` arrays along one sweep axis.
+
+        ``axis`` defaults to the scenario's single sweep axis; it must be
+        named explicitly for multi-axis grids.
+        """
+        axes = list(self.scenario.get("sweep_axes", {}))
+        if axis is None:
+            if len(axes) != 1:
+                raise ValueError(
+                    f"scenario has {len(axes)} sweep axes; pass axis= explicitly"
+                )
+            axis = axes[0]
+        xs = np.asarray([point.parameters[axis] for point in self.points])
+        ys = np.asarray([point.metric(metric) for point in self.points])
+        return xs, ys
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """Plain-data form of the report (JSON-serialisable)."""
+        return {
+            "scenario": dict(self.scenario),
+            "backend": self.backend,
+            "seed": self.seed,
+            "total_bits": self.total_bits,
+            "points": [point.to_mapping() for point in self.points],
+        }
+
+    def summary(self) -> str:
+        """Aligned text table of every point (one row) and metric (one column)."""
+        metric_names = list(self.scenario.get("metrics", []))
+        axis_names = list(self.scenario.get("sweep_axes", {}))
+        table = ReportTable(columns=axis_names + metric_names)
+        for point in self.points:
+            cells: List[str] = [str(point.parameters[name]) for name in axis_names]
+            for name in metric_names:
+                half = point.confidence.get(name)
+                value = point.metric(name)
+                cells.append(
+                    f"{value:.3e}" if half is None else f"{value:.3e} ± {half:.1e}"
+                )
+            table.add_row(*cells)
+        header = (
+            f"scenario {self.name!r} — backend={self.backend}, seed={self.seed}, "
+            f"{len(self.points)} point(s), {self.total_bits} bits"
+        )
+        return f"{header}\n{table.render()}"
+
+
+class ExperimentRunner:
+    """Executes a :class:`Scenario` on the chunked batch Monte-Carlo machinery.
+
+    Parameters
+    ----------
+    scenario:
+        The declarative experiment to run.
+    seed:
+        Root seed of the run.  Per-point seeds are derived from it according
+        to the scenario's ``seed_policy``; reports are deterministic in
+        ``(scenario, seed, chunk_symbols)``.
+    backend:
+        Optional override of the scenario's link backend (by registered name).
+    chunk_symbols:
+        Symbols simulated per batch-transmission chunk; bounds peak memory and
+        fixes the seeding layout.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        seed: int = 0,
+        backend: Optional[str] = None,
+        chunk_symbols: int = 8_192,
+    ) -> None:
+        if chunk_symbols <= 0:
+            raise ValueError("chunk_symbols must be positive")
+        self.scenario = scenario
+        self.seed = seed
+        self.backend = resolve_backend(backend if backend is not None else scenario.backend)
+        self.chunk_symbols = chunk_symbols
+
+    # -- point execution -------------------------------------------------------
+    def _point_seed(self, parameters: Mapping[str, Any]) -> int:
+        if self.scenario.seed_policy == "shared":
+            return split_seed(self.seed, self.scenario.name)
+        return split_seed(self.seed, self.scenario.point_label(parameters))
+
+    def _run_point(self, parameters: Mapping[str, Any]) -> PointOutcome:
+        config, channel = self.scenario.config_for_point(parameters)
+        k = config.ppm_bits
+        symbols = max(1, -(-self.scenario.bits_per_point // k))
+        # Accumulator for the per-chunk statistics that are not the trial's
+        # scalar sample (the sample itself is bit errors per symbol).
+        detection_counts: Dict[str, int] = {}
+
+        def accumulate_detections(result) -> None:
+            for origin, origin_count in result.detection_counts.items():
+                detection_counts[origin] = detection_counts.get(origin, 0) + origin_count
+
+        # The shared chunked-link trial defines the reproducibility protocol
+        # (seed draw, payload draw, transmission order) in one place.
+        batch_trial = link_batch_trial(
+            config,
+            backend=self.backend,
+            channel=channel,
+            per_symbol="bit_errors",
+            on_result=accumulate_detections,
+        )
+
+        runner = MonteCarloRunner(
+            seed=self._point_seed(parameters),
+            label=self.scenario.point_label(parameters),
+        )
+        outcome = runner.run_batch(batch_trial, trials=symbols, chunk_size=self.chunk_symbols)
+        per_symbol_bit_errors = outcome.samples.astype(int)
+        return PointOutcome(
+            config=config,
+            bits=symbols * k,
+            bit_errors=int(per_symbol_bit_errors.sum()),
+            symbols=symbols,
+            symbol_errors=int(np.count_nonzero(per_symbol_bit_errors)),
+            detection_counts=detection_counts,
+        )
+
+    # -- experiment execution ------------------------------------------------------
+    def run(
+        self, progress: Optional[Callable[[int, int], None]] = None
+    ) -> ExperimentReport:
+        """Evaluate every grid point and assemble the structured report.
+
+        ``progress`` (optional) is called with ``(points_done, points_total)``
+        after each point.
+        """
+        sweep = SweepResult(parameter_names=self.scenario.axis_names)
+        total = self.scenario.point_count()
+        done = 0
+        single_outcomes: List[PointOutcome] = []
+        for parameters in self.scenario.grid():
+            outcome = self._run_point(parameters)
+            if parameters:
+                sweep.append(parameters, outcome)
+            else:
+                single_outcomes.append(outcome)
+            done += 1
+            if progress is not None:
+                progress(done, total)
+
+        # The sweep's record form is the interchange shape the report consumes:
+        # parameters in deterministic axis order, plus the point outcome.
+        records = sweep.to_records() or [
+            {"value": outcome} for outcome in single_outcomes
+        ]
+        points: List[ExperimentPoint] = []
+        total_bits = 0
+        for record in records:
+            outcome = record.pop("value")
+            values, confidence = evaluate_metrics(self.scenario.metrics, outcome)
+            for name, value in values.items():
+                if math.isnan(value) or math.isinf(value):
+                    raise ValueError(
+                        f"metric {name!r} evaluated to {value} at point {record!r} "
+                        f"of scenario {self.scenario.name!r}"
+                    )
+            points.append(
+                ExperimentPoint(
+                    parameters=record,
+                    metrics=values,
+                    confidence=confidence,
+                    bits=outcome.bits,
+                    symbols=outcome.symbols,
+                    detection_counts=outcome.detection_counts,
+                )
+            )
+            total_bits += outcome.bits
+        return ExperimentReport(
+            scenario=self.scenario.to_mapping(),
+            backend=self.backend,
+            seed=self.seed,
+            points=tuple(points),
+            total_bits=total_bits,
+        )
+
+
+def run_scenario(
+    scenario: Scenario,
+    seed: int = 0,
+    backend: Optional[str] = None,
+) -> ExperimentReport:
+    """One-call convenience: ``ExperimentRunner(scenario, seed, backend).run()``."""
+    return ExperimentRunner(scenario, seed=seed, backend=backend).run()

@@ -1,0 +1,275 @@
+"""The declarative :class:`Scenario` value object.
+
+A scenario is a frozen, serialisable description of one of the paper's
+experiments: which link configuration to start from, which axes to sweep,
+which metrics to report, how many payload bits to spend per grid point, which
+link backend to run, and how seeds are assigned.  Scenarios carry *no*
+execution logic — :class:`~repro.scenarios.runner.ExperimentRunner` compiles
+them onto the chunked batch Monte-Carlo machinery.
+
+Parameter namespace
+-------------------
+``link_overrides`` and ``sweep_axes`` share one namespace: the scalar fields
+of :class:`~repro.core.config.LinkConfig` plus a few *derived* keys the
+compiler expands structurally —
+
+* ``tdc_fine_elements`` / ``tdc_coarse_bits`` — build an explicit
+  :class:`~repro.core.throughput.TdcDesign` (N, C) for the receiver, with the
+  element delay at slot/4; when only N is given, C is sized to cover the
+  symbol.  This is how the paper's Figure 4 design-space grid is expressed.
+* ``stack_dies`` / ``stack_thickness`` — route the link through a vertical
+  :class:`~repro.photonics.stack.DieStack` of that many thinned dies
+  (bottom-to-top worst case); ``mean_detected_photons`` is then the *emitted*
+  photon count, per the :class:`~repro.core.link.OpticalLink` channel
+  contract.
+
+Everything in a scenario is plain data, so :meth:`Scenario.to_mapping` /
+:meth:`Scenario.from_mapping` round-trip losslessly through JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.units import UM
+from repro.core.backend import resolve_backend
+from repro.core.config import LinkConfig
+from repro.core.throughput import TdcDesign
+from repro.photonics.channel import OpticalChannel
+from repro.photonics.stack import DieStack
+from repro.scenarios.metrics import available_metrics
+
+#: Derived parameter keys expanded structurally by :meth:`Scenario.config_for_point`.
+SPECIAL_PARAMETERS: Tuple[str, ...] = (
+    "tdc_fine_elements",
+    "tdc_coarse_bits",
+    "stack_dies",
+    "stack_thickness",
+)
+
+#: LinkConfig fields addressable from scenarios (scalar, JSON-serialisable ones).
+_CONFIG_FIELDS: Tuple[str, ...] = tuple(
+    f.name for f in dataclasses.fields(LinkConfig) if f.name != "tdc_design"
+)
+
+SEED_POLICIES: Tuple[str, ...] = ("per-point", "shared")
+
+_DEFAULT_STACK_THICKNESS = 15.0 * UM
+
+
+def _known_parameters() -> Tuple[str, ...]:
+    return _CONFIG_FIELDS + SPECIAL_PARAMETERS
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A frozen, declarative experiment description.
+
+    Attributes
+    ----------
+    name:
+        Identifier; named library scenarios use kebab-case (``"ber-vs-photons"``).
+    description:
+        One-line human summary, carried into experiment reports.
+    link_overrides:
+        Parameter values applied to the default :class:`LinkConfig` at every
+        grid point (see the module docstring for the namespace).
+    sweep_axes:
+        Ordered mapping of parameter name to the values to sweep; the grid is
+        their Cartesian product in insertion order.  Empty means a single
+        point.
+    metrics:
+        Names of registered metrics (:mod:`repro.scenarios.metrics`) to
+        evaluate per point.
+    bits_per_point:
+        Payload-bit budget per grid point (rounded up to whole symbols).
+    backend:
+        Registered link backend to run (``"batch"`` by default).
+    seed_policy:
+        ``"per-point"`` derives an independent seed per grid point (sweep
+        points are statistically independent); ``"shared"`` reuses the run
+        seed at every point (common-random-number comparisons).
+    """
+
+    name: str
+    description: str = ""
+    link_overrides: Mapping[str, Any] = field(default_factory=dict)
+    sweep_axes: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    metrics: Tuple[str, ...] = ("ber", "symbol_error_rate", "throughput")
+    bits_per_point: int = 4_096
+    backend: str = "batch"
+    seed_policy: str = "per-point"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        object.__setattr__(self, "link_overrides", dict(self.link_overrides))
+        object.__setattr__(
+            self,
+            "sweep_axes",
+            {name: tuple(values) for name, values in dict(self.sweep_axes).items()},
+        )
+        object.__setattr__(self, "metrics", tuple(self.metrics))
+        known = set(_known_parameters())
+        for source, names in (
+            ("link_overrides", self.link_overrides),
+            ("sweep_axes", self.sweep_axes),
+        ):
+            unknown = sorted(set(names) - known)
+            if unknown:
+                raise ValueError(
+                    f"{source} references unknown parameter(s) {', '.join(unknown)}; "
+                    f"known: {', '.join(sorted(known))}"
+                )
+        for name, values in self.sweep_axes.items():
+            if len(values) == 0:
+                raise ValueError(f"sweep axis {name!r} has no values")
+        overlap = sorted(set(self.link_overrides) & set(self.sweep_axes))
+        if overlap:
+            raise ValueError(f"parameter(s) both overridden and swept: {', '.join(overlap)}")
+        declared = set(self.link_overrides) | set(self.sweep_axes)
+        if "stack_thickness" in declared and "stack_dies" not in declared:
+            raise ValueError(
+                "stack_thickness has no effect without stack_dies "
+                "(no die-stack channel is built)"
+            )
+        if not self.metrics:
+            raise ValueError("a scenario needs at least one metric")
+        missing = sorted(set(self.metrics) - set(available_metrics()))
+        if missing:
+            raise ValueError(
+                f"unknown metric(s) {', '.join(missing)}; "
+                f"available: {', '.join(sorted(available_metrics()))}"
+            )
+        if self.bits_per_point <= 0:
+            raise ValueError("bits_per_point must be positive")
+        resolve_backend(self.backend)  # raises on unknown names
+        if self.seed_policy not in SEED_POLICIES:
+            raise ValueError(
+                f"seed_policy must be one of {SEED_POLICIES}, got {self.seed_policy!r}"
+            )
+
+    def __hash__(self) -> int:
+        # The generated frozen-dataclass __hash__ would raise on the dict
+        # fields; hash them as (sorted) item tuples, consistently with dict
+        # equality being order-insensitive.
+        return hash(
+            (
+                self.name,
+                self.description,
+                tuple(sorted(self.link_overrides.items())),
+                tuple(sorted(self.sweep_axes.items())),
+                self.metrics,
+                self.bits_per_point,
+                self.backend,
+                self.seed_policy,
+            )
+        )
+
+    # -- grid --------------------------------------------------------------------
+    @property
+    def axis_names(self) -> Tuple[str, ...]:
+        """Sweep axis names, in declaration order."""
+        return tuple(self.sweep_axes)
+
+    def point_count(self) -> int:
+        """Number of grid points (1 for an axis-free scenario)."""
+        count = 1
+        for values in self.sweep_axes.values():
+            count *= len(values)
+        return count
+
+    def grid(self) -> Iterator[Dict[str, Any]]:
+        """Iterate the parameter combinations in deterministic axis order."""
+        if not self.sweep_axes:
+            yield {}
+            return
+        # Reuse the analysis-layer sweep so ordering semantics stay in one place.
+        from repro.analysis.sweep import Sweep
+
+        yield from Sweep(dict(self.sweep_axes)).combinations()
+
+    def point_label(self, parameters: Mapping[str, Any]) -> str:
+        """Deterministic label of one grid point (used for per-point seeding)."""
+        inner = ",".join(f"{name}={parameters[name]!r}" for name in sorted(parameters))
+        return f"{self.name}[{inner}]"
+
+    # -- compilation to a concrete link -------------------------------------------
+    def config_for_point(
+        self, parameters: Mapping[str, Any] = ()
+    ) -> Tuple[LinkConfig, Optional[OpticalChannel]]:
+        """Concrete ``(LinkConfig, channel)`` for one grid point.
+
+        Merges the scenario's overrides with the point's swept values, then
+        expands the derived TDC-design and die-stack parameters.
+        """
+        merged: Dict[str, Any] = dict(self.link_overrides)
+        merged.update(parameters)
+        fine_elements = merged.pop("tdc_fine_elements", None)
+        coarse_bits = merged.pop("tdc_coarse_bits", None)
+        stack_dies = merged.pop("stack_dies", None)
+        stack_thickness = merged.pop("stack_thickness", _DEFAULT_STACK_THICKNESS)
+
+        config = LinkConfig(**merged)
+
+        if fine_elements is not None or coarse_bits is not None:
+            n = int(fine_elements) if fine_elements is not None else 64
+            element_delay = config.slot_duration / 4.0
+            if coarse_bits is None:
+                c = 0
+                while (1 << c) * n * element_delay < config.symbol_duration and c < 16:
+                    c += 1
+            else:
+                c = int(coarse_bits)
+            design = TdcDesign(fine_elements=n, coarse_bits=c, element_delay=element_delay)
+            config = dataclasses.replace(config, tdc_design=design)
+
+        channel: Optional[OpticalChannel] = None
+        if stack_dies is not None:
+            dies = int(stack_dies)
+            if dies < 2:
+                raise ValueError(f"stack_dies must be at least 2, got {dies}")
+            stack = DieStack.uniform(
+                count=dies, thickness=float(stack_thickness), wavelength=config.wavelength
+            )
+            channel = OpticalChannel(
+                stack=stack, source_layer=0, destination_layer=dies - 1
+            )
+        return config, channel
+
+    # -- serialisation -------------------------------------------------------------
+    def to_mapping(self) -> Dict[str, Any]:
+        """Plain-data form of the scenario (JSON-serialisable)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "link_overrides": dict(self.link_overrides),
+            "sweep_axes": {name: list(values) for name, values in self.sweep_axes.items()},
+            "metrics": list(self.metrics),
+            "bits_per_point": self.bits_per_point,
+            "backend": self.backend,
+            "seed_policy": self.seed_policy,
+        }
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "Scenario":
+        """Inverse of :meth:`to_mapping`; rejects unknown keys."""
+        data = dict(mapping)
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown scenario key(s): {', '.join(unknown)}")
+        if "name" not in data:
+            raise ValueError("a scenario mapping needs a 'name'")
+        return cls(**data)
+
+    # -- convenience ----------------------------------------------------------------
+    def with_budget(self, bits_per_point: int) -> "Scenario":
+        """Copy with a different per-point bit budget (smoke runs, scaling up)."""
+        return dataclasses.replace(self, bits_per_point=bits_per_point)
+
+    def with_backend(self, backend: str) -> "Scenario":
+        """Copy targeting a different registered link backend."""
+        return dataclasses.replace(self, backend=backend)

@@ -12,7 +12,12 @@ from repro.simulation.events import Event, EventQueue
 from repro.simulation.process import Process, ProcessState
 from repro.simulation.randomness import RandomSource, split_seed
 from repro.simulation.recorder import TraceRecorder, TraceSample
-from repro.simulation.montecarlo import MonteCarloResult, MonteCarloRunner
+from repro.simulation.montecarlo import (
+    MonteCarloResult,
+    MonteCarloRunner,
+    link_batch_trial,
+    link_symbol_error_trial,
+)
 
 __all__ = [
     "Simulator",
@@ -26,4 +31,6 @@ __all__ = [
     "TraceSample",
     "MonteCarloRunner",
     "MonteCarloResult",
+    "link_batch_trial",
+    "link_symbol_error_trial",
 ]

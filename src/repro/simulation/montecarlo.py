@@ -77,6 +77,71 @@ class MonteCarloResult:
         return float(np.percentile(self.samples, q))
 
 
+def link_batch_trial(
+    config,
+    backend: Optional[str] = None,
+    channel=None,
+    per_symbol: str = "error_indicator",
+    on_result: Optional[Callable] = None,
+) -> Callable:
+    """Build a :meth:`MonteCarloRunner.run_batch` trial over the optical link.
+
+    Each Monte-Carlo trial is one PPM symbol pushed through a link built via
+    the backend registry (:func:`repro.core.backend.make_link`), so callers
+    select the engine by name — ``"batch"`` (default) or ``"scalar"`` —
+    instead of instantiating a concrete link class.  This closure defines the
+    reproducibility protocol shared by every chunked link experiment (the
+    scenario runner included): one link seed drawn from the chunk generator,
+    then the chunk's payload bits, then one transmission.
+
+    ``per_symbol`` selects the sample reduction: ``"error_indicator"`` yields
+    ``1.0`` for symbols with at least one bit error, ``"bit_errors"`` the
+    number of erroneous bits per symbol.  ``on_result`` (optional) receives
+    each chunk's full :class:`~repro.core.link.TransmissionResult` for side
+    statistics such as detection-origin counts.
+    """
+    if per_symbol not in ("error_indicator", "bit_errors"):
+        raise ValueError(
+            f"per_symbol must be 'error_indicator' or 'bit_errors', got {per_symbol!r}"
+        )
+    # Imported lazily: repro.core.link imports this package's randomness
+    # module at import time, so a module-level import here would be circular.
+    from repro.core.backend import make_link
+
+    def batch_trial(generator: np.random.Generator, count: int) -> np.ndarray:
+        link = make_link(
+            config,
+            backend=backend,
+            channel=channel,
+            seed=int(generator.integers(0, 2**31)),
+        )
+        payload = generator.integers(0, 2, size=count * config.ppm_bits).tolist()
+        result = link.transmit_bits(payload)
+        if on_result is not None:
+            on_result(result)
+        sent = np.asarray(result.transmitted_bits).reshape(count, -1)
+        received = np.asarray(result.received_bits).reshape(count, -1)
+        mismatches = sent != received
+        if per_symbol == "bit_errors":
+            return np.count_nonzero(mismatches, axis=1).astype(float)
+        return np.any(mismatches, axis=1).astype(float)
+
+    return batch_trial
+
+
+def link_symbol_error_trial(config, backend: Optional[str] = None, channel=None) -> Callable:
+    """:func:`link_batch_trial` with the symbol-error-indicator reduction.
+
+    >>> from repro.core.config import LinkConfig
+    >>> from repro.analysis.units import NS
+    >>> config = LinkConfig(slot_duration=4 * NS, mean_detected_photons=200.0)
+    >>> trial = link_symbol_error_trial(config, backend="batch")
+    >>> MonteCarloRunner(seed=7).run_batch(trial, trials=64, chunk_size=32).mean < 0.1
+    True
+    """
+    return link_batch_trial(config, backend=backend, channel=channel)
+
+
 class MonteCarloRunner:
     """Runs a trial function over many independent seeds.
 

@@ -196,21 +196,14 @@ class TimeToDigitalConverter:
         Produces the same codes and reconstructed times as calling
         :meth:`convert` per sample, but quantises the entire batch with a
         single :func:`np.searchsorted` against the delay line's cached tap
-        times.  When a metastability model is attached the method falls back
-        to per-sample conversion so bubbles are injected.
+        times.  With a metastability model attached, bubbles are injected by
+        one vectorised pass (:meth:`MetastabilityModel.corrupt_batch` followed
+        by :meth:`ThermometerEncoder.encode_batch`) that consumes the random
+        stream in the same order as per-sample conversion — the batch path is
+        draw-for-draw identical to the scalar path, not just statistically
+        equivalent.
         """
         times = np.asarray(arrival_times, dtype=float)
-        if self.metastability is not None:
-            conversions = [self.convert(float(t)) for t in times.ravel()]
-            shape = times.shape
-            return TdcBatchConversion(
-                coarse_codes=np.asarray([c.coarse_code for c in conversions], dtype=int).reshape(shape),
-                fine_codes=np.asarray([c.fine_code for c in conversions], dtype=int).reshape(shape),
-                codes=np.asarray([c.code for c in conversions], dtype=int).reshape(shape),
-                measured_times=np.asarray([c.measured_time for c in conversions], dtype=float).reshape(shape),
-                true_times=times.copy(),
-                saturated=np.asarray([c.saturated for c in conversions], dtype=bool).reshape(shape),
-            )
         if np.any(times < 0):
             raise ValueError("arrival times must be non-negative")
         saturated = times >= self.usable_range
@@ -219,7 +212,19 @@ class TimeToDigitalConverter:
         coarse_codes = np.floor(clamped / period).astype(int) % self.coarse.modulus
         phase = np.mod(clamped, period)
         residual = np.where(phase == 0.0, period, period - phase)
-        fine_codes = np.searchsorted(self.delay_line.tap_times, residual, side="right")
+        if self.metastability is not None:
+            taps = self.delay_line.tap_times
+            flat_residual = np.ravel(residual)
+            reached = np.searchsorted(taps, flat_residual, side="right")
+            thermometer = (
+                np.arange(self.delay_line.length)[None, :] < reached[:, None]
+            ).astype(np.int8)
+            thermometer = self.metastability.corrupt_batch(
+                thermometer, taps, flat_residual, self._random_source
+            )
+            fine_codes = self.encoder.encode_batch(thermometer).reshape(times.shape)
+        else:
+            fine_codes = np.searchsorted(self.delay_line.tap_times, residual, side="right")
         fine_codes = np.minimum(fine_codes, self.fine_elements - 1)
         return TdcBatchConversion(
             coarse_codes=coarse_codes,

@@ -5,6 +5,14 @@ from __future__ import annotations
 import pytest
 
 from repro.core.config import LinkConfig
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "scenario_smoke: tiny-budget end-to-end run of every named scenario "
+        "(the tier-1 wiring of benchmarks/bench_scenarios.py)",
+    )
 from repro.simulation.randomness import RandomSource
 from repro.tdc.fpga import VIRTEX2PRO_PROFILE, build_fpga_delay_line, build_fpga_tdc
 

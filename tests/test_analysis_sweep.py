@@ -53,3 +53,62 @@ class TestSweep:
     def test_iteration(self):
         result = grid_sweep(lambda a: a * 2, a=[1, 2, 3])
         assert [p.value for p in result] == [2, 4, 6]
+
+
+class TestDeterministicOrdering:
+    def test_mapping_axes_preserve_insertion_order(self):
+        # Axis order (and therefore point order) is the mapping's insertion
+        # order, not alphabetical.
+        sweep = Sweep({"zeta": [1, 2], "alpha": [10, 20]})
+        assert sweep.parameter_names == ("zeta", "alpha")
+        result = sweep.run(lambda zeta, alpha: zeta * alpha)
+        assert [tuple(p.parameters) for p in result.points] == [
+            (("zeta", 1), ("alpha", 10)),
+            (("zeta", 1), ("alpha", 20)),
+            (("zeta", 2), ("alpha", 10)),
+            (("zeta", 2), ("alpha", 20)),
+        ]
+
+    def test_one_shot_iterables_are_materialised(self):
+        # A generator-valued axis must survive the size()/combinations()
+        # double traversal instead of being silently exhausted.
+        sweep = Sweep({"a": (x for x in [1, 2, 3])})
+        assert sweep.size() == 3
+        assert len(sweep.run(lambda a: a)) == 3
+
+    def test_repeated_runs_identical(self):
+        axes = {"b": [3, 1], "a": [2, 0]}
+        first = Sweep(axes).run(lambda a, b: a + b)
+        second = Sweep(axes).run(lambda a, b: a + b)
+        assert first.to_records() == second.to_records()
+
+
+class TestToRecords:
+    def test_records_shape_and_order(self):
+        result = grid_sweep(lambda n, c: n * 10 + c, n=[1, 2], c=[0, 1])
+        assert result.to_records() == [
+            {"n": 1, "c": 0, "value": 10},
+            {"n": 1, "c": 1, "value": 11},
+            {"n": 2, "c": 0, "value": 20},
+            {"n": 2, "c": 1, "value": 21},
+        ]
+
+    def test_empty_sweep_records(self):
+        assert SweepResult(parameter_names=("x",)).to_records() == []
+
+
+class TestLinkBerSweep:
+    def test_sweeps_config_fields_through_backend_registry(self):
+        from repro.analysis.sweep import link_ber_sweep
+        from repro.core.config import LinkConfig
+
+        result = link_ber_sweep(
+            LinkConfig(ppm_bits=4),
+            {"mean_detected_photons": [2.0, 80.0]},
+            bits_per_point=2000,
+            seed=3,
+            backend="batch",
+        )
+        records = result.to_records()
+        assert [r["mean_detected_photons"] for r in records] == [2.0, 80.0]
+        assert records[0]["value"].ber > records[1]["value"].ber

@@ -69,8 +69,11 @@ class TestStatisticalEquivalence:
         assert batch.received_bits == payload
 
     def test_ber_estimator_fast_and_scalar_paths_agree(self):
-        fast = monte_carlo_bit_error_rate(MODERATE, bits=8000, seed=3, fast=True)
-        scalar = monte_carlo_bit_error_rate(MODERATE, bits=8000, seed=3, fast=False)
+        # The legacy fast= boolean still works (mapped onto the backend
+        # registry) but warns; backend= is the supported spelling.
+        with pytest.warns(DeprecationWarning):
+            fast = monte_carlo_bit_error_rate(MODERATE, bits=8000, seed=3, fast=True)
+        scalar = monte_carlo_bit_error_rate(MODERATE, bits=8000, seed=3, backend="scalar")
         assert fast.ber == pytest.approx(scalar.ber, abs=5.0 * (fast.confidence_95 + scalar.confidence_95))
 
 

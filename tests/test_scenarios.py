@@ -1,0 +1,254 @@
+"""Tests for repro.scenarios — declarative scenarios and the experiment runner."""
+
+import json
+
+import pytest
+
+from repro.analysis.units import NS
+from repro.core.config import LinkConfig
+from repro.scenarios import (
+    ExperimentRunner,
+    Scenario,
+    available_metrics,
+    get_scenario,
+    named_scenarios,
+    register_metric,
+    run_scenario,
+)
+from repro.scenarios.metrics import PointOutcome
+
+TINY = dict(bits_per_point=256)
+
+
+def small_scenario(**overrides) -> Scenario:
+    settings = dict(
+        name="unit-test",
+        link_overrides={"ppm_bits": 4},
+        sweep_axes={"mean_detected_photons": (5.0, 50.0)},
+        metrics=("ber", "throughput"),
+        **TINY,
+    )
+    settings.update(overrides)
+    return Scenario(**settings)
+
+
+class TestScenarioValidation:
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            Scenario(name="x", link_overrides={"not_a_field": 1})
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            Scenario(name="x", sweep_axes={"warp_factor": (1, 2)})
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            Scenario(name="x", metrics=("ber", "vibes"))
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown link backend"):
+            Scenario(name="x", backend="gpu")
+
+    def test_override_and_axis_overlap_rejected(self):
+        with pytest.raises(ValueError, match="both overridden and swept"):
+            Scenario(
+                name="x",
+                link_overrides={"ppm_bits": 4},
+                sweep_axes={"ppm_bits": (2, 4)},
+            )
+
+    def test_empty_axis_and_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(name="x", sweep_axes={"ppm_bits": ()})
+        with pytest.raises(ValueError):
+            Scenario(name="x", bits_per_point=0)
+        with pytest.raises(ValueError):
+            Scenario(name="x", seed_policy="chaotic")
+
+    def test_stack_thickness_without_stack_dies_rejected(self):
+        with pytest.raises(ValueError, match="stack_dies"):
+            Scenario(name="x", link_overrides={"stack_thickness": 30e-6})
+        # Fine when the dies parameter is declared on either side.
+        Scenario(
+            name="x",
+            link_overrides={"stack_thickness": 30e-6},
+            sweep_axes={"stack_dies": (2, 4)},
+        )
+
+    def test_scenarios_are_hashable_consistently_with_equality(self):
+        scenario = get_scenario("ber-vs-photons")
+        assert hash(scenario) == hash(Scenario.from_mapping(scenario.to_mapping()))
+        assert len({scenario, Scenario.from_mapping(scenario.to_mapping())}) == 1
+
+    def test_axis_order_is_declaration_order(self):
+        scenario = Scenario(
+            name="x",
+            sweep_axes={"spad_dead_time": (8 * NS,), "ppm_bits": (2, 4)},
+        )
+        assert scenario.axis_names == ("spad_dead_time", "ppm_bits")
+        grid = list(scenario.grid())
+        assert [tuple(p) for p in grid] == [("spad_dead_time", "ppm_bits")] * 2
+        assert scenario.point_count() == 2
+
+
+class TestScenarioMappingRoundTrip:
+    def test_round_trip_equality(self):
+        scenario = small_scenario()
+        restored = Scenario.from_mapping(scenario.to_mapping())
+        assert restored == scenario
+
+    def test_round_trip_through_json(self):
+        scenario = get_scenario("design-space-grid")
+        payload = json.dumps(scenario.to_mapping())
+        restored = Scenario.from_mapping(json.loads(payload))
+        assert restored == scenario
+
+    def test_every_named_scenario_round_trips(self):
+        for name in named_scenarios():
+            scenario = get_scenario(name)
+            assert Scenario.from_mapping(scenario.to_mapping()) == scenario
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario key"):
+            Scenario.from_mapping({"name": "x", "budget": 5})
+        with pytest.raises(ValueError, match="'name'"):
+            Scenario.from_mapping({})
+
+
+class TestScenarioCompilation:
+    def test_config_for_point_applies_overrides_and_params(self):
+        scenario = small_scenario()
+        config, channel = scenario.config_for_point({"mean_detected_photons": 5.0})
+        assert channel is None
+        assert config.ppm_bits == 4
+        assert config.mean_detected_photons == 5.0
+
+    def test_tdc_axes_build_explicit_design(self):
+        scenario = Scenario(
+            name="x",
+            sweep_axes={"tdc_fine_elements": (16, 32), "tdc_coarse_bits": (2,)},
+            metrics=("ber",),
+        )
+        config, _ = scenario.config_for_point({"tdc_fine_elements": 32, "tdc_coarse_bits": 2})
+        assert config.tdc_design is not None
+        assert config.tdc_design.fine_elements == 32
+        assert config.tdc_design.coarse_bits == 2
+        assert config.tdc_design.element_delay == pytest.approx(config.slot_duration / 4)
+
+    def test_tdc_coarse_bits_default_covers_symbol(self):
+        scenario = Scenario(name="x", sweep_axes={"tdc_fine_elements": (16,)}, metrics=("ber",))
+        config, _ = scenario.config_for_point({"tdc_fine_elements": 16})
+        design = config.tdc_design
+        assert design.detection_cycle >= config.symbol_duration or design.coarse_bits == 16
+
+    def test_stack_axis_builds_channel(self):
+        scenario = get_scenario("multi-chip-bus")
+        config, channel = scenario.config_for_point({"stack_dies": 4})
+        assert channel is not None
+        assert channel.stack.die_count == 4
+        assert channel.destination_layer == 3
+        assert channel.stack.wavelength == config.wavelength
+        assert 0.0 < channel.transmission() < 1.0
+
+    def test_with_budget_and_backend(self):
+        scenario = small_scenario().with_budget(64).with_backend("scalar")
+        assert scenario.bits_per_point == 64
+        assert scenario.backend == "scalar"
+
+
+class TestExperimentRunner:
+    def test_point_grid_and_metrics(self):
+        report = run_scenario(small_scenario(), seed=5)
+        assert len(report.points) == 2
+        assert [p.parameters["mean_detected_photons"] for p in report.points] == [5.0, 50.0]
+        for point in report.points:
+            assert set(point.metrics) == {"ber", "throughput"}
+            assert point.confidence["ber"] is not None
+            assert point.confidence["throughput"] is None
+            assert point.bits >= 256
+            assert point.symbols == point.bits // 4
+        # More photons, fewer errors.
+        assert report.points[0].metric("ber") > report.points[1].metric("ber")
+
+    def test_determinism_per_seed(self):
+        scenario = small_scenario()
+        first = run_scenario(scenario, seed=8).to_mapping()
+        second = run_scenario(scenario, seed=8).to_mapping()
+        third = run_scenario(scenario, seed=9).to_mapping()
+        assert first == second
+        assert first != third
+
+    def test_report_is_json_serialisable(self):
+        report = run_scenario(small_scenario(), seed=1)
+        decoded = json.loads(json.dumps(report.to_mapping()))
+        assert decoded["backend"] == "batch"
+        assert len(decoded["points"]) == 2
+
+    def test_backend_override(self):
+        report = run_scenario(small_scenario(), seed=2, backend="scalar")
+        assert report.backend == "scalar"
+
+    def test_axis_free_scenario_runs_single_point(self):
+        scenario = Scenario(
+            name="single",
+            link_overrides={"mean_detected_photons": 50.0},
+            metrics=("ber", "symbol_error_rate"),
+            bits_per_point=128,
+        )
+        report = run_scenario(scenario, seed=0)
+        assert len(report.points) == 1
+        assert report.points[0].parameters == {}
+
+    def test_seed_policy_shared_vs_per_point(self):
+        per_point = run_scenario(small_scenario(), seed=4)
+        shared = run_scenario(small_scenario(seed_policy="shared"), seed=4)
+        assert per_point.to_mapping() != shared.to_mapping()
+
+    def test_metric_series(self):
+        report = run_scenario(small_scenario(), seed=6)
+        xs, ys = report.metric_series("ber")
+        assert list(xs) == [5.0, 50.0]
+        assert len(ys) == 2
+        with pytest.raises(KeyError):
+            report.points[0].metric("goodput")
+
+    def test_chunking_changes_seeding_but_not_contract(self):
+        scenario = small_scenario(bits_per_point=1024)
+        coarse = ExperimentRunner(scenario, seed=3, chunk_symbols=64).run()
+        fine = ExperimentRunner(scenario, seed=3, chunk_symbols=64).run()
+        assert coarse.to_mapping() == fine.to_mapping()
+        with pytest.raises(ValueError):
+            ExperimentRunner(scenario, chunk_symbols=0)
+
+    def test_summary_renders_axes_and_metrics(self):
+        report = run_scenario(small_scenario(), seed=7)
+        text = report.summary()
+        assert "mean_detected_photons" in text
+        assert "ber" in text
+        assert "unit-test" in text
+
+
+class TestMetricsRegistry:
+    def test_builtins_available(self):
+        assert {"ber", "symbol_error_rate", "throughput", "goodput", "detection_rate"} <= set(
+            available_metrics()
+        )
+
+    def test_duplicate_metric_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_metric("ber")(lambda outcome: 0.0)
+
+    def test_point_outcome_validation(self):
+        config = LinkConfig()
+        with pytest.raises(ValueError):
+            PointOutcome(config=config, bits=0, bit_errors=0, symbols=1, symbol_errors=0)
+        with pytest.raises(ValueError):
+            PointOutcome(config=config, bits=4, bit_errors=5, symbols=1, symbol_errors=0)
+
+    def test_custom_metric_usable_in_scenario(self):
+        name = "test-missed-fraction"
+        if name not in available_metrics():
+            register_metric(name)(lambda outcome: outcome.missed / outcome.symbols)
+        scenario = small_scenario(metrics=("ber", name))
+        report = run_scenario(scenario, seed=1)
+        assert name in report.points[0].metrics

@@ -141,21 +141,52 @@ class TestBatchConversion:
         assert np.array_equal(batch.codes, scalar_codes)
         assert np.allclose(batch.measured_times, scalar_measured)
 
-    def test_convert_array_metastability_fallback(self):
+    @staticmethod
+    def make_metastable_tdc(bubble_correction: bool = True):
         line = TappedDelayLine(
-            DelayElementModel(nominal_delay=100 * PS, mismatch_sigma=0.0), length=50
+            DelayElementModel(nominal_delay=100 * PS, mismatch_sigma=0.05),
+            length=55,
+            random_source=RandomSource(3),
         )
-        coarse = CoarseCounter(clock_frequency=1.0 / (50 * 100 * PS), bits=0)
-        tdc = TimeToDigitalConverter(
+        coarse = CoarseCounter(clock_frequency=1.0 / (50 * 100 * PS), bits=2)
+        return TimeToDigitalConverter(
             line,
             coarse,
-            metastability=MetastabilityModel(aperture=20 * PS, flip_probability=1.0),
+            metastability=MetastabilityModel(aperture=20 * PS, flip_probability=0.8),
+            bubble_correction=bubble_correction,
             random_source=RandomSource(1),
         )
+
+    def test_convert_array_metastability_bounded(self):
+        tdc = self.make_metastable_tdc()
         times = np.linspace(10 * PS, tdc.usable_range * 0.99, 10)
         batch = tdc.convert_array(times)
         assert len(batch) == 10
         assert np.all(np.abs(batch.errors) <= 3 * tdc.lsb)
+
+    @pytest.mark.parametrize("bubble_correction", [True, False])
+    def test_convert_array_metastability_matches_scalar_draw_for_draw(
+        self, bubble_correction
+    ):
+        # The vectorised bubble-injection pass (no per-sample fallback) must
+        # reproduce scalar conversion *exactly*: bulk uniform draws consume
+        # the random stream in the same order as per-tap Bernoulli calls.
+        scalar_tdc = self.make_metastable_tdc(bubble_correction)
+        batch_tdc = self.make_metastable_tdc(bubble_correction)
+        times = np.linspace(10 * PS, scalar_tdc.usable_range * 0.99, 400)
+        scalar = [scalar_tdc.convert(float(t)) for t in times]
+        batch = batch_tdc.convert_array(times)
+        assert np.array_equal(batch.fine_codes, [c.fine_code for c in scalar])
+        assert np.array_equal(batch.coarse_codes, [c.coarse_code for c in scalar])
+        assert np.array_equal(batch.codes, [c.code for c in scalar])
+        assert np.allclose(batch.measured_times, [c.measured_time for c in scalar])
+        assert np.array_equal(batch.saturated, [c.saturated for c in scalar])
+
+    def test_convert_array_metastability_deterministic_stream(self):
+        # Two identically-built TDCs consume identical random streams.
+        a = self.make_metastable_tdc().convert_array(np.linspace(0, 4e-9, 64))
+        b = self.make_metastable_tdc().convert_array(np.linspace(0, 4e-9, 64))
+        assert np.array_equal(a.codes, b.codes)
 
     def test_convert_array_rejects_negative_times(self):
         with pytest.raises(ValueError):
