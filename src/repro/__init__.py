@@ -30,8 +30,9 @@ Quickstart
 ----------
 
 Links are built through the backend registry — ``"batch"`` (the vectorised
-default) or ``"scalar"`` (the draw-for-draw reference path), never by naming
-an engine class:
+default), ``"scalar"`` (the draw-for-draw reference path) or
+``"multichannel"`` (the parallel SPAD-array engine), never by naming an
+engine class:
 
 >>> from repro import LinkConfig, make_link
 >>> link = make_link(LinkConfig(ppm_bits=4), backend="batch", seed=1)
@@ -57,6 +58,8 @@ from repro.core import (
     FastOpticalLink,
     LinkBackend,
     LinkConfig,
+    MultichannelOpticalLink,
+    MultichannelResult,
     OpticalLink,
     TdcDesign,
     available_backends,
@@ -82,6 +85,8 @@ __all__ = [
     "backend_capabilities",
     "OpticalLink",
     "FastOpticalLink",
+    "MultichannelOpticalLink",
+    "MultichannelResult",
     "TdcDesign",
     "measurement_window",
     "throughput",

@@ -11,9 +11,13 @@ This package ties the substrates together into the system the paper proposes:
   link simulator (micro-LED → channel → SPAD → TDC → PPM decoder).
 * :mod:`repro.core.fastlink` — the vectorised batch transmission engine, the
   fast path for Monte-Carlo-scale symbol ensembles.
+* :mod:`repro.core.multilink` — the multichannel SPAD-array engine: all
+  symbols of all parallel channels as one ``(S, C)`` pass, with optical
+  crosstalk between neighbours.
 * :mod:`repro.core.backend` — the :class:`LinkBackend` protocol and registry:
   :func:`make_link` is the single front door through which every consumer
-  constructs a link, selecting ``"batch"`` or ``"scalar"`` by name.
+  constructs a link, selecting ``"batch"``, ``"scalar"`` or
+  ``"multichannel"`` by name.
 * :mod:`repro.core.error_model` / :mod:`repro.core.ber` — analytic and
   Monte-Carlo symbol/bit error rates from jitter, dark counts, afterpulsing
   and missed detections.
@@ -37,6 +41,7 @@ from repro.core.design_space import DesignPoint, DesignSpace, figure4_grid
 from repro.core.config import LinkConfig
 from repro.core.link import OpticalLink, TransmissionResult
 from repro.core.fastlink import FastOpticalLink
+from repro.core.multilink import MultichannelOpticalLink, MultichannelResult
 from repro.core.backend import (
     BackendCapabilities,
     LinkBackend,
@@ -66,6 +71,8 @@ __all__ = [
     "LinkConfig",
     "OpticalLink",
     "FastOpticalLink",
+    "MultichannelOpticalLink",
+    "MultichannelResult",
     "TransmissionResult",
     "LinkBackend",
     "BackendCapabilities",

@@ -1,10 +1,11 @@
 """Link-backend protocol and registry — the package's front door for links.
 
-PR 1 left two parallel link engines: the scalar symbol-by-symbol
-:class:`~repro.core.link.OpticalLink` and the vectorised batch
-:class:`~repro.core.fastlink.FastOpticalLink`.  Instead of every consumer
-hard-coding which class it instantiates, this module defines the
-:class:`LinkBackend` protocol both engines satisfy, a registry of named
+The package has three link engines: the scalar symbol-by-symbol
+:class:`~repro.core.link.OpticalLink`, the vectorised batch
+:class:`~repro.core.fastlink.FastOpticalLink`, and the SPAD-array
+:class:`~repro.core.multilink.MultichannelOpticalLink`.  Instead of every
+consumer hard-coding which class it instantiates, this module defines the
+:class:`LinkBackend` protocol the engines satisfy, a registry of named
 backends with :class:`BackendCapabilities` flags, and the :func:`make_link`
 factory that all library code (``repro.core.ber``,
 ``repro.simulation.montecarlo``, ``repro.analysis.sweep``,
@@ -17,7 +18,9 @@ same decision rules) and is individually deterministic per seed, but backends
 are only required to be *statistically* equivalent to one another — not
 draw-for-draw identical.  The ``"scalar"`` backend is the draw-for-draw
 reference for legacy results; the ``"batch"`` backend (alias ``"fast"``) is
-the default and the one every Monte-Carlo-scale consumer should run.
+the default and the one every Monte-Carlo-scale consumer should run; the
+``"multichannel"`` backend (alias ``"array"``) widens the batch pass to
+``channels`` parallel links with optional optical crosstalk.
 """
 
 from __future__ import annotations
@@ -36,7 +39,9 @@ except ImportError:  # pragma: no cover - ancient interpreters only
 from repro.core.config import LinkConfig
 from repro.core.fastlink import FastOpticalLink
 from repro.core.link import OpticalLink, TransmissionResult
+from repro.core.multilink import MultichannelOpticalLink
 from repro.photonics.channel import OpticalChannel
+from repro.photonics.crosstalk import CrosstalkModel
 
 
 @dataclass(frozen=True)
@@ -49,8 +54,9 @@ class BackendCapabilities:
         The transmit path simulates whole payloads as array passes (the
         vectorised engine); scalar backends iterate symbol by symbol.
     supports_multichannel:
-        Reserved for the planned ``(symbols, channels)`` SPAD-array batching
-        (the 64x64 imager of ref [5]); no current backend implements it.
+        The backend accepts ``channels=``/``crosstalk=`` and simulates
+        ``(symbols, channels)`` SPAD-array passes — the 64x64 imager of
+        ref [5] — as the ``"multichannel"`` backend does.
     draw_for_draw_reference:
         This backend defines the reference sample path for a given seed
         (legacy results are reproduced draw for draw against it).
@@ -160,23 +166,56 @@ def make_link(
     *,
     channel: Optional[OpticalChannel] = None,
     seed: int = 0,
+    channels: Optional[int] = None,
+    crosstalk: Optional[CrosstalkModel] = None,
 ) -> LinkBackend:
     """Construct a link through the backend registry.
+
+    This factory is the package's only link front door — library code,
+    examples and benchmarks never name an engine class directly.
 
     Parameters
     ----------
     config:
         Link configuration; the default :class:`LinkConfig` when ``None``.
     backend:
-        Registered backend name (``"batch"``, ``"scalar"``) or alias
-        (``"fast"``); ``None`` selects the default batch engine.
+        Registered backend name (``"batch"``, ``"scalar"``,
+        ``"multichannel"``) or alias (``"fast"``, ``"array"``); ``None``
+        selects the default batch engine.
     channel:
         Optional optical channel, forwarded to the backend factory.
     seed:
         Seed for all stochastic behaviour of the constructed link.
+    channels:
+        Number of parallel channels; only backends whose capabilities flag
+        ``supports_multichannel`` accept more than one.
+    crosstalk:
+        Optional :class:`~repro.photonics.crosstalk.CrosstalkModel` coupling
+        the parallel channels (multichannel backends only).
+
+    >>> link = make_link(backend="batch", seed=1)
+    >>> link.transmit_bits([1, 0, 1, 1]).symbols_sent
+    1
+    >>> make_link(backend="multichannel", channels=8, seed=1).channels
+    8
     """
     entry = _REGISTRY[resolve_backend(backend)]
-    return entry.factory(config if config is not None else LinkConfig(), channel=channel, seed=seed)
+    resolved_config = config if config is not None else LinkConfig()
+    if entry.capabilities.supports_multichannel:
+        return entry.factory(
+            resolved_config,
+            channel=channel,
+            seed=seed,
+            channels=channels if channels is not None else 1,
+            crosstalk=crosstalk,
+        )
+    if channels not in (None, 1) or crosstalk is not None:
+        raise ValueError(
+            f"backend {entry.name!r} does not support multiple channels or "
+            f"crosstalk; use a backend with supports_multichannel "
+            f"(e.g. 'multichannel')"
+        )
+    return entry.factory(resolved_config, channel=channel, seed=seed)
 
 
 register_backend(
@@ -189,4 +228,10 @@ register_backend(
     FastOpticalLink,
     BackendCapabilities(supports_batch=True),
     aliases=("fast",),
+)
+register_backend(
+    "multichannel",
+    MultichannelOpticalLink,
+    BackendCapabilities(supports_batch=True, supports_multichannel=True),
+    aliases=("array",),
 )

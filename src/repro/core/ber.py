@@ -14,7 +14,6 @@ to it as a sanity check.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -70,28 +69,15 @@ def monte_carlo_bit_error_rate(
     bits: int = 10_000,
     seed: int = 0,
     backend: Optional[str] = None,
-    fast: Optional[bool] = None,
 ) -> BerEstimate:
     """Estimate the BER by simulating ``bits`` random payload bits end to end.
 
-    ``backend`` selects a registered link backend (see
-    :mod:`repro.core.backend`): ``"batch"`` — the default — runs the
+    ``backend`` selects a registered link backend by name (see
+    :mod:`repro.core.backend`; :func:`~repro.core.backend.make_link` is the
+    only way links are constructed): ``"batch"`` — the default — runs the
     vectorised engine, ``"scalar"`` the symbol-by-symbol link.  Backends are
     statistically equivalent but not draw-for-draw identical.
-
-    ``fast=`` is deprecated: it is the pre-registry boolean spelling of the
-    same choice and maps onto ``backend="batch"`` / ``backend="scalar"``.
     """
-    if fast is not None:
-        if backend is not None:
-            raise ValueError("pass either backend= or the deprecated fast=, not both")
-        warnings.warn(
-            "monte_carlo_bit_error_rate(fast=...) is deprecated; "
-            "use backend='batch' or backend='scalar' instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        backend = "batch" if fast else "scalar"
     if bits <= 0:
         raise ValueError("bits must be positive")
     # Round up to a whole number of symbols.

@@ -177,6 +177,9 @@ class OpticalLink:
             "photon": 0,
             "dark_count": 0,
             "afterpulse": 0,
+            # A single isolated channel never reports crosstalk; the key is
+            # present so every backend shares one detection-count shape.
+            "crosstalk": 0,
             "missed": 0,
         }
         self.spad.reset()

@@ -1,0 +1,401 @@
+"""Multichannel batch transmission engine — parallel SPAD-array links.
+
+The paper's headline configuration is not one SPAD but a parallel array of
+vertical optical channels (up to the 64x64 imager of its ref [5]); the
+communication *density* argument only works when many channels run side by
+side.  :class:`MultichannelOpticalLink` simulates all ``S`` symbol windows of
+all ``C`` channels as ``(S, C)`` NumPy passes:
+
+1. The payload is PPM-encoded into one symbol-value array and striped across
+   channels round-robin (symbol ``i`` rides channel ``i % C`` in window
+   ``i // C``), so time slot ``s`` carries ``C`` symbols in parallel.
+2. Per-channel photon budgets come from the link budget
+   (:meth:`~repro.core.link.OpticalLink.mean_photons_at_detector`, i.e. the
+   configured pulse energy through the shared optical channel); when a
+   :class:`~repro.photonics.crosstalk.CrosstalkModel` is attached, the
+   off-diagonal power of its (normalised) coupling matrix is injected as
+   interference pulses at the neighbours' slot times, and the aggregated
+   scattered-light floor of far channels as a uniform background.
+3. :func:`~repro.spad.array.detect_in_windows_multichannel` bulk-draws one
+   array of randomness per physical process and resolves the winner of every
+   window; only the window axis is sequential (dead time / afterpulsing), so
+   the scan folds all ``C`` per-channel datapaths into one shared pipeline.
+4. One ``np.searchsorted`` TDC conversion
+   (:meth:`~repro.tdc.converter.TimeToDigitalConverter.convert_array`) runs
+   over the flattened ``(S*C,)`` hit times, and one vectorised PPM decode maps
+   them back to bits.
+
+Contract
+--------
+With crosstalk disabled, the per-channel results are *statistically
+equivalent* to ``C`` independent ``"batch"`` links — same physics, same
+distributions, not draw-for-draw identical — and the whole transmission is
+deterministic per seed (locked by ``tests/test_core_multilink.py`` the same
+way ``tests/test_core_fastlink.py`` locks the single-channel batch engine).
+Construct through the registry: ``make_link(config, backend="multichannel",
+channels=64, seed=...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import LinkConfig
+from repro.core.link import OpticalLink, TransmissionResult
+from repro.modulation.symbols import ints_to_bit_matrix
+from repro.photonics.channel import OpticalChannel
+from repro.photonics.crosstalk import CrosstalkModel
+from repro.simulation.randomness import RandomSource
+from repro.spad.array import detect_in_windows_multichannel
+from repro.spad.device import ORIGIN_BY_CODE
+
+#: Bit errors caused by decoding one symbol value as another = popcount of
+#: their XOR.  ``ppm_bits`` is capped at 16, so one 2^16 lookup table covers
+#: every codec and turns per-symbol bit-error counting into a table take.
+_POPCOUNT16 = (
+    np.unpackbits(np.arange(1 << 16, dtype=np.uint16).view(np.uint8))
+    .reshape(-1, 16)
+    .sum(axis=1)
+    .astype(np.int64)
+)
+
+
+@dataclass
+class MultichannelResult(TransmissionResult):
+    """Outcome of one parallel transmission across a channel array.
+
+    The aggregate fields carry the :class:`TransmissionResult` contract over
+    the whole payload — ``elapsed_time`` is the *parallel* wall-clock link
+    time (``S`` windows, not ``S*C``), so the inherited :attr:`throughput` is
+    the aggregate bandwidth of the array.  :attr:`channel_results`
+    additionally breaks the same transmission down per channel; the per-channel
+    views are materialised lazily on first access (and then cached), so
+    aggregate-only consumers never pay for ``C`` result objects.
+    """
+
+    #: Payload bits and bit errors per channel, as ``(C,)`` integer arrays —
+    #: the cheap per-channel split (one table lookup + bincount at transmit
+    #: time), counting *payload* positions only (the zero-padding of a final
+    #: partial symbol is excluded, exactly as in the aggregate fields, so
+    #: ``channel_bit_errors.sum() == bit_errors``).  Accumulate from these
+    #: instead of :attr:`channel_results` when only counts are needed (the
+    #: experiment runner does).
+    channel_bits: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64), repr=False, compare=False
+    )
+    channel_bit_errors: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64), repr=False, compare=False
+    )
+    _channel_results_builder: Optional[
+        Callable[[], Tuple[TransmissionResult, ...]]
+    ] = field(default=None, repr=False, compare=False)
+    _channel_results_cache: Optional[Tuple[TransmissionResult, ...]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def channel_results(self) -> Tuple[TransmissionResult, ...]:
+        """Per-channel :class:`TransmissionResult` views of the transmission."""
+        if self._channel_results_cache is None:
+            builder = self._channel_results_builder
+            self._channel_results_cache = builder() if builder is not None else ()
+        return self._channel_results_cache
+
+    @property
+    def channels(self) -> int:
+        """Number of parallel channels that carried the payload.
+
+        Read from the count split, so it never materialises
+        :attr:`channel_results`.
+        """
+        if self.channel_bits.size:
+            return int(self.channel_bits.size)
+        return len(self.channel_results)
+
+    def channel(self, index: int) -> TransmissionResult:
+        """Per-channel view of the transmission (channel ``index``)."""
+        return self.channel_results[index]
+
+    def per_channel_bit_error_rates(self) -> np.ndarray:
+        """BER of every channel (``NaN`` for channels that carried no bits).
+
+        Computed from the payload-position count split
+        (:attr:`channel_bits`/:attr:`channel_bit_errors`) — no per-channel
+        result objects are materialised.
+        """
+        bits = self.channel_bits.astype(float)
+        return np.where(
+            bits > 0, self.channel_bit_errors / np.maximum(bits, 1.0), np.nan
+        )
+
+    @property
+    def aggregate_throughput(self) -> float:
+        """Alias of :attr:`throughput`: payload bits per second of parallel link time."""
+        return self.throughput
+
+    def summary(self) -> str:
+        return f"{super().summary()} across {self.channels} channels"
+
+
+class MultichannelOpticalLink(OpticalLink):
+    """``C`` parallel PPM channels simulated as one ``(S, C)`` array pass.
+
+    Parameters
+    ----------
+    config:
+        Per-channel link configuration (all channels are identical pixels).
+    channel:
+        Optional shared :class:`~repro.photonics.channel.OpticalChannel`; as
+        for the scalar link, it turns ``mean_detected_photons`` into the
+        *emitted* photon count.
+    seed:
+        Seed for all stochastic behaviour.
+    channels:
+        Number of parallel channels ``C``.
+    crosstalk:
+        Optional :class:`~repro.photonics.crosstalk.CrosstalkModel` for a
+        linear array at its ``channel_pitch``; ``None`` means perfectly
+        isolated channels.
+    """
+
+    def __init__(
+        self,
+        config: LinkConfig = LinkConfig(),
+        channel: Optional[OpticalChannel] = None,
+        seed: int = 0,
+        channels: int = 1,
+        crosstalk: Optional[CrosstalkModel] = None,
+    ) -> None:
+        super().__init__(config, channel=channel, seed=seed)
+        if channels < 1:
+            raise ValueError("channels must be at least 1")
+        self.channels = int(channels)
+        self.crosstalk = crosstalk
+        self._array_source = self._root_source.spawn("multichannel")
+        # Distance profile of the crosstalk coupling, split into the few
+        # *near* neighbours that stand above the scattered-light floor
+        # (injected as slot-timed interference pulses) and the many *far*
+        # channels at the floor (merged into one uniform background process).
+        self._near_coupling: np.ndarray = np.empty(0)
+        self._far_channels: np.ndarray = np.zeros(self.channels)
+        self._floor_coupling = 0.0
+        if crosstalk is not None and self.channels > 1:
+            profile = crosstalk.coupling_profile(self.channels)
+            floor_rel = crosstalk.floor / crosstalk.coupling(0.0)
+            threshold = max(floor_rel, 1e-12)
+            reach = int(np.count_nonzero(profile[1:] > threshold))
+            self._near_coupling = profile[1 : reach + 1]
+            positions = np.arange(self.channels)
+            near_neighbours = np.minimum(positions, reach) + np.minimum(
+                self.channels - 1 - positions, reach
+            )
+            self._far_channels = (self.channels - 1) - near_neighbours
+            self._floor_coupling = floor_rel
+
+    # -- interference -----------------------------------------------------------
+    def _interference(
+        self, pulse_offsets: np.ndarray, mean_photons: float
+    ) -> Tuple[List[np.ndarray], List[float], np.ndarray]:
+        """Crosstalk inputs for the array pass at this photon budget.
+
+        Returns ``(secondary_offsets, secondary_photons, background_mean)``:
+        one shifted ``(S, C)`` offset array per near neighbour and direction
+        (the aggressor's own slot time, seen by the victim at the coupled
+        power), plus the per-channel mean of detected floor events per window
+        (each far channel contributes its per-pulse detection probability at
+        the floor coupling; the merged sum of those rare independent events is
+        modelled as one Poisson background, uniform over the window).
+        """
+        offsets: List[np.ndarray] = []
+        photons: List[float] = []
+        for distance, coupling in enumerate(self._near_coupling, start=1):
+            from_left = np.full_like(pulse_offsets, np.nan)
+            from_left[:, distance:] = pulse_offsets[:, :-distance]
+            from_right = np.full_like(pulse_offsets, np.nan)
+            from_right[:, :-distance] = pulse_offsets[:, distance:]
+            offsets.extend((from_left, from_right))
+            photons.extend((mean_photons * coupling, mean_photons * coupling))
+        p_floor = 1.0 - np.exp(
+            -self.spad.detection_probability * self._floor_coupling * mean_photons
+        )
+        return offsets, photons, self._far_channels * p_floor
+
+    # -- transmission -----------------------------------------------------------
+    def transmit_bits(self, bits: Sequence[int]) -> MultichannelResult:
+        """Send a payload striped across all channels in one array pass.
+
+        Same payload contract as the other backends: bits are padded with
+        zeros to a whole number of symbols and the symbol stream is padded to
+        a whole number of parallel windows; error statistics cover the
+        original payload symbols only.
+        """
+        raw = np.asarray(bits)
+        if raw.size == 0:
+            raise ValueError("bits must be non-empty")
+        if np.issubdtype(raw.dtype, np.integer):
+            valid = int(raw.min()) >= 0 and int(raw.max()) <= 1
+        else:
+            # Validate before casting: an int64 cast would silently truncate
+            # fractional "bits" that the scalar path rejects.
+            valid = bool(np.isin(raw, (0, 1)).all())
+        if not valid:
+            raise ValueError("bits must be 0 or 1")
+        payload_arr = raw.astype(np.int64, copy=False)
+        payload = payload_arr.tolist()
+        k = self.config.ppm_bits
+        remainder = len(payload) % k
+        if remainder:
+            padded = np.concatenate([payload_arr, np.zeros(k - remainder, dtype=np.int64)])
+        else:
+            padded = payload_arr
+
+        values = self.codec.encode_bits_to_values(padded)
+        symbol_count = int(values.size)
+        grid_pad = (-symbol_count) % self.channels
+        grid_values = np.concatenate(
+            [values, np.zeros(grid_pad, dtype=np.int64)]
+        ).reshape(-1, self.channels)
+        windows = grid_values.shape[0]
+        symbol_duration = self.config.symbol_duration
+        mean_photons = self.mean_photons_at_detector()
+
+        pulse_offsets = self.codec.pulse_times_for_values(grid_values)
+        secondary_offsets, secondary_photons, background = self._interference(
+            pulse_offsets, mean_photons
+        )
+        times, origins = detect_in_windows_multichannel(
+            self.spad,
+            symbol_duration,
+            pulse_offsets,
+            mean_photons=mean_photons,
+            generator=self._array_source.generator,
+            secondary_offsets=secondary_offsets,
+            secondary_photons=secondary_photons,
+            background_mean=background,
+        )
+
+        detected = origins >= 0
+        decoded = np.zeros((windows, self.channels), dtype=np.int64)
+        if np.any(detected):
+            window_starts = np.arange(windows)[:, None] * symbol_duration
+            relative = (times - window_starts)[detected]
+            relative = np.clip(relative, 0.0, self.tdc.usable_range * 0.999999)
+            conversion = self.tdc.convert_array(relative)
+            measured = np.clip(
+                conversion.measured_times, 0.0, symbol_duration * 0.999999
+            )
+            decoded[detected] = self.codec.decode_times(measured)
+
+        # Statistics cover the real payload symbols only (flat symbol index
+        # i = window*C + channel < symbol_count); grid-padding windows are
+        # simulated — their detections advance dead time — but not counted.
+        decoded_flat = decoded.reshape(-1)[:symbol_count]
+        origins_flat = origins.reshape(-1)[:symbol_count]
+        received_matrix = ints_to_bit_matrix(decoded_flat, k)
+        received_bits = received_matrix.ravel().tolist()
+        elapsed = windows * symbol_duration
+        channel_index = np.arange(symbol_count, dtype=np.int64) % self.channels
+        errors_per_symbol = _POPCOUNT16[np.bitwise_xor(values, decoded_flat)]
+        channel_bits = np.bincount(channel_index, minlength=self.channels) * k
+        channel_bit_errors = np.bincount(
+            channel_index, weights=errors_per_symbol, minlength=self.channels
+        ).astype(np.int64)
+        # Per-channel counts cover payload positions only, like the aggregate
+        # fields: back the final symbol's zero-pad bits (the low bits of its
+        # big-endian group) out of its channel's counts.
+        pad_bits = symbol_count * k - len(payload)
+        if pad_bits:
+            last_channel = (symbol_count - 1) % self.channels
+            channel_bits[last_channel] -= pad_bits
+            pad_errors = _POPCOUNT16[
+                (int(values[-1]) ^ int(decoded_flat[-1])) & ((1 << pad_bits) - 1)
+            ]
+            channel_bit_errors[last_channel] -= int(pad_errors)
+
+        return MultichannelResult(
+            transmitted_bits=payload,
+            received_bits=received_bits[: len(payload)],
+            symbols_sent=symbol_count,
+            symbol_errors=int(np.count_nonzero(errors_per_symbol)),
+            detection_counts=self._origin_counts(origins_flat),
+            elapsed_time=elapsed,
+            channel_bits=channel_bits,
+            channel_bit_errors=channel_bit_errors,
+            _channel_results_builder=lambda: self._channel_results(
+                values, decoded_flat, origins_flat, received_matrix, elapsed
+            ),
+        )
+
+    def transmit_random(self, bit_count: int, payload_seed: int = 1234) -> MultichannelResult:
+        """Transmit ``bit_count`` random bits (convenience for benchmarks)."""
+        if bit_count <= 0:
+            raise ValueError("bit_count must be positive")
+        source = RandomSource(payload_seed)
+        # Same payload draw as the scalar convenience, minus one round trip
+        # through a Python list (the array pass consumes arrays natively).
+        return self.transmit_bits(source.generator.integers(0, 2, size=bit_count))
+
+    # -- result assembly ---------------------------------------------------------
+    @staticmethod
+    def _origin_counts(origins: np.ndarray) -> dict:
+        counts = {origin.value: 0 for origin in ORIGIN_BY_CODE.values()}
+        counts["missed"] = int(np.count_nonzero(origins < 0))
+        codes, code_counts = np.unique(origins[origins >= 0], return_counts=True)
+        for code, code_count in zip(codes, code_counts):
+            counts[ORIGIN_BY_CODE[int(code)].value] = int(code_count)
+        return counts
+
+    def _channel_results(
+        self,
+        values: np.ndarray,
+        decoded: np.ndarray,
+        origins: np.ndarray,
+        received_matrix: np.ndarray,
+        elapsed: float,
+    ) -> Tuple[TransmissionResult, ...]:
+        """Per-channel :class:`TransmissionResult` views of one array pass.
+
+        One ``bincount`` pass splits the symbol stream back per channel (the
+        flat symbol index ``i`` rode channel ``i % C``); the shared bit
+        matrices are sliced rather than rebuilt per channel.
+        """
+        count = int(values.size)
+        channels = self.channels
+        sent_matrix = ints_to_bit_matrix(values, self.config.ppm_bits)
+        channel_index = np.arange(count) % channels
+        symbol_errors = np.bincount(
+            channel_index[decoded != values], minlength=channels
+        )
+        # Per-channel detection breakdown: fold (channel, origin) pairs into
+        # one bincount (origin codes -1..3 shift to 0..4).
+        origin_codes = sorted(ORIGIN_BY_CODE)
+        kinds = len(origin_codes) + 1
+        folded = np.bincount(
+            channel_index * kinds + (origins.astype(np.int64) + 1),
+            minlength=channels * kinds,
+        ).reshape(channels, kinds)
+        results = []
+        for channel in range(channels):
+            counts = {"missed": int(folded[channel, 0])}
+            for position, code in enumerate(origin_codes, start=1):
+                counts[ORIGIN_BY_CODE[code].value] = int(folded[channel, position])
+            results.append(
+                TransmissionResult(
+                    transmitted_bits=sent_matrix[channel::channels].ravel().tolist(),
+                    received_bits=received_matrix[channel::channels].ravel().tolist(),
+                    symbols_sent=int(values[channel::channels].size),
+                    symbol_errors=int(symbol_errors[channel]),
+                    detection_counts=counts,
+                    elapsed_time=elapsed,
+                )
+            )
+        return tuple(results)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MultichannelOpticalLink(C={self.channels}, K={self.config.ppm_bits}, "
+            f"crosstalk={'on' if self.crosstalk is not None else 'off'})"
+        )

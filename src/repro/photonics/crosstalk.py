@@ -20,6 +20,21 @@ import numpy as np
 class CrosstalkModel:
     """First-order optical crosstalk between parallel channels.
 
+    Two unit conventions coexist, deliberately:
+
+    * the scalar helpers (:meth:`coupling`,
+      :meth:`nearest_neighbour_crosstalk`, :meth:`minimum_pitch_for_isolation`)
+      work in *absolute* capture fractions — the share of a channel's total
+      emitted power a detector collects;
+    * the array-facing quantities (:meth:`crosstalk_matrix`,
+      :meth:`coupling_profile`, :meth:`aggregate_interference`) are
+      *normalised to the own-channel capture* (unit diagonal) — the relative
+      interference budget the multichannel link engine injects, independent
+      of how much of the beam the detector geometrically collects.
+
+    ``matrix[i, j] == coupling(|i-j| * pitch) / coupling(0)`` ties the two
+    together (locked by ``tests/test_photonics_crosstalk.py``).
+
     Attributes
     ----------
     channel_pitch:
@@ -29,8 +44,8 @@ class CrosstalkModel:
     detector_diameter:
         Diameter of the SPAD active area [m].
     floor:
-        Residual scattered-light crosstalk floor (fraction of channel power)
-        that does not decrease with pitch.
+        Residual scattered-light crosstalk floor (absolute fraction of
+        channel power) that does not decrease with pitch.
     """
 
     channel_pitch: float = 50e-6
@@ -48,6 +63,23 @@ class CrosstalkModel:
         if not 0 <= self.floor < 1:
             raise ValueError("floor must be within [0, 1)")
 
+    def _capture_fractions(self, distances: np.ndarray) -> np.ndarray:
+        """Absolute capture fraction versus centre distance (vectorised).
+
+        The single home of the beam-capture math: Gaussian irradiance at the
+        detector centre integrated over the detector area, clamped to 1, with
+        the scattered-light floor applied at non-zero distances.  Every
+        coupling quantity — scalar or matrix — derives from this.
+        """
+        sigma = self.beam_diameter / 2.355  # FWHM -> sigma
+        detector_area = math.pi * (self.detector_diameter / 2.0) ** 2
+        # Gaussian irradiance at the neighbour centre, normalised to total power 1.
+        peak = 1.0 / (2.0 * math.pi * sigma ** 2)
+        fraction = np.minimum(
+            1.0, peak * np.exp(-(distances ** 2) / (2.0 * sigma ** 2)) * detector_area
+        )
+        return np.where(distances > 0, np.maximum(fraction, self.floor), fraction)
+
     def coupling(self, neighbour_distance: float) -> float:
         """Fraction of a channel's optical power captured by a detector at ``neighbour_distance``.
 
@@ -57,31 +89,47 @@ class CrosstalkModel:
         """
         if neighbour_distance < 0:
             raise ValueError("neighbour_distance must be non-negative")
-        sigma = self.beam_diameter / 2.355  # FWHM -> sigma
-        detector_area = math.pi * (self.detector_diameter / 2.0) ** 2
-        # Gaussian irradiance at the neighbour centre, normalised to total power 1.
-        peak = 1.0 / (2.0 * math.pi * sigma ** 2)
-        irradiance = peak * math.exp(-(neighbour_distance ** 2) / (2.0 * sigma ** 2))
-        fraction = min(1.0, irradiance * detector_area)
-        return max(fraction, self.floor if neighbour_distance > 0 else fraction)
+        return float(self._capture_fractions(np.asarray(neighbour_distance, dtype=float)))
 
     def nearest_neighbour_crosstalk(self) -> float:
         """Crosstalk fraction onto the nearest neighbouring channel."""
         return self.coupling(self.channel_pitch)
 
-    def crosstalk_matrix(self, channels: int) -> np.ndarray:
-        """``channels x channels`` matrix of power coupling between a linear channel array."""
+    def coupling_profile(self, channels: int) -> np.ndarray:
+        """Relative coupling versus channel distance for a linear array.
+
+        Entry ``d`` is the power a detector captures from a channel ``d``
+        pitches away, *relative to the power it captures from its own channel*
+        (``coupling(d * pitch) / coupling(0)``), so the profile starts at
+        exactly 1.0 and decays monotonically to the scattered-light floor.
+        This is the quantity the multichannel link engine injects as
+        per-neighbour photon budgets — and, by construction, row ``i`` of
+        :meth:`crosstalk_matrix` is ``profile[|i - j|]``.
+        """
         if channels <= 0:
             raise ValueError("channels must be positive")
-        matrix = np.empty((channels, channels))
-        for i in range(channels):
-            for j in range(channels):
-                distance = abs(i - j) * self.channel_pitch
-                matrix[i, j] = self.coupling(distance)
-        return matrix
+        fraction = self._capture_fractions(np.arange(channels) * self.channel_pitch)
+        profile = fraction / fraction[0]
+        profile[0] = 1.0
+        return profile
+
+    def crosstalk_matrix(self, channels: int) -> np.ndarray:
+        """``channels x channels`` relative power-coupling matrix of a linear array.
+
+        Entry ``(i, j)`` is the fraction of channel ``j``'s power that lands on
+        detector ``i``, normalised to the power a detector captures from its
+        own channel — so the matrix is symmetric, has a unit diagonal, and its
+        off-diagonal entries decay monotonically with pitch down to the
+        scattered-light floor.  The multichannel link engine consumes this
+        coupling (via :meth:`coupling_profile`, which holds one row's distance
+        dependence) to size per-neighbour interference photon budgets.
+        """
+        profile = self.coupling_profile(channels)
+        indices = np.arange(channels)
+        return profile[np.abs(indices[:, None] - indices[None, :])]
 
     def aggregate_interference(self, channels: int, victim: int) -> float:
-        """Total crosstalk power (relative to one channel) landing on ``victim``."""
+        """Total crosstalk power landing on ``victim``, relative to its own channel."""
         matrix = self.crosstalk_matrix(channels)
         row = matrix[victim].copy()
         row[victim] = 0.0

@@ -10,7 +10,8 @@ over operating points.  This subsystem makes them first-class:
   evaluated per grid point.
 * :mod:`repro.scenarios.library` — named paper scenarios
   (``ber-vs-photons``, ``ber-vs-range``, ``design-space-grid``,
-  ``multi-chip-bus``, ``ppm-order-sweep``).
+  ``multi-chip-bus``, ``spad-array-imager``, ``crosstalk-vs-pitch``,
+  ``ppm-order-sweep``).
 * :mod:`repro.scenarios.runner` — :class:`ExperimentRunner`, which compiles a
   scenario onto the chunked batch Monte-Carlo machinery through the link
   backend registry and returns a structured :class:`ExperimentReport`.

@@ -27,6 +27,9 @@ class PointOutcome:
 
     Produced by the :class:`~repro.scenarios.runner.ExperimentRunner` from the
     chunked batch transmissions; consumed by the registered metric functions.
+    ``bits``/``bit_errors`` always aggregate over every channel; multichannel
+    points additionally carry the per-channel split (``channel_bits`` /
+    ``channel_bit_errors``) that the per-channel metric variants consume.
     """
 
     config: LinkConfig
@@ -35,6 +38,9 @@ class PointOutcome:
     symbols: int
     symbol_errors: int
     detection_counts: Mapping[str, int] = field(default_factory=dict)
+    channels: int = 1
+    channel_bits: Tuple[int, ...] = ()
+    channel_bit_errors: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.bits <= 0 or self.symbols <= 0:
@@ -43,10 +49,37 @@ class PointOutcome:
             raise ValueError("bit_errors must be within [0, bits]")
         if not 0 <= self.symbol_errors <= self.symbols:
             raise ValueError("symbol_errors must be within [0, symbols]")
+        if self.channels < 1:
+            raise ValueError("channels must be at least 1")
+        object.__setattr__(self, "channel_bits", tuple(self.channel_bits))
+        object.__setattr__(self, "channel_bit_errors", tuple(self.channel_bit_errors))
+        if len(self.channel_bits) != len(self.channel_bit_errors):
+            raise ValueError("channel_bits and channel_bit_errors must pair up")
+        for errors, bits in zip(self.channel_bit_errors, self.channel_bits):
+            if not 0 <= errors <= bits:
+                raise ValueError("per-channel bit_errors must be within [0, bits]")
 
     @property
     def missed(self) -> int:
         return int(self.detection_counts.get("missed", 0))
+
+    def worst_channel(self) -> Tuple[int, int]:
+        """``(bit_errors, bits)`` of the channel with the highest BER.
+
+        Falls back to the aggregate counts when no per-channel split was
+        recorded (single-channel backends).  Channels that carried no bits are
+        skipped.
+        """
+        best: Optional[Tuple[float, int, int]] = None
+        for errors, bits in zip(self.channel_bit_errors, self.channel_bits):
+            if bits == 0:
+                continue
+            rate = errors / bits
+            if best is None or rate > best[0]:
+                best = (rate, errors, bits)
+        if best is None:
+            return self.bit_errors, self.bits
+        return best[1], best[2]
 
 
 MetricFunction = Callable[[PointOutcome], float]
@@ -158,3 +191,29 @@ def tdc_throughput(outcome: PointOutcome) -> float:
 def detection_rate(outcome: PointOutcome) -> float:
     """Fraction of measurement windows in which the SPAD reported a detection."""
     return 1.0 - outcome.missed / outcome.symbols
+
+
+@register_metric("aggregate_throughput")
+def aggregate_throughput(outcome: PointOutcome) -> float:
+    """Raw throughput of all parallel channels together [bit/s] (deterministic).
+
+    The communication-density figure of the paper's array argument: the
+    per-channel raw bit rate times the number of channels running side by
+    side.  Identical to :func:`throughput` for single-channel points.
+    """
+    return outcome.config.raw_bit_rate * outcome.channels
+
+
+@register_metric(
+    "worst_channel_ber",
+    confidence=lambda o: binomial_confidence_95(*o.worst_channel()),
+)
+def worst_channel_ber(outcome: PointOutcome) -> float:
+    """BER of the worst parallel channel (aggregate BER for single channels).
+
+    Edge channels of a crosstalk-coupled array see fewer aggressors than
+    centre channels, so the worst channel — not the mean — bounds the array's
+    usable operating point.
+    """
+    errors, bits = outcome.worst_channel()
+    return errors / bits

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.analysis.report import ReportTable
 from repro.analysis.sweep import SweepResult
-from repro.core.backend import resolve_backend
+from repro.core.backend import backend_capabilities, resolve_backend
 from repro.scenarios.metrics import PointOutcome, evaluate_metrics
 from repro.scenarios.scenario import Scenario
 from repro.simulation.montecarlo import MonteCarloRunner, link_batch_trial
@@ -164,6 +164,11 @@ class ExperimentRunner:
         self.scenario = scenario
         self.seed = seed
         self.backend = resolve_backend(backend if backend is not None else scenario.backend)
+        if scenario.channels > 1 and not backend_capabilities(self.backend).supports_multichannel:
+            raise ValueError(
+                f"scenario {scenario.name!r} runs {scenario.channels} channels, "
+                f"which backend {self.backend!r} does not support"
+            )
         self.chunk_symbols = chunk_symbols
 
     # -- point execution -------------------------------------------------------
@@ -174,15 +179,25 @@ class ExperimentRunner:
 
     def _run_point(self, parameters: Mapping[str, Any]) -> PointOutcome:
         config, channel = self.scenario.config_for_point(parameters)
+        crosstalk = self.scenario.crosstalk_for_point(parameters)
+        channels = self.scenario.channels
         k = config.ppm_bits
         symbols = max(1, -(-self.scenario.bits_per_point // k))
-        # Accumulator for the per-chunk statistics that are not the trial's
+        # Accumulators for the per-chunk statistics that are not the trial's
         # scalar sample (the sample itself is bit errors per symbol).
         detection_counts: Dict[str, int] = {}
+        channel_bits = np.zeros(channels, dtype=np.int64)
+        channel_bit_errors = np.zeros(channels, dtype=np.int64)
 
         def accumulate_detections(result) -> None:
             for origin, origin_count in result.detection_counts.items():
                 detection_counts[origin] = detection_counts.get(origin, 0) + origin_count
+            # Multichannel chunks carry a cheap per-channel count split
+            # (arrays, not materialised per-channel result objects).
+            split = getattr(result, "channel_bits", None)
+            if split is not None and len(split) == channels:
+                channel_bits[:] += split
+                channel_bit_errors[:] += result.channel_bit_errors
 
         # The shared chunked-link trial defines the reproducibility protocol
         # (seed draw, payload draw, transmission order) in one place.
@@ -192,6 +207,8 @@ class ExperimentRunner:
             channel=channel,
             per_symbol="bit_errors",
             on_result=accumulate_detections,
+            channels=channels if channels > 1 else None,
+            crosstalk=crosstalk,
         )
 
         runner = MonteCarloRunner(
@@ -207,6 +224,11 @@ class ExperimentRunner:
             symbols=symbols,
             symbol_errors=int(np.count_nonzero(per_symbol_bit_errors)),
             detection_counts=detection_counts,
+            channels=channels,
+            channel_bits=tuple(int(b) for b in channel_bits) if channels > 1 else (),
+            channel_bit_errors=(
+                tuple(int(e) for e in channel_bit_errors) if channels > 1 else ()
+            ),
         )
 
     # -- experiment execution ------------------------------------------------------

@@ -22,6 +22,10 @@ compiler expands structurally —
   (bottom-to-top worst case); ``mean_detected_photons`` is then the *emitted*
   photon count, per the :class:`~repro.core.link.OpticalLink` channel
   contract.
+* ``crosstalk_pitch`` / ``crosstalk_floor`` — build a
+  :class:`~repro.photonics.crosstalk.CrosstalkModel` coupling the scenario's
+  parallel channels (a linear array at that pitch); they require
+  ``channels > 1`` and a multichannel-capable backend.
 
 Everything in a scenario is plain data, so :meth:`Scenario.to_mapping` /
 :meth:`Scenario.from_mapping` round-trip losslessly through JSON.
@@ -34,19 +38,23 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.units import UM
-from repro.core.backend import resolve_backend
+from repro.core.backend import backend_capabilities, resolve_backend
 from repro.core.config import LinkConfig
 from repro.core.throughput import TdcDesign
 from repro.photonics.channel import OpticalChannel
+from repro.photonics.crosstalk import CrosstalkModel
 from repro.photonics.stack import DieStack
 from repro.scenarios.metrics import available_metrics
 
-#: Derived parameter keys expanded structurally by :meth:`Scenario.config_for_point`.
+#: Derived parameter keys expanded structurally by :meth:`Scenario.config_for_point`
+#: and :meth:`Scenario.crosstalk_for_point`.
 SPECIAL_PARAMETERS: Tuple[str, ...] = (
     "tdc_fine_elements",
     "tdc_coarse_bits",
     "stack_dies",
     "stack_thickness",
+    "crosstalk_pitch",
+    "crosstalk_floor",
 )
 
 #: LinkConfig fields addressable from scenarios (scalar, JSON-serialisable ones).
@@ -84,9 +92,13 @@ class Scenario:
         Names of registered metrics (:mod:`repro.scenarios.metrics`) to
         evaluate per point.
     bits_per_point:
-        Payload-bit budget per grid point (rounded up to whole symbols).
+        Payload-bit budget per grid point (rounded up to whole symbols), in
+        total across all channels.
     backend:
         Registered link backend to run (``"batch"`` by default).
+    channels:
+        Parallel channels the link runs (default 1); more than one requires a
+        backend whose capabilities flag ``supports_multichannel``.
     seed_policy:
         ``"per-point"`` derives an independent seed per grid point (sweep
         points are statistically independent); ``"shared"`` reuses the run
@@ -100,6 +112,7 @@ class Scenario:
     metrics: Tuple[str, ...] = ("ber", "symbol_error_rate", "throughput")
     bits_per_point: int = 4_096
     backend: str = "batch"
+    channels: int = 1
     seed_policy: str = "per-point"
 
     def __post_init__(self) -> None:
@@ -135,6 +148,24 @@ class Scenario:
                 "stack_thickness has no effect without stack_dies "
                 "(no die-stack channel is built)"
             )
+        if not isinstance(self.channels, int) or self.channels < 1:
+            raise ValueError(f"channels must be a positive int, got {self.channels!r}")
+        crosstalk_keys = declared & {"crosstalk_pitch", "crosstalk_floor"}
+        if crosstalk_keys and self.channels < 2:
+            raise ValueError(
+                f"{', '.join(sorted(crosstalk_keys))} has no effect with a "
+                f"single channel; set channels > 1"
+            )
+        if "crosstalk_floor" in declared and "crosstalk_pitch" not in declared:
+            raise ValueError(
+                "crosstalk_floor has no effect without crosstalk_pitch "
+                "(no crosstalk model is built)"
+            )
+        if self.channels > 1 and not backend_capabilities(self.backend).supports_multichannel:
+            raise ValueError(
+                f"backend {self.backend!r} does not support multiple channels; "
+                f"use a multichannel-capable backend (e.g. 'multichannel')"
+            )
         if not self.metrics:
             raise ValueError("a scenario needs at least one metric")
         missing = sorted(set(self.metrics) - set(available_metrics()))
@@ -164,6 +195,7 @@ class Scenario:
                 self.metrics,
                 self.bits_per_point,
                 self.backend,
+                self.channels,
                 self.seed_policy,
             )
         )
@@ -211,6 +243,10 @@ class Scenario:
         coarse_bits = merged.pop("tdc_coarse_bits", None)
         stack_dies = merged.pop("stack_dies", None)
         stack_thickness = merged.pop("stack_thickness", _DEFAULT_STACK_THICKNESS)
+        # Crosstalk parameters shape the channel coupling, not the LinkConfig;
+        # they are expanded by crosstalk_for_point.
+        merged.pop("crosstalk_pitch", None)
+        merged.pop("crosstalk_floor", None)
 
         config = LinkConfig(**merged)
 
@@ -239,6 +275,27 @@ class Scenario:
             )
         return config, channel
 
+    def crosstalk_for_point(
+        self, parameters: Mapping[str, Any] = ()
+    ) -> Optional[CrosstalkModel]:
+        """Channel-coupling model for one grid point, or ``None``.
+
+        A :class:`~repro.photonics.crosstalk.CrosstalkModel` is built when the
+        merged parameters declare ``crosstalk_pitch`` (``crosstalk_floor``
+        optionally adjusts the scattered-light floor); otherwise the
+        scenario's channels are perfectly isolated.
+        """
+        merged: Dict[str, Any] = dict(self.link_overrides)
+        merged.update(parameters)
+        pitch = merged.get("crosstalk_pitch")
+        if pitch is None:
+            return None
+        settings: Dict[str, float] = {"channel_pitch": float(pitch)}
+        floor = merged.get("crosstalk_floor")
+        if floor is not None:
+            settings["floor"] = float(floor)
+        return CrosstalkModel(**settings)
+
     # -- serialisation -------------------------------------------------------------
     def to_mapping(self) -> Dict[str, Any]:
         """Plain-data form of the scenario (JSON-serialisable)."""
@@ -250,6 +307,7 @@ class Scenario:
             "metrics": list(self.metrics),
             "bits_per_point": self.bits_per_point,
             "backend": self.backend,
+            "channels": self.channels,
             "seed_policy": self.seed_policy,
         }
 
@@ -273,3 +331,7 @@ class Scenario:
     def with_backend(self, backend: str) -> "Scenario":
         """Copy targeting a different registered link backend."""
         return dataclasses.replace(self, backend=backend)
+
+    def with_channels(self, channels: int) -> "Scenario":
+        """Copy running a different number of parallel channels."""
+        return dataclasses.replace(self, channels=channels)

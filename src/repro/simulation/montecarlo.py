@@ -83,22 +83,31 @@ def link_batch_trial(
     channel=None,
     per_symbol: str = "error_indicator",
     on_result: Optional[Callable] = None,
+    channels: Optional[int] = None,
+    crosstalk=None,
 ) -> Callable:
     """Build a :meth:`MonteCarloRunner.run_batch` trial over the optical link.
 
     Each Monte-Carlo trial is one PPM symbol pushed through a link built via
     the backend registry (:func:`repro.core.backend.make_link`), so callers
-    select the engine by name — ``"batch"`` (default) or ``"scalar"`` —
-    instead of instantiating a concrete link class.  This closure defines the
-    reproducibility protocol shared by every chunked link experiment (the
-    scenario runner included): one link seed drawn from the chunk generator,
-    then the chunk's payload bits, then one transmission.
+    select the engine by name — ``"batch"`` (default), ``"scalar"`` or
+    ``"multichannel"`` — instead of instantiating a concrete link class.  This
+    closure defines the reproducibility protocol shared by every chunked link
+    experiment (the scenario runner included): one link seed drawn from the
+    chunk generator, then the chunk's payload bits, then one transmission.
+
+    ``channels``/``crosstalk`` are forwarded to :func:`make_link` for
+    multichannel backends: each chunk's symbols are then striped across the
+    parallel channels, but a trial remains one PPM symbol, so sample shapes
+    and seeding are unchanged.
 
     ``per_symbol`` selects the sample reduction: ``"error_indicator"`` yields
     ``1.0`` for symbols with at least one bit error, ``"bit_errors"`` the
     number of erroneous bits per symbol.  ``on_result`` (optional) receives
     each chunk's full :class:`~repro.core.link.TransmissionResult` for side
-    statistics such as detection-origin counts.
+    statistics such as detection-origin counts (a
+    :class:`~repro.core.multilink.MultichannelResult` for multichannel
+    backends, carrying the per-channel breakdown).
     """
     if per_symbol not in ("error_indicator", "bit_errors"):
         raise ValueError(
@@ -114,6 +123,8 @@ def link_batch_trial(
             backend=backend,
             channel=channel,
             seed=int(generator.integers(0, 2**31)),
+            channels=channels,
+            crosstalk=crosstalk,
         )
         payload = generator.integers(0, 2, size=count * config.ppm_bits).tolist()
         result = link.transmit_bits(payload)
@@ -129,7 +140,13 @@ def link_batch_trial(
     return batch_trial
 
 
-def link_symbol_error_trial(config, backend: Optional[str] = None, channel=None) -> Callable:
+def link_symbol_error_trial(
+    config,
+    backend: Optional[str] = None,
+    channel=None,
+    channels: Optional[int] = None,
+    crosstalk=None,
+) -> Callable:
     """:func:`link_batch_trial` with the symbol-error-indicator reduction.
 
     >>> from repro.core.config import LinkConfig
@@ -138,8 +155,17 @@ def link_symbol_error_trial(config, backend: Optional[str] = None, channel=None)
     >>> trial = link_symbol_error_trial(config, backend="batch")
     >>> MonteCarloRunner(seed=7).run_batch(trial, trials=64, chunk_size=32).mean < 0.1
     True
+
+    Channel-aware experiments pass ``channels=`` (and optionally a
+    ``crosstalk`` model) together with a multichannel backend:
+
+    >>> trial = link_symbol_error_trial(config, backend="multichannel", channels=8)
+    >>> MonteCarloRunner(seed=7).run_batch(trial, trials=64, chunk_size=32).mean < 0.1
+    True
     """
-    return link_batch_trial(config, backend=backend, channel=channel)
+    return link_batch_trial(
+        config, backend=backend, channel=channel, channels=channels, crosstalk=crosstalk
+    )
 
 
 class MonteCarloRunner:

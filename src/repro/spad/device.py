@@ -40,15 +40,22 @@ class DetectionOrigin(enum.Enum):
     PHOTON = "photon"
     DARK_COUNT = "dark_count"
     AFTERPULSE = "afterpulse"
+    #: A photon from a *neighbouring* channel (optical crosstalk or the
+    #: scattered-light floor).  Only multichannel detection passes produce it;
+    #: a single isolated device never does.
+    CROSSTALK = "crosstalk"
 
 
-#: Integer origin codes used by the batch interface (:meth:`SpadDevice.detect_in_windows`):
-#: ``-1`` means no detection in the window.
+#: Integer origin codes used by the batch interfaces
+#: (:meth:`SpadDevice.detect_in_windows` and
+#: :func:`repro.spad.array.detect_in_windows_multichannel`): ``-1`` means no
+#: detection in the window.
 ORIGIN_CODE_MISSED = -1
 ORIGIN_BY_CODE = {
     0: DetectionOrigin.PHOTON,
     1: DetectionOrigin.DARK_COUNT,
     2: DetectionOrigin.AFTERPULSE,
+    3: DetectionOrigin.CROSSTALK,
 }
 CODE_BY_ORIGIN = {origin: code for code, origin in ORIGIN_BY_CODE.items()}
 

@@ -64,11 +64,16 @@ class JitterModel:
             return core + random_source.exponential(1.0 / self.tail_constant)
         return core
 
-    def sample_array(self, random_source: RandomSource, size: int) -> np.ndarray:
-        """Vectorised draw of ``size`` jitter values [s]."""
-        if size < 0:
+    def sample_array(self, random_source, size) -> np.ndarray:
+        """Vectorised draw of jitter values [s].
+
+        ``random_source`` may be a :class:`RandomSource` or a bare
+        ``numpy.random.Generator`` (the multichannel batch pass hands the
+        bulk generator straight through); ``size`` is an int or a shape tuple.
+        """
+        if np.prod(size) < 0 or (np.isscalar(size) and size < 0):
             raise ValueError("size must be non-negative")
-        rng = random_source.generator
+        rng = random_source.generator if isinstance(random_source, RandomSource) else random_source
         core = rng.normal(0.0, self.sigma, size)
         if self.tail_fraction > 0:
             in_tail = rng.random(size) < self.tail_fraction

@@ -13,6 +13,11 @@ def pytest_configure(config):
         "scenario_smoke: tiny-budget end-to-end run of every named scenario "
         "(the tier-1 wiring of benchmarks/bench_scenarios.py)",
     )
+    config.addinivalue_line(
+        "markers",
+        "docs_smoke: executes the front-door doctests and the README code "
+        "blocks so the documentation stays runnable",
+    )
 from repro.simulation.randomness import RandomSource
 from repro.tdc.fpga import VIRTEX2PRO_PROFILE, build_fpga_delay_line, build_fpga_tdc
 

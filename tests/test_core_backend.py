@@ -28,6 +28,7 @@ class TestRegistry:
         assert resolve_backend(None) == "batch"
         assert resolve_backend("fast") == "batch"
         assert resolve_backend("scalar") == "scalar"
+        assert resolve_backend("array") == "multichannel"
 
     def test_unknown_backend_lists_available(self):
         with pytest.raises(ValueError, match="available:"):
@@ -41,9 +42,17 @@ class TestRegistry:
         assert backend_capabilities("batch").supports_batch
         assert not backend_capabilities("scalar").supports_batch
         assert backend_capabilities("scalar").draw_for_draw_reference
-        # No backend implements multichannel batching yet (reserved flag).
+        # Single-channel engines do not accept channels=; the array engine does.
         assert not backend_capabilities("batch").supports_multichannel
+        assert backend_capabilities("multichannel").supports_multichannel
+        assert backend_capabilities("multichannel").supports_batch
         assert backend_capabilities(None) == backend_capabilities("batch")
+
+    def test_channels_rejected_without_multichannel_support(self):
+        with pytest.raises(ValueError, match="supports_multichannel"):
+            make_link(MODERATE, backend="batch", channels=4)
+        # channels=1 (or None) is the single-channel default everywhere.
+        assert isinstance(make_link(MODERATE, backend="batch", channels=1), FastOpticalLink)
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ValueError, match="already registered"):
@@ -136,19 +145,9 @@ class TestBackendParity:
         )
 
 
-class TestFastDeprecation:
-    def test_fast_true_maps_to_batch_with_warning(self):
-        with pytest.warns(DeprecationWarning, match="backend="):
-            legacy = monte_carlo_bit_error_rate(MODERATE, bits=2_000, seed=9, fast=True)
-        modern = monte_carlo_bit_error_rate(MODERATE, bits=2_000, seed=9, backend="batch")
-        assert legacy == modern
-
-    def test_fast_false_maps_to_scalar_with_warning(self):
-        with pytest.warns(DeprecationWarning):
-            legacy = monte_carlo_bit_error_rate(MODERATE, bits=2_000, seed=9, fast=False)
-        modern = monte_carlo_bit_error_rate(MODERATE, bits=2_000, seed=9, backend="scalar")
-        assert legacy == modern
-
-    def test_fast_and_backend_together_rejected(self):
-        with pytest.raises(ValueError, match="not both"):
-            monte_carlo_bit_error_rate(MODERATE, bits=100, fast=True, backend="batch")
+class TestFastRemoval:
+    def test_legacy_fast_keyword_is_gone(self):
+        # The pre-registry boolean spelling was deprecated in PR 2 and removed
+        # in PR 3; backend= is the only way to pick an engine.
+        with pytest.raises(TypeError):
+            monte_carlo_bit_error_rate(MODERATE, bits=100, fast=True)

@@ -68,11 +68,10 @@ class TestStatisticalEquivalence:
         assert batch.bit_errors == 0
         assert batch.received_bits == payload
 
-    def test_ber_estimator_fast_and_scalar_paths_agree(self):
-        # The legacy fast= boolean still works (mapped onto the backend
-        # registry) but warns; backend= is the supported spelling.
-        with pytest.warns(DeprecationWarning):
-            fast = monte_carlo_bit_error_rate(MODERATE, bits=8000, seed=3, fast=True)
+    def test_ber_estimator_backend_paths_agree(self):
+        # backend= is the only engine selector (the legacy fast= boolean was
+        # removed with PR 3); both spellings of the estimator must agree.
+        fast = monte_carlo_bit_error_rate(MODERATE, bits=8000, seed=3, backend="batch")
         scalar = monte_carlo_bit_error_rate(MODERATE, bits=8000, seed=3, backend="scalar")
         assert fast.ber == pytest.approx(scalar.ber, abs=5.0 * (fast.confidence_95 + scalar.confidence_95))
 
@@ -137,6 +136,7 @@ class TestSpadBatchWindows:
             "photon",
             "dark_count",
             "afterpulse",
+            "crosstalk",
         }
 
     def test_empty_batch(self):

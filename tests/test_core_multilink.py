@@ -1,0 +1,275 @@
+"""Tests for repro.core.multilink — the multichannel SPAD-array engine.
+
+The contract mirrors the one ``tests/test_core_fastlink.py`` locks for the
+single-channel batch engine: with crosstalk disabled, the per-channel results
+must be *statistically equivalent* to C independent ``"batch"`` links (same
+physics, same distributions, not draw-for-draw identical), and the whole
+transmission must be deterministic per seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.backend import make_link
+from repro.core.config import LinkConfig
+from repro.core.multilink import MultichannelOpticalLink, MultichannelResult
+from repro.core.link import TransmissionResult
+from repro.photonics.crosstalk import CrosstalkModel
+from repro.scenarios import ExperimentRunner, get_scenario
+
+MODERATE = LinkConfig(ppm_bits=4, mean_detected_photons=5.0)
+BRIGHT = LinkConfig(ppm_bits=4, mean_detected_photons=200.0)
+CHANNELS = 8
+
+
+class TestStatisticalEquivalence:
+    """Multichannel (no crosstalk) vs. C independent batch links."""
+
+    BITS = 24_000  # split across 8 channels: 750 windows of 8 symbols
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        multi = make_link(MODERATE, backend="multichannel", channels=CHANNELS, seed=42)
+        multi_result = multi.transmit_random(self.BITS)
+        independent = [
+            make_link(MODERATE, backend="batch", seed=100 + c).transmit_random(
+                self.BITS // CHANNELS
+            )
+            for c in range(CHANNELS)
+        ]
+        return multi_result, independent
+
+    def test_aggregate_ber_within_monte_carlo_tolerance(self, pair):
+        multi_result, independent = pair
+        reference_errors = sum(r.bit_errors for r in independent)
+        reference_ber = reference_errors / self.BITS
+        p = max(reference_ber, 1.0 / self.BITS)
+        tolerance = 5.0 * 2.0 * np.sqrt(2.0 * p * (1 - p) / self.BITS)
+        assert abs(multi_result.bit_error_rate - reference_ber) < tolerance
+
+    def test_per_channel_bers_look_like_independent_links(self, pair):
+        multi_result, independent = pair
+        reference = np.asarray([r.bit_error_rate for r in independent])
+        per_channel = multi_result.per_channel_bit_error_rates()
+        assert per_channel.shape == (CHANNELS,)
+        bits_per_channel = self.BITS // CHANNELS
+        p = max(float(reference.mean()), 1.0 / bits_per_channel)
+        sigma = 2.0 * np.sqrt(p * (1 - p) / bits_per_channel)
+        # Channel means agree within the combined noise of two C-sample means.
+        assert abs(per_channel.mean() - reference.mean()) < 5.0 * sigma * np.sqrt(
+            2.0 / CHANNELS
+        )
+
+    def test_detection_origin_distributions_match(self, pair):
+        multi_result, independent = pair
+        symbols = multi_result.symbols_sent
+        reference = {}
+        for result in independent:
+            for origin, count in result.detection_counts.items():
+                reference[origin] = reference.get(origin, 0) + count
+        assert set(multi_result.detection_counts) == set(reference)
+        for origin in reference:
+            p = max(reference[origin] / symbols, 1.0 / symbols)
+            tolerance = 5.0 * np.sqrt(2.0 * p * (1 - p) / symbols)
+            delta = abs(multi_result.detection_counts[origin] - reference[origin])
+            assert delta / symbols < tolerance, origin
+
+    def test_error_free_regime_agrees_exactly(self):
+        config = LinkConfig(ppm_bits=4, slot_duration=4e-9, mean_detected_photons=200.0)
+        payload = [1, 0, 1, 1, 0, 0, 1, 0] * 8
+        result = make_link(config, backend="multichannel", channels=4, seed=1).transmit_bits(
+            payload
+        )
+        assert result.bit_errors == 0
+        assert result.received_bits == payload
+        for channel_result in result.channel_results:
+            assert channel_result.bit_errors == 0
+
+
+class TestDeterminism:
+    def test_same_seed_identical_result(self):
+        a = make_link(MODERATE, backend="multichannel", channels=CHANNELS, seed=9)
+        b = make_link(MODERATE, backend="multichannel", channels=CHANNELS, seed=9)
+        ra, rb = a.transmit_random(4000), b.transmit_random(4000)
+        assert ra.received_bits == rb.received_bits
+        assert ra.detection_counts == rb.detection_counts
+        assert [c.received_bits for c in ra.channel_results] == [
+            c.received_bits for c in rb.channel_results
+        ]
+
+    def test_different_seed_differs(self):
+        a = make_link(MODERATE, backend="multichannel", channels=CHANNELS, seed=9)
+        b = make_link(MODERATE, backend="multichannel", channels=CHANNELS, seed=10)
+        assert a.transmit_random(4000).received_bits != b.transmit_random(4000).received_bits
+
+    def test_crosstalk_is_deterministic_too(self):
+        crosstalk = CrosstalkModel(channel_pitch=20e-6)
+        results = [
+            make_link(
+                BRIGHT, backend="multichannel", channels=CHANNELS, seed=4, crosstalk=crosstalk
+            ).transmit_random(4000)
+            for _ in range(2)
+        ]
+        assert results[0].received_bits == results[1].received_bits
+        assert results[0].detection_counts == results[1].detection_counts
+
+
+class TestMultichannelContract:
+    def test_payload_striping_and_padding(self):
+        link = make_link(BRIGHT, backend="multichannel", channels=4, seed=2)
+        payload = [1, 0, 1, 1, 0]  # 5 bits -> 2 symbols -> 1 window of 4 (2 padded)
+        result = link.transmit_bits(payload)
+        assert isinstance(result, MultichannelResult)
+        assert result.transmitted_bits == payload
+        assert len(result.received_bits) == len(payload)
+        assert result.symbols_sent == 2
+        assert result.channels == 4
+        # Channels 2 and 3 carried only grid padding: no payload bits.
+        assert [len(c.transmitted_bits) for c in result.channel_results] == [4, 4, 0, 0]
+
+    def test_channel_results_interleave_back_to_the_payload(self):
+        link = make_link(BRIGHT, backend="multichannel", channels=4, seed=3)
+        result = link.transmit_random(64 * 4)
+        k = link.config.ppm_bits
+        rebuilt = []
+        symbols_per_channel = [
+            len(c.transmitted_bits) // k for c in result.channel_results
+        ]
+        for window in range(max(symbols_per_channel)):
+            for channel_result in result.channel_results:
+                bits = channel_result.transmitted_bits
+                if window * k < len(bits):
+                    rebuilt.extend(bits[window * k : (window + 1) * k])
+        assert rebuilt == result.transmitted_bits
+
+    def test_aggregate_throughput_scales_with_channels(self):
+        single = make_link(MODERATE, backend="multichannel", channels=1, seed=4)
+        wide = make_link(MODERATE, backend="multichannel", channels=8, seed=4)
+        bits = 8 * 64 * 4
+        assert wide.transmit_random(bits).throughput == pytest.approx(
+            8 * single.transmit_random(bits).throughput, rel=1e-9
+        )
+        assert wide.transmit_random(bits).aggregate_throughput == pytest.approx(
+            8 * MODERATE.raw_bit_rate, rel=1e-6
+        )
+
+    def test_elapsed_time_is_parallel_wall_clock(self):
+        link = make_link(MODERATE, backend="multichannel", channels=8, seed=5)
+        result = link.transmit_random(8 * 16 * 4)  # 16 windows of 8 symbols
+        assert result.elapsed_time == pytest.approx(16 * MODERATE.symbol_duration)
+        for channel_result in result.channel_results:
+            assert channel_result.elapsed_time == result.elapsed_time
+
+    def test_validation(self):
+        link = make_link(backend="multichannel", channels=2, seed=0)
+        with pytest.raises(ValueError):
+            link.transmit_bits([])
+        with pytest.raises(ValueError):
+            link.transmit_bits([2])
+        with pytest.raises(ValueError):
+            link.transmit_bits([0.5])
+        with pytest.raises(ValueError):
+            MultichannelOpticalLink(channels=0)
+
+    def test_channel_count_split_matches_aggregate_with_bit_padding(self):
+        # 9 bits -> 3 symbols (last one zero-padded by 3 bits) over 2 channels:
+        # the count split covers payload positions only, like the aggregate.
+        lossy = LinkConfig(ppm_bits=4, mean_detected_photons=0.5)
+        result = make_link(lossy, backend="multichannel", channels=2, seed=70).transmit_bits(
+            [1] * 9
+        )
+        assert int(result.channel_bits.sum()) == 9
+        assert int(result.channel_bit_errors.sum()) == result.bit_errors
+
+    def test_count_accessors_do_not_materialise_channel_results(self):
+        result = make_link(MODERATE, backend="multichannel", channels=8, seed=11).transmit_random(
+            1024
+        )
+        assert result.channels == 8
+        assert result.per_channel_bit_error_rates().shape == (8,)
+        assert result._channel_results_cache is None  # still lazy
+        assert len(result.channel_results) == 8  # materialises on demand
+        assert result._channel_results_cache is not None
+
+    def test_channel_results_are_plain_transmission_results(self):
+        result = make_link(BRIGHT, backend="multichannel", channels=2, seed=6).transmit_bits(
+            [1, 0, 1, 1] * 4
+        )
+        for channel_result in result.channel_results:
+            assert isinstance(channel_result, TransmissionResult)
+            assert set(channel_result.detection_counts) == set(result.detection_counts)
+        assert sum(c.symbol_errors for c in result.channel_results) == result.symbol_errors
+        assert sum(c.bit_errors for c in result.channel_results) == result.bit_errors
+
+
+class TestCrosstalk:
+    def test_no_crosstalk_reports_no_crosstalk_detections(self):
+        result = make_link(MODERATE, backend="multichannel", channels=8, seed=7).transmit_random(
+            4096
+        )
+        assert result.detection_counts["crosstalk"] == 0
+
+    def test_tight_pitch_causes_crosstalk_detections_and_errors(self):
+        clean = make_link(BRIGHT, backend="multichannel", channels=8, seed=8).transmit_random(
+            8192
+        )
+        coupled = make_link(
+            BRIGHT,
+            backend="multichannel",
+            channels=8,
+            seed=8,
+            crosstalk=CrosstalkModel(channel_pitch=15e-6),
+        ).transmit_random(8192)
+        assert coupled.detection_counts["crosstalk"] > 0
+        assert coupled.bit_errors > clean.bit_errors
+
+    def test_ber_decays_monotonically_with_pitch(self):
+        pitches = (15e-6, 25e-6, 60e-6)
+        bers = []
+        for pitch in pitches:
+            result = make_link(
+                BRIGHT,
+                backend="multichannel",
+                channels=8,
+                seed=9,
+                crosstalk=CrosstalkModel(channel_pitch=pitch, floor=1e-9),
+            ).transmit_random(16_384)
+            bers.append(result.bit_error_rate)
+        assert bers[0] > bers[1] > bers[2]
+
+    def test_edge_channels_see_fewer_aggressors(self):
+        result = make_link(
+            BRIGHT,
+            backend="multichannel",
+            channels=8,
+            seed=10,
+            crosstalk=CrosstalkModel(channel_pitch=15e-6),
+        ).transmit_random(32_768)
+        per_channel = result.per_channel_bit_error_rates()
+        inner = per_channel[1:-1].mean()
+        outer = (per_channel[0] + per_channel[-1]) / 2.0
+        assert outer < inner
+
+
+class TestScenarioIntegration:
+    def test_spad_array_imager_runs_end_to_end(self):
+        scenario = get_scenario("spad-array-imager")
+        report = ExperimentRunner(scenario.with_budget(1024), seed=1).run()
+        assert report.backend == "multichannel"
+        point = report.points[0]
+        config, _ = scenario.config_for_point()
+        assert point.metrics["aggregate_throughput"] == pytest.approx(
+            64 * 64 * config.raw_bit_rate, rel=1e-6
+        )
+        assert np.isfinite(point.metrics["worst_channel_ber"])
+        assert point.metrics["worst_channel_ber"] >= point.metrics["ber"]
+
+    def test_crosstalk_vs_pitch_waterfall_improves_with_pitch(self):
+        report = ExperimentRunner(
+            get_scenario("crosstalk-vs-pitch").with_budget(4096), seed=3
+        ).run()
+        xs, ys = report.metric_series("ber")
+        assert list(xs) == sorted(xs)
+        # Tightest pitch is crosstalk-dominated, widest is near the isolated
+        # floor; demand a strong monotone end-to-end improvement.
+        assert ys[0] > 10 * ys[-1]

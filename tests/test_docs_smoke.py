@@ -1,0 +1,90 @@
+"""Tier-1 docs smoke (marked ``docs_smoke``): docs must stay executable.
+
+Two guarantees:
+
+* the doctests of the package's front-door modules (``repro.core.backend``
+  and the ``repro.scenarios`` layer) pass — the same checks
+  ``pytest --doctest-modules src/repro/core/backend.py src/repro/scenarios``
+  would run, executed through :mod:`doctest` so they ride along in the
+  normal tier-1 invocation; and
+* every fenced ``python`` code block in the top-level ``README.md``
+  executes, in order, in one shared namespace — quickstart snippets that
+  rot, fail loudly here.
+
+Deselect with ``-m "not docs_smoke"`` when iterating on unrelated code.
+"""
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+import repro.core.backend
+import repro.scenarios
+import repro.scenarios.library
+import repro.scenarios.metrics
+import repro.scenarios.runner
+import repro.scenarios.scenario
+import repro.scenarios.smoke
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+DOCTEST_MODULES = (
+    repro,
+    repro.core.backend,
+    repro.scenarios,
+    repro.scenarios.scenario,
+    repro.scenarios.library,
+    repro.scenarios.metrics,
+    repro.scenarios.runner,
+    repro.scenarios.smoke,
+)
+
+
+@pytest.mark.docs_smoke
+@pytest.mark.parametrize("module", DOCTEST_MODULES, ids=lambda m: m.__name__)
+def test_front_door_doctests_pass(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} doctest failure(s)"
+
+
+def readme_code_blocks():
+    """Fenced ``python`` blocks of the README, in document order."""
+    text = README.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+@pytest.mark.docs_smoke
+def test_readme_exists_and_has_runnable_quickstart():
+    assert README.exists(), "top-level README.md is part of the project contract"
+    blocks = readme_code_blocks()
+    assert len(blocks) >= 3, "README should carry at least quickstart + scenario + array examples"
+
+
+@pytest.mark.docs_smoke
+def test_readme_code_blocks_execute():
+    # One shared namespace: later blocks may build on earlier imports, and
+    # the blocks run top to bottom exactly as a reader would paste them.
+    namespace = {"__name__": "__readme__"}
+    for index, block in enumerate(readme_code_blocks()):
+        try:
+            exec(compile(block, f"README.md[block {index}]", "exec"), namespace)
+        except Exception as error:  # pragma: no cover - failure reporting
+            pytest.fail(f"README code block {index} failed: {error!r}\n{block}")
+
+
+@pytest.mark.docs_smoke
+def test_readme_documents_every_backend_and_subpackage():
+    text = README.read_text()
+    # The built-in engines (other tests may register throwaway backends, so
+    # this deliberately does not iterate available_backends()).
+    for backend in ("scalar", "batch", "multichannel"):
+        assert f'"{backend}"' in text, f"README backend table is missing {backend!r}"
+    for subpackage in (
+        "repro.core", "repro.spad", "repro.tdc", "repro.photonics",
+        "repro.modulation", "repro.electrical", "repro.noc",
+        "repro.simulation", "repro.scenarios", "repro.analysis",
+    ):
+        assert subpackage in text, f"README module map is missing {subpackage}"

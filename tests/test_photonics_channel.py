@@ -7,7 +7,6 @@ import pytest
 
 from repro.analysis.units import NM, UM
 from repro.photonics.channel import ChannelBudget, OpticalChannel
-from repro.photonics.crosstalk import CrosstalkModel
 from repro.photonics.photon_stream import (
     PhotonPulse,
     detection_probability,
@@ -79,40 +78,8 @@ class TestOpticalChannel:
             OpticalChannel(excess_loss=0.0)
 
 
-class TestCrosstalk:
-    def test_own_channel_beats_neighbours(self):
-        model = CrosstalkModel(channel_pitch=50e-6)
-        assert model.coupling(0.0) > model.nearest_neighbour_crosstalk()
-
-    def test_crosstalk_decreases_with_pitch(self):
-        tight = CrosstalkModel(channel_pitch=20e-6)
-        loose = CrosstalkModel(channel_pitch=100e-6)
-        assert loose.nearest_neighbour_crosstalk() <= tight.nearest_neighbour_crosstalk()
-
-    def test_matrix_shape_and_symmetry(self):
-        model = CrosstalkModel()
-        matrix = model.crosstalk_matrix(5)
-        assert matrix.shape == (5, 5)
-        assert np.allclose(matrix, matrix.T)
-
-    def test_aggregate_interference_largest_in_the_middle(self):
-        model = CrosstalkModel(channel_pitch=25e-6)
-        edge = model.aggregate_interference(channels=9, victim=0)
-        middle = model.aggregate_interference(channels=9, victim=4)
-        assert middle >= edge
-
-    def test_minimum_pitch_for_isolation(self):
-        model = CrosstalkModel(floor=1e-8)
-        pitch = model.minimum_pitch_for_isolation(30.0)
-        assert model.coupling(pitch) == pytest.approx(1e-3, rel=0.05)
-        with pytest.raises(ValueError):
-            model.minimum_pitch_for_isolation(100.0)  # below the scattering floor
-
-    def test_validation(self):
-        with pytest.raises(ValueError):
-            CrosstalkModel(channel_pitch=0.0)
-        with pytest.raises(ValueError):
-            CrosstalkModel().coupling(-1.0)
+# CrosstalkModel has its own dedicated suite in tests/test_photonics_crosstalk.py
+# (matrix invariants, coupling profile, isolation pitch, validation).
 
 
 class TestPhotonStream:

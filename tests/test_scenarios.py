@@ -75,6 +75,34 @@ class TestScenarioValidation:
             sweep_axes={"stack_dies": (2, 4)},
         )
 
+    def test_channels_validation(self):
+        with pytest.raises(ValueError, match="channels"):
+            Scenario(name="x", channels=0)
+        # Multiple channels require a multichannel-capable backend.
+        with pytest.raises(ValueError, match="multichannel"):
+            Scenario(name="x", channels=8, backend="batch")
+        assert Scenario(name="x", channels=8, backend="multichannel").channels == 8
+
+    def test_crosstalk_parameters_require_channels(self):
+        with pytest.raises(ValueError, match="channels"):
+            Scenario(name="x", link_overrides={"crosstalk_pitch": 25e-6})
+        Scenario(
+            name="x",
+            backend="multichannel",
+            channels=4,
+            sweep_axes={"crosstalk_pitch": (15e-6, 50e-6)},
+        )
+
+    def test_crosstalk_floor_without_pitch_rejected(self):
+        # A floor alone builds no model (no implicit default-pitch coupling).
+        with pytest.raises(ValueError, match="crosstalk_pitch"):
+            Scenario(
+                name="x",
+                backend="multichannel",
+                channels=4,
+                link_overrides={"crosstalk_floor": 1e-6},
+            )
+
     def test_scenarios_are_hashable_consistently_with_equality(self):
         scenario = get_scenario("ber-vs-photons")
         assert hash(scenario) == hash(Scenario.from_mapping(scenario.to_mapping()))
@@ -113,6 +141,23 @@ class TestScenarioMappingRoundTrip:
             Scenario.from_mapping({"name": "x", "budget": 5})
         with pytest.raises(ValueError, match="'name'"):
             Scenario.from_mapping({})
+
+    def test_channels_field_round_trips(self):
+        scenario = Scenario(
+            name="x",
+            backend="multichannel",
+            channels=64,
+            link_overrides={"crosstalk_pitch": 25e-6},
+        )
+        mapping = scenario.to_mapping()
+        assert mapping["channels"] == 64
+        restored = Scenario.from_mapping(json.loads(json.dumps(mapping)))
+        assert restored == scenario
+        assert restored.channels == 64
+        # Scenarios serialised before the channels field default to one.
+        legacy = {key: value for key, value in small_scenario().to_mapping().items()}
+        del legacy["channels"]
+        assert Scenario.from_mapping(legacy).channels == 1
 
 
 class TestScenarioCompilation:
@@ -154,6 +199,26 @@ class TestScenarioCompilation:
         scenario = small_scenario().with_budget(64).with_backend("scalar")
         assert scenario.bits_per_point == 64
         assert scenario.backend == "scalar"
+
+    def test_with_channels_and_crosstalk_for_point(self):
+        scenario = small_scenario(
+            backend="multichannel",
+            channels=4,
+            link_overrides={"ppm_bits": 4, "crosstalk_floor": 1e-6},
+            sweep_axes={"crosstalk_pitch": (15e-6, 50e-6)},
+        ).with_channels(8)
+        assert scenario.channels == 8
+        model = scenario.crosstalk_for_point({"crosstalk_pitch": 15e-6})
+        assert model is not None
+        assert model.channel_pitch == pytest.approx(15e-6)
+        assert model.floor == pytest.approx(1e-6)
+        # Without crosstalk parameters the channels are perfectly isolated.
+        assert small_scenario().crosstalk_for_point({}) is None
+
+    def test_runner_rejects_multichannel_scenario_on_single_channel_backend(self):
+        scenario = small_scenario(backend="multichannel").with_channels(4)
+        with pytest.raises(ValueError, match="does not support"):
+            ExperimentRunner(scenario, backend="batch")
 
 
 class TestExperimentRunner:

@@ -1,15 +1,17 @@
 """Tier-1 smoke of the named scenario library (marked ``scenario_smoke``).
 
-Runs every named scenario end to end at a tiny trial budget on the batch
-backend — the same engine ``benchmarks/bench_scenarios.py`` times — and fails
-on any exception or non-finite metric.  Deselect with
-``-m "not scenario_smoke"`` when iterating on unrelated subsystems.
+Runs every named scenario end to end at a tiny trial budget on its declared
+vectorised backend (batch or multichannel) — the same engines
+``benchmarks/bench_scenarios.py`` times — and fails on any exception or
+non-finite metric.  Deselect with ``-m "not scenario_smoke"`` when iterating
+on unrelated subsystems.
 """
 
 import math
 
 import pytest
 
+from repro.core.backend import backend_capabilities
 from repro.scenarios import named_scenarios
 from repro.scenarios.smoke import SmokeFailure, run_smoke
 
@@ -20,7 +22,9 @@ def test_every_named_scenario_runs_and_reports_finite_metrics():
     assert len(reports) == len(named_scenarios())
     assert len(reports) >= 4
     for report in reports:
-        assert report.backend == "batch"
+        # Every named scenario runs a vectorised engine ("batch" or the
+        # multichannel array backend).
+        assert backend_capabilities(report.backend).supports_batch
         assert report.points, report.name
         for point in report.points:
             assert point.bits >= 128
