@@ -12,7 +12,7 @@ Three ablations on the link architecture:
 import numpy as np
 import pytest
 
-from repro.analysis.report import ExperimentReport, ReportTable
+from repro.analysis.report import ReportTable, TextReport
 from repro.analysis.units import NS, PS, format_si
 from repro.core.backend import make_link
 from repro.core.config import LinkConfig
@@ -67,7 +67,7 @@ def test_design_ablations(benchmark):
         run_ablations, rounds=1, iterations=1
     )
 
-    report = ExperimentReport(
+    report = TextReport(
         "ABLATIONS",
         "PPM order, PPM-vs-OOK and thermometer bubble correction",
     )

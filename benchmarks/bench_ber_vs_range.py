@@ -11,7 +11,7 @@ sentence describes.  A second sweep shows the received-photon waterfall.
 
 import pytest
 
-from repro.analysis.report import ExperimentReport, ReportTable
+from repro.analysis.report import ReportTable, TextReport
 from repro.analysis.units import NS, PS, format_si
 from repro.core.ber import analytic_bit_error_rate, monte_carlo_bit_error_rate
 from repro.core.config import LinkConfig
@@ -45,7 +45,7 @@ def run_sweeps():
 def test_ber_versus_range_and_photons(benchmark):
     range_rows, waterfall = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
 
-    report = ExperimentReport(
+    report = TextReport(
         "TXT-ERRBOUND",
         "Error rate versus PPM range (at fixed SPAD dead time) and received pulse energy",
         paper_claim="the range must be adapted to the SPAD's dead time to bound jitter/afterpulse "

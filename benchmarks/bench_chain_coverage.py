@@ -9,7 +9,7 @@ window across temperature on the behavioural carry-chain model.
 
 import pytest
 
-from repro.analysis.report import ExperimentReport, ReportTable
+from repro.analysis.report import ReportTable, TextReport
 from repro.analysis.units import NS
 from repro.simulation.randomness import RandomSource
 from repro.tdc.fpga import VIRTEX2PRO_PROFILE, build_fpga_delay_line
@@ -30,7 +30,7 @@ def run_coverage():
 def test_chain_coverage_versus_temperature(benchmark):
     results = benchmark.pedantic(run_coverage, rounds=1, iterations=1)
 
-    report = ExperimentReport(
+    report = TextReport(
         "TXT-CHAIN",
         "96-element carry chain covering the 5 ns window (200 MHz clock)",
         paper_claim="96 elements suffice; a maximum of 93 elements used at 20 degC",

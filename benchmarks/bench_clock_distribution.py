@@ -10,7 +10,7 @@ of the added optical receivers.
 
 import pytest
 
-from repro.analysis.report import ExperimentReport, ReportTable
+from repro.analysis.report import ReportTable, TextReport
 from repro.analysis.units import MHZ, format_si
 from repro.core.area import link_area
 from repro.core.clocking import (
@@ -31,7 +31,7 @@ def run_clock_comparison():
 def test_optical_clock_distribution(benchmark):
     comparisons, optical = benchmark.pedantic(run_clock_comparison, rounds=1, iterations=1)
 
-    report = ExperimentReport(
+    report = TextReport(
         "EXT-CLOCK",
         "Electrical H-tree versus optical broadcast clock distribution",
         paper_claim="expected to drastically reduce clock distribution power costs with "

@@ -19,7 +19,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis.report import ExperimentReport, ReportTable
+from repro.analysis.report import ReportTable, TextReport
 from repro.analysis.units import NS, PS, format_si
 from repro.core.backend import make_link
 from repro.core.config import LinkConfig
@@ -80,7 +80,7 @@ def test_fastpath_speedup(benchmark):
     }
     RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
 
-    report = ExperimentReport(
+    report = TextReport(
         "FASTPATH",
         "Scalar vs. batch transmission engine on the 10^5-symbol BER workload",
         paper_claim="statistical figures need 10^5-10^7 symbols per operating point; "

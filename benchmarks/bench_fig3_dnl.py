@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.plotting import ascii_line_plot, series_csv
-from repro.analysis.report import ExperimentReport, ReportTable
+from repro.analysis.report import ReportTable, TextReport
 from repro.simulation.randomness import RandomSource
 from repro.tdc import calibrate_from_code_density, code_density_test
 from repro.tdc.calibration import calibration_residual_inl
@@ -29,7 +29,7 @@ def run_code_density():
 def test_fig3_dnl_characteristic(benchmark):
     tdc, density = benchmark.pedantic(run_code_density, rounds=1, iterations=1)
 
-    report = ExperimentReport(
+    report = TextReport(
         "FIG3",
         "TDC characteristic DNL (code-density test, XC2VP40-style carry chain)",
         paper_claim="Figure 3 shows a saw-tooth DNL of the 96-element chain; INL below 1 LSB",

@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.plotting import ascii_heatmap
-from repro.analysis.report import ExperimentReport, ReportTable
+from repro.analysis.report import ReportTable, TextReport
 from repro.analysis.units import PS, format_si
 from repro.core.design_space import DesignSpace, figure4_grid
 
@@ -22,7 +22,7 @@ def run_grid():
 def test_fig4_throughput_and_detection_cycle(benchmark):
     n_values, c_values, tp, dc = benchmark.pedantic(run_grid, rounds=1, iterations=1)
 
-    report = ExperimentReport(
+    report = TextReport(
         "FIG4",
         "TP(N, C) [bit/s] and DC(N, C) [s] over the TDC design space",
         paper_claim="Throughput peaks at small ranges (several Gbit/s) and falls as the "

@@ -13,7 +13,7 @@ claim on two paths:
 
 import pytest
 
-from repro.analysis.report import ExperimentReport, ReportTable
+from repro.analysis.report import ReportTable, TextReport
 from repro.analysis.units import NS, PS, format_si
 from repro.core.backend import make_link
 from repro.core.config import LinkConfig
@@ -56,7 +56,7 @@ def test_gbps_throughput(benchmark):
     aggregate_errors = sum(result.bit_errors for result in slow_results)
     aggregate_bits = sum(len(result.transmitted_bits) for result in slow_results)
 
-    report = ExperimentReport(
+    report = TextReport(
         "TXT-GBPS",
         "Reaching multi-Gbit/s throughput with PPM over SPAD receivers",
         paper_claim="throughputs of several gigabits per second may be achieved",

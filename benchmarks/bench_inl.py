@@ -10,7 +10,7 @@ calibration acquired at 20 degC is reused at a hotter operating point.
 
 import pytest
 
-from repro.analysis.report import ExperimentReport, ReportTable
+from repro.analysis.report import ReportTable, TextReport
 from repro.simulation.randomness import RandomSource
 from repro.tdc import calibrate_from_code_density, code_density_test
 from repro.tdc.calibration import calibration_residual_inl
@@ -35,7 +35,7 @@ def run_inl():
 def test_inl_bound_with_calibration(benchmark):
     raw, calibrated, stale, recalibrated = benchmark.pedantic(run_inl, rounds=1, iterations=1)
 
-    report = ExperimentReport(
+    report = TextReport(
         "TXT-INL",
         "INL of the proof-of-concept TDC, raw and after calibration",
         paper_claim="INL below 1 LSB; regular calibration keeps the resolution bounded",

@@ -27,7 +27,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis.report import ExperimentReport, ReportTable
+from repro.analysis.report import ReportTable, TextReport
 from repro.analysis.units import NS, PS, format_si
 from repro.core.backend import make_link
 from repro.core.config import LinkConfig
@@ -108,7 +108,7 @@ def test_multichannel_speedup(benchmark):
     }
     RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
 
-    report = ExperimentReport(
+    report = TextReport(
         "MULTICHANNEL",
         "SPAD-array backend vs. channel-iterated batch loop on runner-shaped chunks",
         paper_claim="the headline configuration is a parallel array of vertical "

@@ -10,7 +10,7 @@ bit, achievable rate and broadcast capability for every technology modelled in
 
 import pytest
 
-from repro.analysis.report import ExperimentReport, ReportTable
+from repro.analysis.report import ReportTable, TextReport
 from repro.core.area import link_area, pad_area_comparison
 from repro.core.config import LinkConfig
 from repro.core.power import link_power, pad_power_comparison
@@ -36,7 +36,7 @@ def run_comparison():
 def test_pad_area_power_comparison(benchmark):
     config, power, area, rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
 
-    report = ExperimentReport(
+    report = TextReport(
         "TXT-PADS",
         "Optical transceiver versus wire-bond pad, TSV, inductive and capacitive links",
         paper_claim="the optical channel uses a fraction of the area and power of a pad and, "

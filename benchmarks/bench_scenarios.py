@@ -14,7 +14,7 @@ benchmark harness.
 
 import pytest
 
-from repro.analysis.report import ExperimentReport, ReportTable
+from repro.analysis.report import ReportTable, TextReport
 from repro.core.backend import backend_capabilities
 from repro.scenarios import named_scenarios
 from repro.scenarios.smoke import run_smoke
@@ -26,8 +26,8 @@ def run_library():
     return run_smoke(bits_per_point=SMOKE_BITS, seed=0)
 
 
-def render_reports(reports) -> ExperimentReport:
-    report = ExperimentReport(
+def render_reports(reports) -> TextReport:
+    report = TextReport(
         "SCENARIOS",
         "Named scenario library smoke run (tiny budget, batch backend)",
     )

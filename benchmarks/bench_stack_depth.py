@@ -10,7 +10,7 @@ broadcast over a representative stack.
 
 import pytest
 
-from repro.analysis.report import ExperimentReport, ReportTable
+from repro.analysis.report import ReportTable, TextReport
 from repro.analysis.units import NM, NS, UM
 from repro.core.config import LinkConfig
 from repro.core.link_budget import max_stack_depth
@@ -53,7 +53,7 @@ def run_depth_sweep():
 def test_stack_depth(benchmark):
     depths, aggressive_depth, outcome = benchmark.pedantic(run_depth_sweep, rounds=1, iterations=1)
 
-    report = ExperimentReport(
+    report = TextReport(
         "TXT-STACK",
         "How many thinned dies a single vertical optical channel can service",
         paper_claim="optical through-chip buses could service hundreds of thinned stacked dies",

@@ -1,7 +1,7 @@
 """Shared helpers for the benchmark harness.
 
 Every benchmark regenerates one of the paper's evaluation artifacts (figure or
-quantitative claim) and prints an :class:`~repro.analysis.report.ExperimentReport`
+quantitative claim) and prints an :class:`~repro.analysis.report.TextReport`
 with a paper-vs-measured comparison, in addition to timing the underlying
 computation through pytest-benchmark.
 """

@@ -40,13 +40,21 @@ engine class:
 >>> result.bit_errors
 0
 
-Experiments — the paper's figures — are declarative scenarios:
+Experiments — the paper's figures — are declarative scenarios; grid points
+dispatch through a pluggable executor (serial in-process, or a process pool
+with ``executor="process"`` — reports are bit-identical either way):
 
->>> from repro.scenarios import ExperimentRunner, get_scenario
+>>> from repro import run_scenario
+>>> from repro.scenarios import get_scenario
 >>> scenario = get_scenario("ber-vs-photons").with_budget(512)
->>> report = ExperimentRunner(scenario, seed=1).run()
+>>> report = run_scenario(scenario, seed=1)
 >>> len(report.points)
 6
+
+The same front door is available from the shell — ``python -m repro run
+ber-vs-photons --executor process --workers 4`` runs a scenario, prints the
+report table and persists a JSON artefact
+(:class:`~repro.scenarios.ReportStore`) for longitudinal tracking.
 
 Backend contract: all backends share the physics and the
 :class:`~repro.core.link.TransmissionResult` shape, are deterministic per
@@ -71,8 +79,20 @@ from repro.core import (
     resolve_backend,
     throughput,
 )
+from repro.scenarios import (
+    ExperimentReport,
+    ExperimentRunner,
+    ExperimentSession,
+    ProcessExecutor,
+    ReportStore,
+    Scenario,
+    SerialExecutor,
+    get_scenario,
+    named_scenarios,
+    run_scenario,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "LinkConfig",
@@ -91,5 +111,15 @@ __all__ = [
     "measurement_window",
     "throughput",
     "detection_cycle",
+    "Scenario",
+    "ExperimentRunner",
+    "ExperimentSession",
+    "ExperimentReport",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "ReportStore",
+    "run_scenario",
+    "get_scenario",
+    "named_scenarios",
     "__version__",
 ]

@@ -21,7 +21,7 @@ from repro.analysis.statistics import (
 )
 from repro.analysis.sweep import Sweep, SweepResult, grid_sweep, link_ber_sweep
 from repro.analysis.plotting import ascii_heatmap, ascii_histogram, ascii_line_plot
-from repro.analysis.report import ExperimentReport, ReportTable
+from repro.analysis.report import ReportTable, TextReport
 
 __all__ = [
     "PS",
@@ -46,6 +46,24 @@ __all__ = [
     "ascii_heatmap",
     "ascii_histogram",
     "ascii_line_plot",
-    "ExperimentReport",
+    "TextReport",
     "ReportTable",
 ]
+
+
+def __getattr__(name: str):
+    if name == "ExperimentReport":
+        # Warn here (not via repro.analysis.report's own __getattr__) so the
+        # DeprecationWarning is attributed to the caller's line, not to this
+        # shim.
+        import warnings
+
+        warnings.warn(
+            "repro.analysis.ExperimentReport was renamed to TextReport; "
+            "the ExperimentReport name now belongs to the structured "
+            "repro.scenarios.ExperimentReport data artefact",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return TextReport
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -76,8 +76,7 @@ class SweepResult:
 
         Each record maps every parameter name (in ``parameter_names`` order)
         to its value, plus ``"value"`` for the result — the interchange shape
-        consumed by ``repro.scenarios``'s ``ExperimentReport`` and by anything
-        that wants to tabulate or serialise a sweep.
+        for anything that wants to tabulate or serialise a sweep.
         """
         return [point.as_dict() for point in self.points]
 

@@ -1,0 +1,257 @@
+"""``python -m repro`` — drive the experiment layer without writing Python.
+
+Four subcommands cover the run/inspect loop:
+
+* ``repro list`` — catalogue the named library scenarios;
+* ``repro run <scenario>`` — execute a scenario (choosing backend, executor,
+  worker count, seed, per-point bit budget and chunk size), stream per-point
+  progress, print the report table and persist the artefact into a
+  :class:`~repro.scenarios.store.ReportStore`;
+* ``repro show <artefact>`` — reload a stored artefact (by id or path) and
+  print its report;
+* ``repro compare <a> <b> --metric ber`` — per-point metric deltas between
+  two artefacts, for longitudinal figure tracking.
+
+Determinism carries through unchanged: ``repro run`` output is a function of
+``(scenario, seed, chunk size)`` only — never of the executor or worker
+count.  Exit status is 0 on success, 2 for usage errors (argparse) and 1 for
+domain errors (unknown scenario, missing artefact), whose messages go to
+stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.report import ReportTable
+from repro.core.backend import available_backends
+from repro.scenarios import (
+    ExperimentRunner,
+    ReportStore,
+    available_executors,
+    get_scenario,
+    named_scenarios,
+)
+from repro.scenarios.runner import DEFAULT_CHUNK_SYMBOLS
+
+DEFAULT_STORE = "artifacts"
+
+
+def _format_parameters(parameters) -> str:
+    """One grid point's swept values as a display label."""
+    return ", ".join(f"{k}={v}" for k, v in parameters.items()) or "<single point>"
+
+
+def _status(message: str) -> None:
+    """Progress/status line to stderr.
+
+    A consumer that closed stderr (``repro run ... 2>&1 | head``) must cost
+    us the progress lines, never the simulation or its artefact.
+    """
+    try:
+        print(message, file=sys.stderr)
+    except BrokenPipeError:
+        pass
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run, store and compare the paper's scenario experiments.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = commands.add_parser("list", help="catalogue the named scenarios")
+    list_cmd.add_argument("--json", action="store_true", help="machine-readable output")
+
+    run_cmd = commands.add_parser("run", help="execute one named scenario")
+    run_cmd.add_argument("scenario", help="library scenario name (see `list`)")
+    # Not argparse choices=: aliases ("fast", "array") and backends registered
+    # at runtime must stay usable, so validation happens in resolve_backend.
+    run_cmd.add_argument("--backend", default=None,
+                         help=f"link backend override ({', '.join(available_backends())})")
+    run_cmd.add_argument("--executor", default=None, choices=available_executors(),
+                         help="grid-point dispatch (default: serial)")
+    run_cmd.add_argument("--workers", type=int, default=None,
+                         help="process-pool size (implies --executor process)")
+    run_cmd.add_argument("--seed", type=int, default=0, help="root seed (default 0)")
+    run_cmd.add_argument("--bits", type=int, default=None,
+                         help="payload bits per grid point (default: the scenario's budget)")
+    run_cmd.add_argument("--chunk-symbols", type=int, default=DEFAULT_CHUNK_SYMBOLS,
+                         help="symbols per Monte-Carlo chunk (fixes the seeding layout)")
+    run_cmd.add_argument("--store", default=DEFAULT_STORE,
+                         help=f"artefact store directory (default {DEFAULT_STORE!r})")
+    run_cmd.add_argument("--no-store", action="store_true",
+                         help="do not persist the report artefact")
+    run_cmd.add_argument("--json", action="store_true",
+                         help="print the report mapping as JSON instead of the table")
+    run_cmd.add_argument("--quiet", action="store_true",
+                         help="suppress per-point progress lines")
+
+    show_cmd = commands.add_parser("show", help="print a stored report artefact")
+    show_cmd.add_argument("artifact", help="artefact id or path")
+    show_cmd.add_argument("--store", default=DEFAULT_STORE,
+                          help=f"artefact store directory (default {DEFAULT_STORE!r})")
+    show_cmd.add_argument("--json", action="store_true",
+                          help="print the report mapping as JSON instead of the table")
+
+    compare_cmd = commands.add_parser(
+        "compare", help="per-point metric deltas between two artefacts"
+    )
+    compare_cmd.add_argument("artifact_a", help="baseline artefact id or path")
+    compare_cmd.add_argument("artifact_b", help="candidate artefact id or path")
+    compare_cmd.add_argument("--metric", required=True, help="metric name to diff")
+    compare_cmd.add_argument("--store", default=DEFAULT_STORE,
+                             help=f"artefact store directory (default {DEFAULT_STORE!r})")
+    compare_cmd.add_argument("--json", action="store_true",
+                             help="machine-readable output")
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    names = named_scenarios()
+    if args.json:
+        catalogue = []
+        for name in names:
+            scenario = get_scenario(name)
+            catalogue.append(
+                {
+                    "name": name,
+                    "description": scenario.description,
+                    "points": scenario.point_count(),
+                    "backend": scenario.backend,
+                    "channels": scenario.channels,
+                    "bits_per_point": scenario.bits_per_point,
+                }
+            )
+        print(json.dumps(catalogue, indent=2))
+        return 0
+    table = ReportTable(columns=["scenario", "points", "backend", "channels", "bits/point"])
+    for name in names:
+        scenario = get_scenario(name)
+        table.add_row(
+            name,
+            scenario.point_count(),
+            scenario.backend,
+            scenario.channels,
+            scenario.bits_per_point,
+        )
+    print(table.render())
+    return 0
+
+
+def _get_scenario(name: str):
+    """Library lookup with the KeyError converted at the call site.
+
+    ``main()`` deliberately does not catch KeyError — an internal one should
+    surface as a traceback — so the curated lookup message is rethrown as
+    the domain-error type it is.
+    """
+    try:
+        return get_scenario(name)
+    except KeyError as error:
+        raise ValueError(error.args[0]) from None
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = _get_scenario(args.scenario)
+    if args.bits is not None:
+        scenario = scenario.with_budget(args.bits)
+    runner = ExperimentRunner(
+        scenario,
+        seed=args.seed,
+        backend=args.backend,
+        chunk_symbols=args.chunk_symbols,
+        executor=args.executor,
+        workers=args.workers,
+    )
+    with runner.session() as session:
+        if not args.quiet:
+            _status(
+                f"running {scenario.name!r}: {session.total_points} point(s), "
+                f"backend={runner.backend}, executor={session.executor!r}"
+            )
+        for point in session:
+            if not args.quiet:
+                shown = _format_parameters(point.parameters)
+                _status(f"  [{session.completed_points}/{session.total_points}] {shown}")
+        report = session.report()
+    # Persist before printing: a closed stdout pipe must never cost the
+    # artefact of a completed simulation.
+    if not args.no_store:
+        path = ReportStore(args.store).save(report)
+        _status(f"artefact: {path}")
+    if args.json:
+        print(json.dumps(report.to_mapping(), indent=2))
+    else:
+        print(report.summary())
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    store = ReportStore(args.store)
+    report = store.load(args.artifact)
+    if args.json:
+        print(json.dumps(report.to_mapping(), indent=2))
+    else:
+        print(report.summary())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    store = ReportStore(args.store)
+    try:
+        comparison = store.compare(args.artifact_a, args.artifact_b, args.metric)
+    except KeyError as error:  # point.metric: unknown metric name
+        raise ValueError(error.args[0]) from None
+    if args.json:
+        print(json.dumps(comparison, indent=2))
+        return 0
+    table = ReportTable(columns=["parameters", "a", "b", "delta"])
+    for row in comparison["points"]:
+        table.add_row(_format_parameters(row["parameters"]), row["a"], row["b"], row["delta"])
+    print(f"metric {args.metric!r}: {args.artifact_a} -> {args.artifact_b}")
+    print(table.render())
+    for side, key in (("a", "only_a"), ("b", "only_b")):
+        if comparison[key]:
+            print(f"points only in {side}: {comparison[key]}")
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "show": _cmd_show,
+    "compare": _cmd_compare,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValueError, FileNotFoundError) as error:
+        # Domain errors (unknown scenario/metric/artefact, bad values) — not
+        # tracebacks.  KeyError is deliberately absent: curated lookups
+        # convert theirs at the call site, so an internal KeyError anywhere
+        # else surfaces as a real traceback instead of `error: 'somekey'`.
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Downstream closed the pipe (`repro run ... | head`): exit quietly.
+        # Redirect stdout to devnull so the interpreter's shutdown flush
+        # does not raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    raise SystemExit(main())

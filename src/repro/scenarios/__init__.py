@@ -12,10 +12,20 @@ over operating points.  This subsystem makes them first-class:
   (``ber-vs-photons``, ``ber-vs-range``, ``design-space-grid``,
   ``multi-chip-bus``, ``spad-array-imager``, ``crosstalk-vs-pitch``,
   ``ppm-order-sweep``).
+* :mod:`repro.scenarios.executors` — pluggable grid-point dispatch:
+  :class:`SerialExecutor` (in-process) and :class:`ProcessExecutor`
+  (process pool), bit-identical to each other by construction.
+* :mod:`repro.scenarios.session` — :class:`ExperimentSession`, the streaming
+  execution shape: points are yielded as they complete.
 * :mod:`repro.scenarios.runner` — :class:`ExperimentRunner`, which compiles a
-  scenario onto the chunked batch Monte-Carlo machinery through the link
-  backend registry and returns a structured :class:`ExperimentReport`.
+  scenario into picklable point tasks, dispatches them through an executor,
+  and returns a structured :class:`ExperimentReport`.
+* :mod:`repro.scenarios.store` — :class:`ReportStore`, content-addressed JSON
+  artefacts of experiment reports (save/load/latest/compare).
 * :mod:`repro.scenarios.smoke` — tiny-budget execution of the whole library.
+
+Everything here is also drivable without writing Python:
+``python -m repro run ber-vs-photons`` (see :mod:`repro.cli`).
 
 Quickstart
 ----------
@@ -39,12 +49,24 @@ from repro.scenarios.library import (
     named_scenarios,
     register_scenario,
 )
+from repro.scenarios.executors import (
+    Executor,
+    PointTask,
+    ProcessExecutor,
+    SerialExecutor,
+    available_executors,
+    evaluate_point,
+    make_point_tasks,
+    resolve_executor,
+)
+from repro.scenarios.session import ExperimentSession
 from repro.scenarios.runner import (
     ExperimentPoint,
     ExperimentReport,
     ExperimentRunner,
     run_scenario,
 )
+from repro.scenarios.store import ReportStore, artifact_id
 from repro.scenarios.smoke import SmokeFailure, run_smoke
 
 __all__ = [
@@ -57,10 +79,21 @@ __all__ = [
     "register_scenario",
     "named_scenarios",
     "get_scenario",
+    "Executor",
+    "PointTask",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "available_executors",
+    "resolve_executor",
+    "evaluate_point",
+    "make_point_tasks",
+    "ExperimentSession",
     "ExperimentPoint",
     "ExperimentReport",
     "ExperimentRunner",
     "run_scenario",
+    "ReportStore",
+    "artifact_id",
     "SmokeFailure",
     "run_smoke",
 ]

@@ -1,0 +1,390 @@
+"""Pluggable executors: how a scenario's grid points are dispatched.
+
+A scenario's grid points are independent by construction — every point's seed
+is derived in the parent from ``(run seed, point label)`` before any point
+runs (:meth:`~repro.scenarios.runner.ExperimentRunner` under the
+``"per-point"`` policy, or shared verbatim under ``"shared"``), and a point's
+Monte-Carlo chunks depend only on that seed and ``chunk_symbols``.  Executors
+exploit this: they take a sequence of :class:`PointTask` work units and yield
+``(index, PointOutcome)`` pairs *in completion order*, leaving ordering and
+report assembly to the caller.
+
+Two executors ship with the package:
+
+* :class:`SerialExecutor` — evaluates tasks in grid order in the calling
+  process (the reference implementation);
+* :class:`ProcessExecutor` — dispatches tasks onto a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Work units are pickled as
+  plain data (scenario mapping, point parameters, point seed, backend name,
+  ``chunk_symbols``) and each worker rebuilds the scenario with
+  :meth:`Scenario.from_mapping` and evaluates the point with the *same*
+  :func:`evaluate_point` the serial executor calls, so reports are
+  **bit-identical** to a serial run — not merely statistically equivalent.
+
+The picklability contract is deliberately narrow: nothing but plain data and
+the point seed crosses the process boundary.  Metric evaluation (which may
+involve user-registered, unpicklable metric functions) always happens in the
+parent.  Backends are the one thing workers must know locally: a backend
+registered at runtime works under the ``fork`` start method (the child
+inherits the registry) but not under ``spawn``, whose fresh interpreter
+never saw the registration — import-time registration (a module that calls
+:func:`repro.core.backend.register_backend`) works everywhere.
+
+>>> from repro.scenarios import Scenario
+>>> scenario = Scenario(name="doc", sweep_axes={"mean_detected_photons": (20.0, 80.0)},
+...                     bits_per_point=64)
+>>> tasks = make_point_tasks(scenario, seed=1, backend="batch", chunk_symbols=64)
+>>> [task.index for task in tasks]
+[0, 1]
+>>> outcomes = dict(SerialExecutor().map_tasks(tasks))
+>>> sorted(outcomes) == [0, 1] and outcomes[0].bits
+64
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
+
+import numpy as np
+
+from repro.scenarios.metrics import PointOutcome, available_metrics
+from repro.scenarios.scenario import Scenario
+from repro.simulation.montecarlo import MonteCarloRunner, link_batch_trial
+from repro.simulation.randomness import split_seed
+
+
+@dataclass(frozen=True)
+class PointTask:
+    """One grid point as a self-contained, picklable unit of work.
+
+    Everything needed to evaluate the point deterministically travels as
+    plain data: the scenario *mapping* (not the object), the point's swept
+    parameter values, the point seed already derived by the parent, the
+    resolved backend name, and the chunk size that fixes the seeding layout.
+    ``index`` is the point's position in grid order, used to reassemble
+    reports independently of completion order.
+
+    ``live_scenario`` additionally carries the original scenario *object*
+    for in-process execution — so :class:`Scenario` subclasses that override
+    compilation hooks (``config_for_point`` et al.) keep working on the
+    serial path.  It is dropped on pickling: across a process boundary only
+    the mapping travels, and workers rebuild base-class semantics from it —
+    which is why :class:`ProcessExecutor` refuses subclassed scenarios
+    outright rather than silently diverging from a serial run.
+    """
+
+    scenario: Mapping[str, Any]
+    parameters: Mapping[str, Any]
+    seed: int
+    backend: str
+    chunk_symbols: int
+    index: int
+    live_scenario: Optional[Scenario] = dataclasses.field(
+        default=None, compare=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scenario", dict(self.scenario))
+        object.__setattr__(self, "parameters", dict(self.parameters))
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["live_scenario"] = None  # only plain data crosses processes
+        return state
+
+
+def usable_cpu_count() -> int:
+    """CPUs this process may actually be scheduled on.
+
+    Respects scheduler affinity and cpusets (``os.sched_getaffinity``),
+    which ``os.cpu_count()`` ignores; CFS bandwidth quotas (``--cpus=N``
+    style throttling) are *not* visible here, so pass ``workers=`` explicitly
+    in quota-limited containers.  Used as the :class:`ProcessExecutor` worker
+    default and by the parallel benchmark.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+def derive_point_seed(scenario: Scenario, seed: int, parameters: Mapping[str, Any]) -> int:
+    """The seed-policy derivation — the single definition of per-point seeds.
+
+    ``"shared"`` reuses one child seed across every grid point (common random
+    numbers); ``"per-point"`` derives an independent seed from the point's
+    deterministic label.  Both the runner and :func:`make_point_tasks` call
+    this, so serial and parallel dispatch cannot drift apart.
+    """
+    if scenario.seed_policy == "shared":
+        return split_seed(seed, scenario.name)
+    return split_seed(seed, scenario.point_label(parameters))
+
+
+def make_point_tasks(
+    scenario: Scenario,
+    seed: int,
+    backend: str,
+    chunk_symbols: int,
+) -> List[PointTask]:
+    """Compile a scenario into grid-ordered :class:`PointTask` work units.
+
+    Point seeds are derived here, up front, via :func:`derive_point_seed` —
+    before any point runs — which is what makes dispatch order (and hence
+    the executor) unobservable in the results.
+    """
+    mapping = scenario.to_mapping()
+    return [
+        PointTask(
+            scenario=mapping,
+            parameters=parameters,
+            seed=derive_point_seed(scenario, seed, parameters),
+            backend=backend,
+            chunk_symbols=chunk_symbols,
+            index=index,
+            live_scenario=scenario,
+        )
+        for index, parameters in enumerate(scenario.grid())
+    ]
+
+
+def evaluate_point(
+    scenario: Scenario,
+    parameters: Mapping[str, Any],
+    seed: int,
+    backend: str,
+    chunk_symbols: int,
+) -> PointOutcome:
+    """Evaluate one grid point: the single definition of point execution.
+
+    Builds the point's concrete link configuration, runs the chunked batch
+    Monte-Carlo transmission, and aggregates the counts into a
+    :class:`~repro.scenarios.metrics.PointOutcome`.  Both executors funnel
+    through this function — in-process for :class:`SerialExecutor`, inside
+    the worker for :class:`ProcessExecutor` — which is what makes parallel
+    reports bit-identical to serial ones.
+    """
+    config, channel = scenario.config_for_point(parameters)
+    crosstalk = scenario.crosstalk_for_point(parameters)
+    channels = scenario.channels
+    k = config.ppm_bits
+    symbols = max(1, -(-scenario.bits_per_point // k))
+    # Accumulators for the per-chunk statistics that are not the trial's
+    # scalar sample (the sample itself is bit errors per symbol).
+    detection_counts: Dict[str, int] = {}
+    channel_bits = np.zeros(channels, dtype=np.int64)
+    channel_bit_errors = np.zeros(channels, dtype=np.int64)
+
+    def accumulate_detections(result) -> None:
+        for origin, origin_count in result.detection_counts.items():
+            detection_counts[origin] = detection_counts.get(origin, 0) + origin_count
+        # Multichannel chunks carry a cheap per-channel count split
+        # (arrays, not materialised per-channel result objects).
+        split = getattr(result, "channel_bits", None)
+        if split is not None and len(split) == channels:
+            channel_bits[:] += split
+            channel_bit_errors[:] += result.channel_bit_errors
+
+    # The shared chunked-link trial defines the reproducibility protocol
+    # (seed draw, payload draw, transmission order) in one place.
+    batch_trial = link_batch_trial(
+        config,
+        backend=backend,
+        channel=channel,
+        per_symbol="bit_errors",
+        on_result=accumulate_detections,
+        channels=channels if channels > 1 else None,
+        crosstalk=crosstalk,
+    )
+
+    runner = MonteCarloRunner(seed=seed, label=scenario.point_label(parameters))
+    outcome = runner.run_batch(batch_trial, trials=symbols, chunk_size=chunk_symbols)
+    per_symbol_bit_errors = outcome.samples.astype(int)
+    return PointOutcome(
+        config=config,
+        bits=symbols * k,
+        bit_errors=int(per_symbol_bit_errors.sum()),
+        symbols=symbols,
+        symbol_errors=int(np.count_nonzero(per_symbol_bit_errors)),
+        detection_counts=detection_counts,
+        channels=channels,
+        channel_bits=tuple(int(b) for b in channel_bits) if channels > 1 else (),
+        channel_bit_errors=(
+            tuple(int(e) for e in channel_bit_errors) if channels > 1 else ()
+        ),
+    )
+
+
+def evaluate_task(task: PointTask) -> PointOutcome:
+    """Evaluate one :class:`PointTask` (the process-pool worker entry point).
+
+    Top-level (hence picklable by reference) and dependent only on the task's
+    plain data, so it runs identically in the parent and in worker processes.
+
+    In-process (``live_scenario`` present) the original scenario object is
+    used directly, preserving subclass overrides.  Across a process boundary
+    the scenario is rebuilt from the mapping; metric evaluation happens in
+    the *parent* (see
+    :meth:`~repro.scenarios.runner.ExperimentRunner.build_point`), so metric
+    names play no part in point evaluation — but ``Scenario.from_mapping``
+    validates them against the local registry, which in a fresh worker
+    interpreter (``spawn`` start method) lacks any runtime-registered
+    metrics.  Unknown names are therefore dropped before rebuilding; results
+    are unaffected.
+    """
+    scenario = task.live_scenario
+    if scenario is None:
+        mapping = dict(task.scenario)
+        known = set(available_metrics())
+        kept = [name for name in mapping.get("metrics", ()) if name in known]
+        mapping["metrics"] = kept or ["ber"]
+        scenario = Scenario.from_mapping(mapping)
+    return evaluate_point(
+        scenario, task.parameters, task.seed, task.backend, task.chunk_symbols
+    )
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Structural protocol every grid-point executor implements.
+
+    ``map_tasks`` consumes :class:`PointTask` work units and yields
+    ``(index, outcome)`` pairs as points complete; completion order is
+    unspecified, grid order is reconstructed by the caller from ``index``.
+    """
+
+    def map_tasks(
+        self, tasks: Sequence[PointTask]
+    ) -> Iterator[Tuple[int, PointOutcome]]: ...
+
+
+class SerialExecutor:
+    """Evaluates every task in grid order, in the calling process."""
+
+    def map_tasks(
+        self, tasks: Sequence[PointTask]
+    ) -> Iterator[Tuple[int, PointOutcome]]:
+        for task in tasks:
+            yield task.index, evaluate_task(task)
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class ProcessExecutor:
+    """Dispatches tasks across a process pool (``concurrent.futures``).
+
+    Parameters
+    ----------
+    workers:
+        Pool size; defaults to the *usable* CPU count (scheduler affinity,
+        not installed cores) capped at the number of tasks.  Results are
+        independent of ``workers`` — parallelism changes completion order,
+        never content.
+    start_method:
+        Optional :mod:`multiprocessing` start method (``"fork"``/``"spawn"``/
+        ``"forkserver"``); ``None`` uses the platform default.
+    """
+
+    def __init__(self, workers: Optional[int] = None, start_method: Optional[str] = None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be a positive int, got {workers!r}")
+        self.workers = workers
+        self.start_method = start_method
+
+    def map_tasks(
+        self, tasks: Sequence[PointTask]
+    ) -> Iterator[Tuple[int, PointOutcome]]:
+        tasks = list(tasks)
+        if not tasks:
+            return
+        for task in tasks:
+            live = task.live_scenario
+            if live is not None and type(live) is not Scenario:
+                # Workers rebuild plain Scenario values from the mapping, so
+                # subclass overrides would silently vanish across the process
+                # boundary — refuse instead of diverging from a serial run.
+                raise TypeError(
+                    f"scenario type {type(live).__name__!r} cannot cross a "
+                    f"process boundary: only plain Scenario values ship to "
+                    f"workers; run subclassed scenarios on the serial executor"
+                )
+        workers = self.workers or usable_cpu_count()
+        workers = max(1, min(workers, len(tasks)))
+        context = multiprocessing.get_context(self.start_method)
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        )
+        try:
+            futures = {pool.submit(evaluate_task, task): task.index for task in tasks}
+            for future in concurrent.futures.as_completed(futures):
+                yield futures[future], future.result()
+        finally:
+            # Abandoned streams (a consumer that stops after a few points)
+            # must not simulate the rest of the grid to completion: cancel
+            # everything still queued, wait only for points already running.
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __repr__(self) -> str:
+        return f"ProcessExecutor(workers={self.workers!r})"
+
+
+_EXECUTORS: Dict[str, type] = {
+    "serial": SerialExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def available_executors() -> Tuple[str, ...]:
+    """Names accepted by :func:`resolve_executor` (and the CLI ``--executor``)."""
+    return tuple(_EXECUTORS)
+
+
+def resolve_executor(
+    executor: Union[None, str, Executor] = None,
+    workers: Optional[int] = None,
+) -> Executor:
+    """Normalise an executor argument to an :class:`Executor` instance.
+
+    ``None`` means serial; a string names a built-in executor (``workers`` is
+    forwarded to :class:`ProcessExecutor`); an instance passes through
+    unchanged, in which case ``workers`` must be left unset (the instance
+    already fixed its pool size).
+    """
+    if executor is None:
+        executor = "process" if workers is not None else "serial"
+    if isinstance(executor, str):
+        try:
+            factory = _EXECUTORS[executor]
+        except KeyError:
+            known = ", ".join(sorted(_EXECUTORS))
+            raise ValueError(
+                f"unknown executor {executor!r}; available: {known}"
+            ) from None
+        if factory is ProcessExecutor:
+            return ProcessExecutor(workers=workers)
+        if workers is not None:
+            raise ValueError(f"executor {executor!r} does not take workers=")
+        return factory()
+    if workers is not None:
+        raise ValueError("pass workers= only with a named executor, not an instance")
+    if not isinstance(executor, Executor):
+        raise TypeError(f"not an executor: {executor!r}")
+    return executor

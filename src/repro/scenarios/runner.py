@@ -2,35 +2,53 @@
 
 :class:`ExperimentRunner` takes a declarative
 :class:`~repro.scenarios.scenario.Scenario` and executes it: every grid point
-becomes a chunked :meth:`~repro.simulation.montecarlo.MonteCarloRunner.run_batch`
-run in which each Monte-Carlo trial is one PPM symbol pushed through a link
-built by the backend registry (:func:`repro.core.backend.make_link`).  The
-result is a structured :class:`ExperimentReport`: one
+becomes a self-contained :class:`~repro.scenarios.executors.PointTask` whose
+seed is derived up front, dispatched through a pluggable
+:class:`~repro.scenarios.executors.Executor` (serial in-process by default, a
+process pool with ``executor="process"``), with each point a chunked
+:meth:`~repro.simulation.montecarlo.MonteCarloRunner.run_batch` run in which
+each Monte-Carlo trial is one PPM symbol pushed through a link built by the
+backend registry (:func:`repro.core.backend.make_link`).
+
+The result is a structured :class:`ExperimentReport`: one
 :class:`ExperimentPoint` per grid point with metric values and 95 % confidence
 half-widths, plus enough metadata (scenario mapping, backend, seed) to
-reproduce the run bit for bit.
+reproduce the run bit for bit.  Because point seeds are derived before any
+point runs, reports are **bit-identical across executors** — a process-pool
+run equals a serial run, ``to_mapping()`` for ``to_mapping()``.
 
-This :class:`ExperimentReport` is the *data* artefact of an experiment; the
-text-rendering helper of the same name in :mod:`repro.analysis.report` remains
-the benchmarks' pretty-printer.  :meth:`ExperimentReport.summary` bridges the
-two.
+Streaming consumers use :meth:`ExperimentRunner.session` — an
+:class:`~repro.scenarios.session.ExperimentSession` yields points as they
+complete; :meth:`ExperimentRunner.run` is the run-to-completion adapter over
+it.  Reports persist through :class:`~repro.scenarios.store.ReportStore`, and
+``python -m repro run <scenario>`` drives all of this from the command line.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.analysis.report import ReportTable
-from repro.analysis.sweep import SweepResult
 from repro.core.backend import backend_capabilities, resolve_backend
+from repro.scenarios.executors import (
+    Executor,
+    PointTask,
+    make_point_tasks,
+    resolve_executor,
+)
 from repro.scenarios.metrics import PointOutcome, evaluate_metrics
 from repro.scenarios.scenario import Scenario
-from repro.simulation.montecarlo import MonteCarloRunner, link_batch_trial
-from repro.simulation.randomness import split_seed
+from repro.scenarios.session import ExperimentSession
+
+#: Default symbols per Monte-Carlo chunk.  Reports are deterministic in
+#: ``(scenario, seed, chunk_symbols)``, so every front door (runner,
+#: convenience function, CLI) must share this one value or their results
+#: silently diverge.
+DEFAULT_CHUNK_SYMBOLS = 8_192
 
 
 @dataclass(frozen=True)
@@ -66,6 +84,20 @@ class ExperimentPoint:
             "symbols": self.symbols,
             "detection_counts": dict(self.detection_counts),
         }
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "ExperimentPoint":
+        """Inverse of :meth:`to_mapping` (artefact loading)."""
+        data = dict(mapping)
+        required = {"parameters", "metrics", "confidence", "bits", "symbols"}
+        known = required | {"detection_counts"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown experiment-point key(s): {', '.join(unknown)}")
+        missing = sorted(required - set(data))
+        if missing:
+            raise ValueError(f"experiment-point mapping lacks key(s): {', '.join(missing)}")
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -113,6 +145,30 @@ class ExperimentReport:
             "points": [point.to_mapping() for point in self.points],
         }
 
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "ExperimentReport":
+        """Inverse of :meth:`to_mapping` — reports round-trip through JSON.
+
+        >>> from repro.scenarios import ExperimentRunner, get_scenario
+        >>> scenario = get_scenario("ber-vs-photons").with_budget(128)
+        >>> report = ExperimentRunner(scenario, seed=1).run()
+        >>> ExperimentReport.from_mapping(report.to_mapping()) == report
+        True
+        """
+        data = dict(mapping)
+        known = {"scenario", "backend", "seed", "total_bits", "points"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown experiment-report key(s): {', '.join(unknown)}")
+        missing = sorted(known - set(data))
+        if missing:
+            raise ValueError(f"experiment-report mapping lacks key(s): {', '.join(missing)}")
+        points = tuple(
+            point if isinstance(point, ExperimentPoint) else ExperimentPoint.from_mapping(point)
+            for point in data.pop("points", ())
+        )
+        return cls(points=points, **data)
+
     def summary(self) -> str:
         """Aligned text table of every point (one row) and metric (one column)."""
         metric_names = list(self.scenario.get("metrics", []))
@@ -144,12 +200,20 @@ class ExperimentRunner:
     seed:
         Root seed of the run.  Per-point seeds are derived from it according
         to the scenario's ``seed_policy``; reports are deterministic in
-        ``(scenario, seed, chunk_symbols)``.
+        ``(scenario, seed, chunk_symbols)`` — and identical across executors.
     backend:
         Optional override of the scenario's link backend (by registered name).
     chunk_symbols:
         Symbols simulated per batch-transmission chunk; bounds peak memory and
         fixes the seeding layout.
+    executor:
+        How grid points are dispatched: ``None``/``"serial"`` evaluates them
+        in-process, ``"process"`` fans them out over a
+        :class:`~repro.scenarios.executors.ProcessExecutor` pool, and any
+        :class:`~repro.scenarios.executors.Executor` instance is used as is.
+    workers:
+        Pool size for a named ``"process"`` executor (implies it when set
+        without ``executor=``).
     """
 
     def __init__(
@@ -157,7 +221,9 @@ class ExperimentRunner:
         scenario: Scenario,
         seed: int = 0,
         backend: Optional[str] = None,
-        chunk_symbols: int = 8_192,
+        chunk_symbols: int = DEFAULT_CHUNK_SYMBOLS,
+        executor: Union[None, str, Executor] = None,
+        workers: Optional[int] = None,
     ) -> None:
         if chunk_symbols <= 0:
             raise ValueError("chunk_symbols must be positive")
@@ -170,130 +236,130 @@ class ExperimentRunner:
                 f"which backend {self.backend!r} does not support"
             )
         self.chunk_symbols = chunk_symbols
+        self.executor = resolve_executor(executor, workers)
 
     # -- point execution -------------------------------------------------------
-    def _point_seed(self, parameters: Mapping[str, Any]) -> int:
-        if self.scenario.seed_policy == "shared":
-            return split_seed(self.seed, self.scenario.name)
-        return split_seed(self.seed, self.scenario.point_label(parameters))
+    def point_tasks(self) -> List[PointTask]:
+        """The run's grid-ordered, picklable work units (seeds pre-derived).
 
-    def _run_point(self, parameters: Mapping[str, Any]) -> PointOutcome:
-        config, channel = self.scenario.config_for_point(parameters)
-        crosstalk = self.scenario.crosstalk_for_point(parameters)
-        channels = self.scenario.channels
-        k = config.ppm_bits
-        symbols = max(1, -(-self.scenario.bits_per_point // k))
-        # Accumulators for the per-chunk statistics that are not the trial's
-        # scalar sample (the sample itself is bit errors per symbol).
-        detection_counts: Dict[str, int] = {}
-        channel_bits = np.zeros(channels, dtype=np.int64)
-        channel_bit_errors = np.zeros(channels, dtype=np.int64)
-
-        def accumulate_detections(result) -> None:
-            for origin, origin_count in result.detection_counts.items():
-                detection_counts[origin] = detection_counts.get(origin, 0) + origin_count
-            # Multichannel chunks carry a cheap per-channel count split
-            # (arrays, not materialised per-channel result objects).
-            split = getattr(result, "channel_bits", None)
-            if split is not None and len(split) == channels:
-                channel_bits[:] += split
-                channel_bit_errors[:] += result.channel_bit_errors
-
-        # The shared chunked-link trial defines the reproducibility protocol
-        # (seed draw, payload draw, transmission order) in one place.
-        batch_trial = link_batch_trial(
-            config,
-            backend=self.backend,
-            channel=channel,
-            per_symbol="bit_errors",
-            on_result=accumulate_detections,
-            channels=channels if channels > 1 else None,
-            crosstalk=crosstalk,
-        )
-
-        runner = MonteCarloRunner(
-            seed=self._point_seed(parameters),
-            label=self.scenario.point_label(parameters),
-        )
-        outcome = runner.run_batch(batch_trial, trials=symbols, chunk_size=self.chunk_symbols)
-        per_symbol_bit_errors = outcome.samples.astype(int)
-        return PointOutcome(
-            config=config,
-            bits=symbols * k,
-            bit_errors=int(per_symbol_bit_errors.sum()),
-            symbols=symbols,
-            symbol_errors=int(np.count_nonzero(per_symbol_bit_errors)),
-            detection_counts=detection_counts,
-            channels=channels,
-            channel_bits=tuple(int(b) for b in channel_bits) if channels > 1 else (),
-            channel_bit_errors=(
-                tuple(int(e) for e in channel_bit_errors) if channels > 1 else ()
-            ),
-        )
-
-    # -- experiment execution ------------------------------------------------------
-    def run(
-        self, progress: Optional[Callable[[int, int], None]] = None
-    ) -> ExperimentReport:
-        """Evaluate every grid point and assemble the structured report.
-
-        ``progress`` (optional) is called with ``(points_done, points_total)``
-        after each point.
+        Point execution has exactly one entry point —
+        :func:`~repro.scenarios.executors.evaluate_point`, reached through
+        these tasks whatever the executor — so serial and parallel runs
+        cannot drift apart.
         """
-        sweep = SweepResult(parameter_names=self.scenario.axis_names)
-        total = self.scenario.point_count()
-        done = 0
-        single_outcomes: List[PointOutcome] = []
-        for parameters in self.scenario.grid():
-            outcome = self._run_point(parameters)
-            if parameters:
-                sweep.append(parameters, outcome)
-            else:
-                single_outcomes.append(outcome)
-            done += 1
-            if progress is not None:
-                progress(done, total)
+        return make_point_tasks(
+            self.scenario,
+            seed=self.seed,
+            backend=self.backend,
+            chunk_symbols=self.chunk_symbols,
+        )
 
-        # The sweep's record form is the interchange shape the report consumes:
-        # parameters in deterministic axis order, plus the point outcome.
-        records = sweep.to_records() or [
-            {"value": outcome} for outcome in single_outcomes
-        ]
-        points: List[ExperimentPoint] = []
-        total_bits = 0
-        for record in records:
-            outcome = record.pop("value")
-            values, confidence = evaluate_metrics(self.scenario.metrics, outcome)
-            for name, value in values.items():
-                if math.isnan(value) or math.isinf(value):
-                    raise ValueError(
-                        f"metric {name!r} evaluated to {value} at point {record!r} "
-                        f"of scenario {self.scenario.name!r}"
-                    )
-            points.append(
-                ExperimentPoint(
-                    parameters=record,
-                    metrics=values,
-                    confidence=confidence,
-                    bits=outcome.bits,
-                    symbols=outcome.symbols,
-                    detection_counts=outcome.detection_counts,
+    # -- report assembly -------------------------------------------------------
+    def build_point(
+        self, parameters: Mapping[str, Any], outcome: PointOutcome
+    ) -> ExperimentPoint:
+        """Evaluate the scenario's metrics on one point outcome.
+
+        Metric functions (including user-registered ones) always run here, in
+        the parent process — only plain-data outcomes cross executor
+        boundaries.
+        """
+        values, confidence = evaluate_metrics(self.scenario.metrics, outcome)
+        for name, value in values.items():
+            if math.isnan(value) or math.isinf(value):
+                raise ValueError(
+                    f"metric {name!r} evaluated to {value} at point {dict(parameters)!r} "
+                    f"of scenario {self.scenario.name!r}"
                 )
-            )
-            total_bits += outcome.bits
+        return ExperimentPoint(
+            parameters=dict(parameters),
+            metrics=values,
+            confidence=confidence,
+            bits=outcome.bits,
+            symbols=outcome.symbols,
+            detection_counts=outcome.detection_counts,
+        )
+
+    def assemble_report(self, points: Sequence[ExperimentPoint]) -> ExperimentReport:
+        """Assemble grid-ordered points into the structured report."""
         return ExperimentReport(
             scenario=self.scenario.to_mapping(),
             backend=self.backend,
             seed=self.seed,
             points=tuple(points),
-            total_bits=total_bits,
+            total_bits=sum(point.bits for point in points),
         )
+
+    # -- experiment execution ------------------------------------------------------
+    def session(
+        self,
+        executor: Union[None, str, Executor] = None,
+        workers: Optional[int] = None,
+    ) -> ExperimentSession:
+        """Start a streaming :class:`ExperimentSession` for this run.
+
+        ``executor``/``workers`` override the runner's dispatch for this
+        session only; iterate the session for points as they complete and
+        call :meth:`ExperimentSession.report` for the assembled report.
+        """
+        if executor is None and workers is None:
+            chosen = self.executor
+        else:
+            chosen = resolve_executor(executor, workers)
+        return ExperimentSession(self, chosen)
+
+    def run(
+        self,
+        progress: Optional[Callable[[int, int], None]] = None,
+        executor: Union[None, str, Executor] = None,
+        workers: Optional[int] = None,
+    ) -> ExperimentReport:
+        """Evaluate every grid point and assemble the structured report.
+
+        A thin adapter over :meth:`session`: ``progress`` (optional) is called
+        with ``(points_done, points_total)`` as each point completes.
+        """
+        session = self.session(executor, workers)
+        try:
+            done = 0
+            for _point in session:
+                done += 1
+                if progress is not None:
+                    progress(done, session.total_points)
+            return session.report()
+        finally:
+            # On an error (e.g. a non-finite metric) a process pool would
+            # otherwise keep simulating the remaining grid points until GC.
+            session.close()
 
 
 def run_scenario(
     scenario: Scenario,
     seed: int = 0,
     backend: Optional[str] = None,
+    chunk_symbols: int = DEFAULT_CHUNK_SYMBOLS,
+    executor: Union[None, str, Executor] = None,
+    workers: Optional[int] = None,
+    store: Union[None, str, "ReportStore"] = None,  # noqa: F821 - forward ref
 ) -> ExperimentReport:
-    """One-call convenience: ``ExperimentRunner(scenario, seed, backend).run()``."""
-    return ExperimentRunner(scenario, seed=seed, backend=backend).run()
+    """One-call convenience: build an :class:`ExperimentRunner` and run it.
+
+    Exposes the runner's full determinism contract — reports are a function
+    of ``(scenario, seed, chunk_symbols)``, whatever ``executor``/``workers``
+    dispatch them — and optionally persists the report into a
+    :class:`~repro.scenarios.store.ReportStore` (a store instance or a
+    directory path).
+    """
+    report = ExperimentRunner(
+        scenario,
+        seed=seed,
+        backend=backend,
+        chunk_symbols=chunk_symbols,
+        executor=executor,
+        workers=workers,
+    ).run()
+    if store is not None:
+        from repro.scenarios.store import ReportStore
+
+        (store if isinstance(store, ReportStore) else ReportStore(store)).save(report)
+    return report

@@ -1,0 +1,164 @@
+"""Streaming experiment execution: points as they complete.
+
+:class:`ExperimentSession` replaces the run-then-return shape with a stream:
+iterating the session yields one
+:class:`~repro.scenarios.runner.ExperimentPoint` per completed grid point, in
+*completion* order (which under a parallel executor is not grid order), and
+:meth:`ExperimentSession.report` drains whatever is still outstanding and
+assembles the grid-ordered
+:class:`~repro.scenarios.runner.ExperimentReport` — the exact report a plain
+``ExperimentRunner.run()`` would have returned, regardless of executor or
+completion order.
+
+Sessions are one-shot: each completed point is delivered exactly once, and
+the assembled report is cached.  Progress callbacks are a thin adapter over
+the stream (see :meth:`~repro.scenarios.runner.ExperimentRunner.run`).
+
+>>> from repro.scenarios import ExperimentRunner, Scenario
+>>> scenario = Scenario(name="doc", sweep_axes={"mean_detected_photons": (20.0, 80.0)},
+...                     bits_per_point=64)
+>>> session = ExperimentRunner(scenario, seed=1).session()
+>>> session.total_points, session.completed_points
+(2, 0)
+>>> first = next(iter(session))
+>>> session.completed_points
+1
+>>> len(session.report().points)  # drains the remaining point
+2
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.scenarios.executors import Executor, PointTask
+from repro.scenarios.metrics import PointOutcome
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
+    from repro.scenarios.runner import ExperimentPoint, ExperimentReport, ExperimentRunner
+
+
+class ExperimentSession:
+    """One streaming execution of a scenario on a chosen executor.
+
+    Built by :meth:`ExperimentRunner.session`; not constructed directly.
+    The session owns the executor stream and the completed points; the runner
+    owns point semantics (seeds, metric evaluation, report assembly).
+    """
+
+    def __init__(self, runner: "ExperimentRunner", executor: Executor) -> None:
+        self._runner = runner
+        self._executor = executor
+        self._tasks: Sequence[PointTask] = runner.point_tasks()
+        self._stream: Optional[Iterator[Tuple[int, PointOutcome]]] = None
+        self._points: Dict[int, "ExperimentPoint"] = {}
+        self._failures: Dict[int, Exception] = {}
+        self._stream_error: Optional[Exception] = None
+        self._closed = False
+        self._report: Optional["ExperimentReport"] = None
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def executor(self) -> Executor:
+        return self._executor
+
+    @property
+    def total_points(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def completed_points(self) -> int:
+        return len(self._points)
+
+    def completed(self) -> List["ExperimentPoint"]:
+        """Points completed so far, in grid order."""
+        return [self._points[index] for index in sorted(self._points)]
+
+    # -- streaming -------------------------------------------------------------
+    def __iter__(self) -> "ExperimentSession":
+        return self
+
+    def __next__(self) -> "ExperimentPoint":
+        if self._closed:
+            raise StopIteration
+        if self._stream is None:
+            self._stream = self._executor.map_tasks(self._tasks)
+        try:
+            index, outcome = next(self._stream)
+        except StopIteration:
+            raise
+        except Exception as error:
+            # A point evaluation (or the pool itself) failed; the generator
+            # is now closed.  Remember the cause so report() can re-raise it.
+            self._stream_error = error
+            raise
+        try:
+            point = self._runner.build_point(self._tasks[index].parameters, outcome)
+        except Exception as error:
+            # The executor delivered the outcome; metric evaluation failed.
+            # Remember why, so a later report() raises the real cause instead
+            # of claiming the point was never delivered.
+            self._failures[index] = error
+            raise
+        self._points[index] = point
+        return point
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        """Stop consuming the stream, cancelling work still queued behind it.
+
+        Closing the executor stream runs its cleanup deterministically (for
+        :class:`~repro.scenarios.executors.ProcessExecutor`, pending grid
+        points are cancelled) instead of waiting for garbage collection.
+        Idempotent; a closed, incomplete session cannot produce a report.
+        """
+        self._closed = True
+        if self._stream is not None:
+            close = getattr(self._stream, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "ExperimentSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- terminal --------------------------------------------------------------
+    def report(self) -> "ExperimentReport":
+        """Drain outstanding points and assemble the grid-ordered report.
+
+        Idempotent: the report is assembled once and cached.
+        """
+        if self._report is None:
+            try:
+                for _point in self:
+                    pass
+            except BaseException:
+                # A failed drain must not leave a process pool simulating the
+                # rest of the grid in the background.
+                self.close()
+                raise
+            missing = [i for i in range(len(self._tasks)) if i not in self._points]
+            for index in missing:
+                if index in self._failures:
+                    raise self._failures[index]
+            if missing and self._stream_error is not None:
+                raise self._stream_error
+            if missing and self._closed:
+                raise RuntimeError(
+                    f"session was closed with {len(missing)} point(s) outstanding"
+                )
+            if missing:  # pragma: no cover - executors deliver every task
+                raise RuntimeError(f"executor never delivered point(s) {missing}")
+            self._report = self._runner.assemble_report(
+                [self._points[index] for index in range(len(self._tasks))]
+            )
+        return self._report
+
+    def __repr__(self) -> str:
+        return (
+            f"ExperimentSession({self._runner.scenario.name!r}, "
+            f"{self.completed_points}/{self.total_points} points, "
+            f"executor={self._executor!r})"
+        )

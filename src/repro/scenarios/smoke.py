@@ -9,8 +9,9 @@ declarative scenario stays runnable as the link machinery evolves.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
+from repro.scenarios.executors import Executor
 from repro.scenarios.library import get_scenario, named_scenarios
 from repro.scenarios.runner import ExperimentReport, ExperimentRunner
 
@@ -23,12 +24,16 @@ def run_smoke(
     bits_per_point: int = 256,
     seed: int = 0,
     names: Optional[Sequence[str]] = None,
+    executor: Union[None, str, Executor] = None,
+    workers: Optional[int] = None,
 ) -> List[ExperimentReport]:
     """Run every (or the given) named scenario at a reduced budget.
 
     Returns the structured reports, in scenario-registration order.  Raises
     :class:`SmokeFailure` if any scenario raises or reports a NaN/inf metric
-    value, naming the scenario (and metric/point) at fault.
+    value, naming the scenario (and metric/point) at fault.  ``executor`` /
+    ``workers`` select the grid-point dispatch (serial by default); reports
+    are identical either way.
     """
     if bits_per_point <= 0:
         raise ValueError("bits_per_point must be positive")
@@ -39,7 +44,11 @@ def run_smoke(
             # ExperimentRunner.run itself raises on any NaN/inf metric value,
             # so every failure mode — exception or non-finite metric — lands
             # in this one wrapper, tagged with the scenario at fault.
-            reports.append(ExperimentRunner(scenario, seed=seed).run())
+            reports.append(
+                ExperimentRunner(
+                    scenario, seed=seed, executor=executor, workers=workers
+                ).run()
+            )
         except Exception as error:
             raise SmokeFailure(f"scenario {name!r} failed to run: {error}") from error
     return reports

@@ -1,0 +1,266 @@
+"""Durable experiment artefacts: a content-addressed report store.
+
+A :class:`ReportStore` is a directory of JSON artefacts, one per persisted
+:class:`~repro.scenarios.runner.ExperimentReport` — the ``BENCH_*.json``
+pattern generalised to every experiment.  Artefact ids are human-readable
+*and* content-addressed::
+
+    <scenario-name>__<backend>__seed<seed>__<digest>.json
+
+where ``digest`` is a SHA-256 prefix of the report's canonical JSON, so the
+same experiment (same scenario, seed, backend, *and* results) always lands on
+the same file — saving twice is idempotent — while any drift in the numbers
+produces a new artefact sitting next to the old one for longitudinal
+comparison (:meth:`ReportStore.compare`).
+
+Artefacts are self-describing envelopes (format tag, artefact id, save
+timestamp, report mapping) and load back into full
+:class:`~repro.scenarios.runner.ExperimentReport` values via
+:meth:`ReportStore.load`.
+
+>>> import tempfile
+>>> from repro.scenarios import ExperimentRunner, get_scenario
+>>> report = ExperimentRunner(get_scenario("ber-vs-photons").with_budget(128), seed=1).run()
+>>> store = ReportStore(tempfile.mkdtemp())
+>>> artifact = store.save(report)
+>>> store.load(artifact.stem) == report
+True
+>>> store.list() == [artifact.stem]
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.scenarios.runner import ExperimentReport
+
+#: Format tag written into every artefact envelope; bumped on layout changes.
+ARTIFACT_FORMAT = "repro-report-v1"
+
+_DIGEST_CHARS = 12
+
+
+def _canonical_json(mapping: Mapping[str, Any]) -> str:
+    """Canonical (compact, key-sorted) JSON — the *hashing* form only.
+
+    Artefact files themselves are stored indented for human diffing; to
+    verify a digest by hand, re-serialise the loaded report mapping through
+    this form, not the bytes on disk.
+    """
+    return json.dumps(mapping, sort_keys=True, separators=(",", ":"))
+
+
+def report_digest(report: ExperimentReport) -> str:
+    """Content digest of a report (SHA-256 prefix of its canonical JSON)."""
+    payload = _canonical_json(report.to_mapping()).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:_DIGEST_CHARS]
+
+
+def artifact_id(report: ExperimentReport) -> str:
+    """The report's content-addressed artefact id (without ``.json``).
+
+    The id doubles as a file name inside the flat store directory, so names
+    that would traverse or nest paths are rejected rather than silently
+    writing outside the store (or into directories that do not exist).
+    """
+    for label, value in (("scenario name", report.name), ("backend name", report.backend)):
+        if any(sep in value for sep in ("/", "\\")) or value.startswith("."):
+            raise ValueError(
+                f"{label} {value!r} cannot be stored: artefact ids are flat "
+                f"file names (no path separators, no leading dot)"
+            )
+    if "__" in report.backend:
+        # list()/latest() parse ids with rsplit("__", 3): scenario names may
+        # contain the separator (they sit left of the last three), backend
+        # names may not.
+        raise ValueError(
+            f"backend name {report.backend!r} cannot be stored: artefact ids "
+            f"reserve '__' as the field separator right of the scenario name"
+        )
+    return f"{report.name}__{report.backend}__seed{report.seed}__{report_digest(report)}"
+
+
+class ReportStore:
+    """A directory of persisted experiment reports.
+
+    Parameters
+    ----------
+    root:
+        Store directory; created on first :meth:`save`.  The store is flat —
+        artefact ids are unique by construction (scenario name, backend, seed
+        and content digest are all part of the id).
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # -- writing ---------------------------------------------------------------
+    def save(self, report: ExperimentReport) -> Path:
+        """Persist ``report``; returns the artefact path.
+
+        Idempotent: an artefact with identical content is overwritten in
+        place (same id), never duplicated.
+        """
+        if not isinstance(report, ExperimentReport):
+            raise TypeError(f"can only store ExperimentReport values, got {report!r}")
+        self.root.mkdir(parents=True, exist_ok=True)
+        name = artifact_id(report)
+        envelope = {
+            "format": ARTIFACT_FORMAT,
+            "artifact": name,
+            "saved_unix": time.time(),
+            "report": report.to_mapping(),
+        }
+        path = self.root / f"{name}.json"
+        # Atomic: an interrupted run (Ctrl-C, OOM) must never leave a
+        # truncated artefact behind — write aside, then rename into place.
+        scratch = self.root / f".{name}.tmp-{os.getpid()}"
+        scratch.write_text(json.dumps(envelope, sort_keys=True, indent=2))
+        os.replace(scratch, path)
+        return path
+
+    # -- reading ---------------------------------------------------------------
+    def _resolve(self, ref: Union[str, Path]) -> Path:
+        """Resolve an artefact reference: id, id + ``.json``, or a path."""
+        candidate = Path(ref)
+        if candidate.is_file():
+            return candidate
+        name = str(ref)
+        if not name.endswith(".json"):
+            name = f"{name}.json"
+        path = self.root / name
+        if path.is_file():
+            return path
+        known = ", ".join(self.list()) or "<empty store>"
+        raise FileNotFoundError(
+            f"no artefact {str(ref)!r} in store {self.root}; available: {known}"
+        )
+
+    def read_envelope(self, ref: Union[str, Path]) -> Dict[str, Any]:
+        """The raw artefact envelope (format, artefact id, timestamp, report)."""
+        path = self._resolve(ref)
+        try:
+            envelope = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            raise ValueError(f"artefact {path} is not valid JSON: {error}") from error
+        if not isinstance(envelope, dict) or envelope.get("format") != ARTIFACT_FORMAT:
+            raise ValueError(
+                f"artefact {path} is not a {ARTIFACT_FORMAT} envelope "
+                f"(format={envelope.get('format') if isinstance(envelope, dict) else None!r})"
+            )
+        if not isinstance(envelope.get("report"), dict):
+            raise ValueError(f"artefact {path} carries no report payload")
+        return envelope
+
+    def load(self, ref: Union[str, Path]) -> ExperimentReport:
+        """Load an artefact back into an :class:`ExperimentReport`."""
+        return ExperimentReport.from_mapping(self.read_envelope(ref)["report"])
+
+    def list(self, scenario: Optional[str] = None) -> List[str]:
+        """Sorted artefact ids, optionally restricted to one scenario name.
+
+        The scenario name is everything before the trailing
+        ``__<backend>__seed<seed>__<digest>`` triple, so names containing
+        ``__`` filter correctly.
+        """
+        if not self.root.is_dir():
+            return []
+        # Structural filter: a real artefact id always has the trailing
+        # __<backend>__seed<seed>__<digest> triple, so foreign .json files in
+        # the (user-facing) store directory never masquerade as artefacts.
+        ids = [
+            path.stem
+            for path in self.root.glob("*.json")
+            if len(path.stem.rsplit("__", 3)) == 4
+        ]
+        if scenario is not None:
+            ids = [name for name in ids if name.rsplit("__", 3)[0] == scenario]
+        return sorted(ids)
+
+    def latest(
+        self,
+        scenario: Optional[str] = None,
+        backend: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> Optional[str]:
+        """Id of the most recently saved matching artefact (``None`` if none).
+
+        Recency is the envelope's save timestamp (artefact id as a
+        deterministic tie-break), so longitudinal tooling can always diff
+        "current run" against "last recorded run".
+        """
+        best: Optional[Tuple[float, str]] = None
+        for name in self.list(scenario):
+            # Backend and seed are encoded in the id, so non-matching (and
+            # foreign) files are skipped without parsing their JSON.
+            parts = name.rsplit("__", 3)
+            if len(parts) != 4:
+                continue
+            if backend is not None and parts[1] != backend:
+                continue
+            if seed is not None and parts[2] != f"seed{seed}":
+                continue
+            try:
+                envelope = self.read_envelope(name)
+            except ValueError:
+                # A stray/corrupt .json in the store directory (the default
+                # store is a user-facing ./artifacts) must not break the scan.
+                continue
+            key = (float(envelope.get("saved_unix", 0.0)), name)
+            if best is None or key > best:
+                best = key
+        return None if best is None else best[1]
+
+    # -- longitudinal comparison -----------------------------------------------
+    def compare(
+        self,
+        ref_a: Union[str, Path],
+        ref_b: Union[str, Path],
+        metric: str,
+    ) -> Dict[str, Any]:
+        """Per-point deltas of one metric between two artefacts.
+
+        Points are matched by their parameter values; the result records the
+        metric value in each run and ``delta = b - a`` for every point present
+        in both, plus the points only one run has (grid drift shows up
+        instead of silently vanishing).
+        """
+        report_a = self.load(ref_a)
+        report_b = self.load(ref_b)
+
+        def keyed(report: ExperimentReport):
+            return {
+                tuple(sorted(point.parameters.items())): point
+                for point in report.points
+            }
+
+        points_a, points_b = keyed(report_a), keyed(report_b)
+        shared = [key for key in points_a if key in points_b]
+        rows: List[Dict[str, Any]] = []
+        for key in shared:
+            a, b = points_a[key].metric(metric), points_b[key].metric(metric)
+            rows.append(
+                {
+                    "parameters": dict(key),
+                    "a": a,
+                    "b": b,
+                    "delta": b - a,
+                }
+            )
+        return {
+            "metric": metric,
+            "scenario_a": report_a.name,
+            "scenario_b": report_b.name,
+            "points": rows,
+            "only_a": [dict(key) for key in points_a if key not in points_b],
+            "only_b": [dict(key) for key in points_b if key not in points_a],
+        }
+
+    def __repr__(self) -> str:
+        return f"ReportStore({str(self.root)!r})"

@@ -77,6 +77,62 @@ class MonteCarloResult:
         return float(np.percentile(self.samples, q))
 
 
+@dataclass
+class LinkBatchTrial:
+    """A :meth:`MonteCarloRunner.run_batch` trial over the optical link.
+
+    The callable form of :func:`link_batch_trial` — a top-level class rather
+    than a closure, so a trial whose fields are plain data (``on_result``
+    left ``None``) **pickles by value**.  Today's scenario parallelism ships
+    :class:`~repro.scenarios.executors.PointTask` work units and rebuilds the
+    trial inside each worker; being a picklable value is what keeps the
+    *chunk*-level dispatch of ``run_batch`` itself open as a future fan-out
+    axis (the per-chunk seed layout is already order-independent).  Calling
+    it defines the reproducibility protocol shared by every chunked link
+    experiment: one link seed drawn from the chunk generator, then the
+    chunk's payload bits, then one transmission.
+    """
+
+    config: object
+    backend: Optional[str] = None
+    channel: object = None
+    per_symbol: str = "error_indicator"
+    on_result: Optional[Callable] = None
+    channels: Optional[int] = None
+    crosstalk: object = None
+
+    def __post_init__(self) -> None:
+        if self.per_symbol not in ("error_indicator", "bit_errors"):
+            raise ValueError(
+                "per_symbol must be 'error_indicator' or 'bit_errors', "
+                f"got {self.per_symbol!r}"
+            )
+
+    def __call__(self, generator: np.random.Generator, count: int) -> np.ndarray:
+        # Imported lazily: repro.core.link imports this package's randomness
+        # module at import time, so a module-level import here would be circular.
+        from repro.core.backend import make_link
+
+        link = make_link(
+            self.config,
+            backend=self.backend,
+            channel=self.channel,
+            seed=int(generator.integers(0, 2**31)),
+            channels=self.channels,
+            crosstalk=self.crosstalk,
+        )
+        payload = generator.integers(0, 2, size=count * self.config.ppm_bits).tolist()
+        result = link.transmit_bits(payload)
+        if self.on_result is not None:
+            self.on_result(result)
+        sent = np.asarray(result.transmitted_bits).reshape(count, -1)
+        received = np.asarray(result.received_bits).reshape(count, -1)
+        mismatches = sent != received
+        if self.per_symbol == "bit_errors":
+            return np.count_nonzero(mismatches, axis=1).astype(float)
+        return np.any(mismatches, axis=1).astype(float)
+
+
 def link_batch_trial(
     config,
     backend: Optional[str] = None,
@@ -85,16 +141,18 @@ def link_batch_trial(
     on_result: Optional[Callable] = None,
     channels: Optional[int] = None,
     crosstalk=None,
-) -> Callable:
+) -> LinkBatchTrial:
     """Build a :meth:`MonteCarloRunner.run_batch` trial over the optical link.
 
     Each Monte-Carlo trial is one PPM symbol pushed through a link built via
     the backend registry (:func:`repro.core.backend.make_link`), so callers
     select the engine by name — ``"batch"`` (default), ``"scalar"`` or
-    ``"multichannel"`` — instead of instantiating a concrete link class.  This
-    closure defines the reproducibility protocol shared by every chunked link
-    experiment (the scenario runner included): one link seed drawn from the
-    chunk generator, then the chunk's payload bits, then one transmission.
+    ``"multichannel"`` — instead of instantiating a concrete link class.  The
+    returned :class:`LinkBatchTrial` defines the reproducibility protocol
+    shared by every chunked link experiment (the scenario runner included):
+    one link seed drawn from the chunk generator, then the chunk's payload
+    bits, then one transmission.  It is a picklable value whenever its fields
+    are (``on_result=None``) — see the class docstring for why.
 
     ``channels``/``crosstalk`` are forwarded to :func:`make_link` for
     multichannel backends: each chunk's symbols are then striped across the
@@ -109,35 +167,15 @@ def link_batch_trial(
     :class:`~repro.core.multilink.MultichannelResult` for multichannel
     backends, carrying the per-channel breakdown).
     """
-    if per_symbol not in ("error_indicator", "bit_errors"):
-        raise ValueError(
-            f"per_symbol must be 'error_indicator' or 'bit_errors', got {per_symbol!r}"
-        )
-    # Imported lazily: repro.core.link imports this package's randomness
-    # module at import time, so a module-level import here would be circular.
-    from repro.core.backend import make_link
-
-    def batch_trial(generator: np.random.Generator, count: int) -> np.ndarray:
-        link = make_link(
-            config,
-            backend=backend,
-            channel=channel,
-            seed=int(generator.integers(0, 2**31)),
-            channels=channels,
-            crosstalk=crosstalk,
-        )
-        payload = generator.integers(0, 2, size=count * config.ppm_bits).tolist()
-        result = link.transmit_bits(payload)
-        if on_result is not None:
-            on_result(result)
-        sent = np.asarray(result.transmitted_bits).reshape(count, -1)
-        received = np.asarray(result.received_bits).reshape(count, -1)
-        mismatches = sent != received
-        if per_symbol == "bit_errors":
-            return np.count_nonzero(mismatches, axis=1).astype(float)
-        return np.any(mismatches, axis=1).astype(float)
-
-    return batch_trial
+    return LinkBatchTrial(
+        config=config,
+        backend=backend,
+        channel=channel,
+        per_symbol=per_symbol,
+        on_result=on_result,
+        channels=channels,
+        crosstalk=crosstalk,
+    )
 
 
 def link_symbol_error_trial(

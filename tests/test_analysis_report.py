@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.report import ExperimentReport, ReportTable
+from repro.analysis.report import ReportTable, TextReport
 
 
 class TestReportTable:
@@ -33,9 +33,9 @@ class TestReportTable:
         assert str(table) == table.render()
 
 
-class TestExperimentReport:
+class TestTextReport:
     def test_render_contains_sections(self):
-        report = ExperimentReport("FIG3", "TDC DNL", paper_claim="INL below 1 LSB")
+        report = TextReport("FIG3", "TDC DNL", paper_claim="INL below 1 LSB")
         report.add_text("measured something")
         table = ReportTable(columns=["k", "v"])
         table.add_row("dnl", 0.8)
@@ -49,5 +49,25 @@ class TestExperimentReport:
         assert "[paper-vs-measured] INL" in rendered
 
     def test_report_without_claim(self):
-        report = ExperimentReport("X", "title")
+        report = TextReport("X", "title")
         assert "Paper claim" not in report.render()
+
+
+class TestDeprecatedExperimentReportAlias:
+    def test_alias_resolves_to_textreport_with_warning(self):
+        with pytest.warns(DeprecationWarning, match="renamed to TextReport"):
+            from repro.analysis.report import ExperimentReport
+        assert ExperimentReport is TextReport
+
+    def test_package_level_alias_also_resolves(self):
+        import repro.analysis
+
+        with pytest.warns(DeprecationWarning):
+            alias = repro.analysis.ExperimentReport
+        assert alias is TextReport
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.analysis.report as report_module
+
+        with pytest.raises(AttributeError):
+            report_module.NoSuchThing

@@ -1,0 +1,141 @@
+"""Tier-1 CLI tests: the ``python -m repro`` front door stays drivable.
+
+Most tests call :func:`repro.cli.main` in-process (fast, assertable); one
+smoke test runs the real ``python -m repro`` subprocess end to end and checks
+that it exits 0 and leaves a loadable artefact behind — the contract the
+README quickstart sells.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios import ExperimentRunner, ReportStore, get_scenario
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+class TestList:
+    def test_lists_every_named_scenario(self, capsys):
+        assert run_cli("list") == 0
+        out = capsys.readouterr().out
+        for name in ("ber-vs-photons", "design-space-grid", "spad-array-imager"):
+            assert name in out
+
+    def test_json_catalogue(self, capsys):
+        assert run_cli("list", "--json") == 0
+        catalogue = json.loads(capsys.readouterr().out)
+        entry = {item["name"]: item for item in catalogue}["design-space-grid"]
+        assert entry["points"] == 9
+        assert entry["backend"] == "batch"
+
+
+class TestRun:
+    def test_run_streams_progress_and_stores_artifact(self, capsys, tmp_path):
+        store_dir = tmp_path / "artifacts"
+        code = run_cli(
+            "run", "ber-vs-photons", "--bits", "256", "--seed", "3",
+            "--store", str(store_dir),
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "scenario 'ber-vs-photons'" in captured.out
+        assert "[6/6]" in captured.err
+        assert "artefact:" in captured.err
+        store = ReportStore(store_dir)
+        (artifact,) = store.list()
+        loaded = store.load(artifact)
+        # The artefact is exactly the API run with the same inputs.
+        expected = ExperimentRunner(
+            get_scenario("ber-vs-photons").with_budget(256), seed=3
+        ).run()
+        assert loaded.to_mapping() == expected.to_mapping()
+
+    def test_json_output_is_the_report_mapping(self, capsys, tmp_path):
+        code = run_cli(
+            "run", "ber-vs-photons", "--bits", "256", "--quiet", "--json",
+            "--no-store", "--store", str(tmp_path),
+        )
+        assert code == 0
+        mapping = json.loads(capsys.readouterr().out)
+        assert mapping["scenario"]["name"] == "ber-vs-photons"
+        assert len(mapping["points"]) == 6
+        assert list(tmp_path.glob("*.json")) == []  # --no-store honoured
+
+    def test_process_executor_matches_serial_run(self, capsys, tmp_path):
+        common = ("run", "design-space-grid", "--bits", "128", "--quiet", "--json", "--no-store")
+        assert run_cli(*common) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert run_cli(*common, "--executor", "process", "--workers", "2") == 0
+        process = json.loads(capsys.readouterr().out)
+        assert serial == process
+
+    def test_unknown_scenario_exits_1_with_message(self, capsys):
+        assert run_cli("run", "no-such-scenario") == 1
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestShowAndCompare:
+    @pytest.fixture()
+    def stored(self, tmp_path, capsys):
+        store_dir = str(tmp_path)
+        run_cli("run", "ber-vs-photons", "--bits", "256", "--seed", "1",
+                "--quiet", "--store", store_dir)
+        run_cli("run", "ber-vs-photons", "--bits", "256", "--seed", "2",
+                "--quiet", "--store", store_dir)
+        capsys.readouterr()
+        return store_dir, ReportStore(store_dir).list()
+
+    def test_show_prints_summary_and_json(self, stored, capsys):
+        store_dir, (first, _second) = stored
+        assert run_cli("show", first, "--store", store_dir) == 0
+        assert "scenario 'ber-vs-photons'" in capsys.readouterr().out
+        assert run_cli("show", first, "--store", store_dir, "--json") == 0
+        assert json.loads(capsys.readouterr().out)["seed"] in (1, 2)
+
+    def test_show_missing_artifact_exits_1(self, stored, capsys):
+        store_dir, _ = stored
+        assert run_cli("show", "missing", "--store", store_dir) == 1
+        assert "no artefact" in capsys.readouterr().err
+
+    def test_compare_diffs_a_metric(self, stored, capsys):
+        store_dir, (first, second) = stored
+        assert run_cli(
+            "compare", first, second, "--metric", "ber", "--store", store_dir, "--json"
+        ) == 0
+        comparison = json.loads(capsys.readouterr().out)
+        assert comparison["metric"] == "ber"
+        assert len(comparison["points"]) == 6
+
+
+@pytest.mark.scenario_smoke
+def test_python_dash_m_repro_smoke(tmp_path):
+    """`python -m repro run ber-vs-photons --bits 2048` exits 0, stores an artefact."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "run", "ber-vs-photons", "--bits", "2048"],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "scenario 'ber-vs-photons'" in completed.stdout
+    # The default store directory is ./artifacts relative to the cwd.
+    store = ReportStore(tmp_path / "artifacts")
+    (artifact,) = store.list()
+    report = store.load(artifact)
+    assert report.name == "ber-vs-photons"
+    assert report.total_bits == 6 * 2048

@@ -21,24 +21,32 @@ from pathlib import Path
 import pytest
 
 import repro
+import repro.cli
 import repro.core.backend
 import repro.scenarios
+import repro.scenarios.executors
 import repro.scenarios.library
 import repro.scenarios.metrics
 import repro.scenarios.runner
 import repro.scenarios.scenario
+import repro.scenarios.session
 import repro.scenarios.smoke
+import repro.scenarios.store
 
 README = Path(__file__).resolve().parent.parent / "README.md"
 
 DOCTEST_MODULES = (
     repro,
+    repro.cli,
     repro.core.backend,
     repro.scenarios,
     repro.scenarios.scenario,
     repro.scenarios.library,
     repro.scenarios.metrics,
+    repro.scenarios.executors,
+    repro.scenarios.session,
     repro.scenarios.runner,
+    repro.scenarios.store,
     repro.scenarios.smoke,
 )
 
@@ -64,9 +72,13 @@ def test_readme_exists_and_has_runnable_quickstart():
 
 
 @pytest.mark.docs_smoke
-def test_readme_code_blocks_execute():
+def test_readme_code_blocks_execute(tmp_path, monkeypatch):
     # One shared namespace: later blocks may build on earlier imports, and
     # the blocks run top to bottom exactly as a reader would paste them.
+    # Run from a temp cwd: the quickstart writes a relative ./artifacts
+    # store, which must not land in the repository (or wherever pytest was
+    # launched from).
+    monkeypatch.chdir(tmp_path)
     namespace = {"__name__": "__readme__"}
     for index, block in enumerate(readme_code_blocks()):
         try:

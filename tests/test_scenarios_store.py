@@ -1,0 +1,173 @@
+"""ReportStore artefact tests: round-trip, content addressing, compare."""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    ExperimentReport,
+    ExperimentRunner,
+    ReportStore,
+    Scenario,
+    artifact_id,
+)
+from repro.scenarios.store import ARTIFACT_FORMAT
+
+
+@pytest.fixture(scope="module")
+def report():
+    scenario = Scenario(
+        name="store-roundtrip",
+        description="tiny sweep persisted by the store tests",
+        link_overrides={"ppm_bits": 4},
+        sweep_axes={"mean_detected_photons": (5.0, 40.0)},
+        metrics=("ber", "detection_rate"),
+        bits_per_point=256,
+    )
+    return ExperimentRunner(scenario, seed=21).run()
+
+
+class TestRoundTrip:
+    def test_save_load_is_lossless(self, report, tmp_path):
+        store = ReportStore(tmp_path / "artifacts")
+        path = store.save(report)
+        assert path.is_file() and path.suffix == ".json"
+        loaded = store.load(path.stem)
+        assert loaded == report
+        assert loaded.to_mapping() == report.to_mapping()
+        # JSON all the way down: the payload reparses into the same mapping.
+        envelope = json.loads(path.read_text())
+        assert envelope["format"] == ARTIFACT_FORMAT
+        assert envelope["report"] == report.to_mapping()
+        assert ExperimentReport.from_mapping(envelope["report"]) == report
+
+    def test_load_accepts_id_and_path(self, report, tmp_path):
+        store = ReportStore(tmp_path)
+        path = store.save(report)
+        assert store.load(path) == store.load(path.stem) == store.load(path.name)
+
+    def test_from_mapping_rejects_unknown_keys(self, report):
+        mapping = report.to_mapping()
+        mapping["bogus"] = 1
+        with pytest.raises(ValueError, match="unknown experiment-report key"):
+            ExperimentReport.from_mapping(mapping)
+
+
+class TestContentAddressing:
+    def test_id_carries_name_backend_seed_and_digest(self, report):
+        name = artifact_id(report)
+        assert name.startswith("store-roundtrip__batch__seed21__")
+        assert len(name.split("__")[-1]) == 12
+
+    def test_saving_twice_is_idempotent(self, report, tmp_path):
+        store = ReportStore(tmp_path)
+        first = store.save(report)
+        second = store.save(report)
+        assert first == second
+        assert store.list() == [first.stem]
+
+    def test_different_seed_lands_on_a_new_artifact(self, report, tmp_path):
+        store = ReportStore(tmp_path)
+        store.save(report)
+        scenario = Scenario.from_mapping(report.scenario)
+        other = ExperimentRunner(scenario, seed=22).run()
+        store.save(other)
+        assert len(store.list()) == 2
+        assert len(store.list("store-roundtrip")) == 2
+        assert store.list("no-such-scenario") == []
+
+
+class TestLatestAndCompare:
+    def test_latest_filters_and_orders(self, report, tmp_path):
+        store = ReportStore(tmp_path)
+        assert store.latest() is None
+        first = store.save(report)
+        scenario = Scenario.from_mapping(report.scenario)
+        other = ExperimentRunner(scenario, seed=22).run()
+        second = store.save(other)
+        assert store.latest(seed=21) == first.stem
+        assert store.latest(seed=22) == second.stem
+        assert store.latest(backend="batch") in {first.stem, second.stem}
+        assert store.latest(backend="multichannel") is None
+
+    def test_compare_reports_per_point_deltas(self, report, tmp_path):
+        store = ReportStore(tmp_path)
+        ref_a = store.save(report).stem
+        scenario = Scenario.from_mapping(report.scenario)
+        ref_b = store.save(ExperimentRunner(scenario, seed=22).run()).stem
+        comparison = store.compare(ref_a, ref_b, "ber")
+        assert comparison["metric"] == "ber"
+        assert len(comparison["points"]) == 2
+        assert comparison["only_a"] == comparison["only_b"] == []
+        for row in comparison["points"]:
+            assert row["delta"] == pytest.approx(row["b"] - row["a"])
+        # Comparing an artefact against itself is all-zero deltas.
+        self_compare = store.compare(ref_a, ref_a, "ber")
+        assert all(row["delta"] == 0.0 for row in self_compare["points"])
+
+
+class TestErrors:
+    def test_missing_artifact_names_the_store(self, tmp_path):
+        store = ReportStore(tmp_path)
+        with pytest.raises(FileNotFoundError, match="no artefact"):
+            store.load("nothing-here")
+
+    def test_rejects_non_reports(self, tmp_path):
+        with pytest.raises(TypeError):
+            ReportStore(tmp_path).save({"not": "a report"})
+
+    def test_rejects_scenario_names_with_path_separators(self, report, tmp_path):
+        import dataclasses
+
+        scenario = Scenario.from_mapping(report.scenario)
+        for bad in ("grid/v2", "..\\up", ".hidden"):
+            tricky = dataclasses.replace(scenario, name=bad)
+            rogue = ExperimentRunner(tricky, seed=1).run()
+            with pytest.raises(ValueError, match="cannot be stored"):
+                ReportStore(tmp_path).save(rogue)
+        assert ReportStore(tmp_path).list() == []
+
+    def test_rejects_foreign_json(self, tmp_path):
+        rogue = tmp_path / "rogue.json"
+        rogue.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(ValueError, match="envelope"):
+            ReportStore(tmp_path).load("rogue")
+
+    def test_rejects_envelope_without_report_payload(self, tmp_path):
+        truncated = tmp_path / "truncated.json"
+        truncated.write_text(json.dumps({"format": ARTIFACT_FORMAT}))
+        with pytest.raises(ValueError, match="no report payload"):
+            ReportStore(tmp_path).load("truncated")
+
+    def test_point_mapping_missing_required_keys_raises_value_error(self, report):
+        mapping = report.to_mapping()
+        del mapping["points"][0]["bits"]
+        with pytest.raises(ValueError, match="lacks key"):
+            ExperimentReport.from_mapping(mapping)
+        with pytest.raises(ValueError, match="lacks key"):
+            ExperimentReport.from_mapping({"scenario": {}, "backend": "batch"})
+
+
+class TestRobustness:
+    def test_latest_and_list_skip_foreign_json_in_the_store_dir(self, report, tmp_path):
+        store = ReportStore(tmp_path)
+        saved = store.save(report)
+        (tmp_path / "notes.json").write_text(json.dumps({"hello": "world"}))
+        (tmp_path / "truncated.json").write_text("{not json")
+        assert store.latest() == saved.stem
+        assert store.latest("store-roundtrip") == saved.stem
+        # Foreign files never masquerade as artefact ids either.
+        assert store.list() == [saved.stem]
+
+    def test_scenario_names_containing_separator_still_filter(self, report, tmp_path):
+        store = ReportStore(tmp_path)
+        scenario = Scenario.from_mapping(report.scenario)
+        import dataclasses
+
+        tricky = dataclasses.replace(scenario, name="store__tricky__name")
+        saved = store.save(ExperimentRunner(tricky, seed=1).run())
+        store.save(report)
+        assert store.list("store__tricky__name") == [saved.stem]
+        assert store.latest("store__tricky__name") == saved.stem
+        # ...and prefixes of it do not accidentally match.
+        assert store.list("store") == []
