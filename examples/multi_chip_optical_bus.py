@@ -48,7 +48,16 @@ def main() -> None:
         topology, 0, config=config,
         candidate_levels=(1000.0, 5000.0, 20000.0, 80000.0), seed=1,
     )
-    print(f"\nbroadcast: minimum emitted photons for full coverage = {emitted:.0f}")
+    if emitted == float("inf"):
+        # Brightness cannot buy out the afterpulsing floor: a single-shot
+        # 8-die broadcast occasionally mis-decodes one symbol whatever the
+        # pulse energy.  Fall back to the brightest candidate and report the
+        # coverage it actually achieves.
+        emitted = 80000.0
+        print("\nbroadcast: no candidate level reaches every die in one shot "
+              "(afterpulsing floor); using the brightest level")
+    else:
+        print(f"\nbroadcast: minimum emitted photons for full coverage = {emitted:.0f}")
     packet = Packet.broadcast_packet(source=0, payload=[1, 0, 1, 1, 0, 0, 1, 0] * 4)
     outcome = broadcast(topology, 0, packet, config=config, emitted_photons=emitted, seed=2)
     print(f"broadcast coverage: {outcome.coverage * 100:.0f} % "

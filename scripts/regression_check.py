@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Store-driven regression gate (the CI follow-up to the ``BENCH_*`` pattern).
+
+Re-runs a small, fully deterministic scenario through the real CLI front door
+(``repro run``), then uses :meth:`repro.scenarios.store.ReportStore.compare`
+to diff the fresh artefact against the reference artefact committed under
+``tests/reference_artifacts/``.  Reports are a pure function of
+``(scenario, seed, chunk_symbols)``, so any non-zero per-point delta — or any
+grid drift — means the simulation's numbers moved and must be acknowledged by
+regenerating the reference::
+
+    PYTHONPATH=src python -m repro run ber-vs-photons --bits 256 --seed 1 \
+        --store tests/reference_artifacts
+
+Exit status: 0 when bit-identical, 1 on drift or a missing reference.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+SCENARIO = "ber-vs-photons"
+SEED = 1
+BITS = 256
+METRIC = "ber"
+REFERENCE_DIR = REPO / "tests" / "reference_artifacts"
+
+
+def main() -> int:
+    from repro.cli import main as cli_main
+    from repro.scenarios.store import ReportStore
+
+    references = sorted(REFERENCE_DIR.glob(f"{SCENARIO}__*__seed{SEED}__*.json"))
+    if not references:
+        print(
+            f"error: no committed reference artefact for {SCENARIO!r} (seed {SEED}) "
+            f"under {REFERENCE_DIR}",
+            file=sys.stderr,
+        )
+        return 1
+    reference = references[-1]
+
+    with tempfile.TemporaryDirectory() as scratch:
+        status = cli_main(
+            [
+                "run",
+                SCENARIO,
+                "--bits",
+                str(BITS),
+                "--seed",
+                str(SEED),
+                "--store",
+                scratch,
+                "--quiet",
+            ]
+        )
+        if status != 0:
+            return status
+        store = ReportStore(scratch)
+        current = store.latest(SCENARIO)
+        comparison = store.compare(reference, current, METRIC)
+
+    drifted = [row for row in comparison["points"] if row["delta"] != 0.0]
+    if drifted or comparison["only_a"] or comparison["only_b"]:
+        print(f"REGRESSION: {SCENARIO!r} drifted from {reference.name}", file=sys.stderr)
+        for row in drifted:
+            print(
+                f"  {row['parameters']}: {METRIC} {row['a']} -> {row['b']} "
+                f"(delta {row['delta']:+g})",
+                file=sys.stderr,
+            )
+        for key, side in (("only_a", "reference"), ("only_b", "current")):
+            for parameters in comparison[key]:
+                print(f"  point only in {side}: {parameters}", file=sys.stderr)
+        print(
+            "if the change is intentional, regenerate the reference artefact "
+            "(see this script's docstring)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"regression gate ok: {SCENARIO!r} ({len(comparison['points'])} points) "
+        f"bit-identical to {reference.name}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -79,6 +79,7 @@ from repro.core import (
     resolve_backend,
     throughput,
 )
+from repro.noc import BroadcastResult, OpticalBus, Packet, StackTopology, broadcast
 from repro.scenarios import (
     ExperimentReport,
     ExperimentRunner,
@@ -91,8 +92,9 @@ from repro.scenarios import (
     named_scenarios,
     run_scenario,
 )
+from repro.simulation import NocTrafficTrial
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "LinkConfig",
@@ -121,5 +123,11 @@ __all__ = [
     "run_scenario",
     "get_scenario",
     "named_scenarios",
+    "OpticalBus",
+    "Packet",
+    "StackTopology",
+    "broadcast",
+    "BroadcastResult",
+    "NocTrafficTrial",
     "__version__",
 ]

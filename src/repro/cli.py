@@ -6,7 +6,10 @@ Four subcommands cover the run/inspect loop:
 * ``repro run <scenario>`` — execute a scenario (choosing backend, executor,
   worker count, seed, per-point bit budget and chunk size), stream per-point
   progress, print the report table and persist the artefact into a
-  :class:`~repro.scenarios.store.ReportStore`;
+  :class:`~repro.scenarios.store.ReportStore`; ``repro run --file
+  scenario.json`` runs a custom scenario mapping
+  (:meth:`~repro.scenarios.scenario.Scenario.from_mapping`) — or a stored
+  artefact — without registering it;
 * ``repro show <artefact>`` — reload a stored artefact (by id or path) and
   print its report;
 * ``repro compare <a> <b> --metric ber`` — per-point metric deltas between
@@ -68,8 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
     list_cmd = commands.add_parser("list", help="catalogue the named scenarios")
     list_cmd.add_argument("--json", action="store_true", help="machine-readable output")
 
-    run_cmd = commands.add_parser("run", help="execute one named scenario")
-    run_cmd.add_argument("scenario", help="library scenario name (see `list`)")
+    run_cmd = commands.add_parser("run", help="execute one scenario (named or from a file)")
+    run_cmd.add_argument("scenario", nargs="?", default=None,
+                         help="library scenario name (see `list`)")
+    run_cmd.add_argument("--file", default=None, metavar="PATH",
+                         help="run a scenario from a JSON mapping "
+                              "(Scenario.from_mapping; no registration needed)")
     # Not argparse choices=: aliases ("fast", "array") and backends registered
     # at runtime must stay usable, so validation happens in resolve_backend.
     run_cmd.add_argument("--backend", default=None,
@@ -157,8 +164,38 @@ def _get_scenario(name: str):
         raise ValueError(error.args[0]) from None
 
 
+def _load_scenario_file(path: str):
+    """A :class:`Scenario` from a JSON mapping on disk (``run --file``).
+
+    Accepts either a bare scenario mapping or a stored report artefact (the
+    envelope's ``report.scenario`` mapping), so a previous run's artefact can
+    be re-run directly.
+    """
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"scenario file {path!r} is not valid JSON: {error}") from error
+    if not isinstance(data, dict):
+        raise ValueError(f"scenario file {path!r} must hold a JSON object")
+    if "report" in data and isinstance(data["report"], dict):
+        data = data["report"]
+    if "scenario" in data and isinstance(data["scenario"], dict):
+        data = data["scenario"]
+    from repro.scenarios import Scenario
+
+    return Scenario.from_mapping(data)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    scenario = _get_scenario(args.scenario)
+    if (args.scenario is None) == (args.file is None):
+        raise ValueError(
+            "pass exactly one of a scenario name or --file PATH (see `repro list`)"
+        )
+    if args.file is not None:
+        scenario = _load_scenario_file(args.file)
+    else:
+        scenario = _get_scenario(args.scenario)
     if args.bits is not None:
         scenario = scenario.with_budget(args.bits)
     runner = ExperimentRunner(

@@ -168,6 +168,7 @@ def make_link(
     seed: int = 0,
     channels: Optional[int] = None,
     crosstalk: Optional[CrosstalkModel] = None,
+    channel_gains: Optional[Sequence[float]] = None,
 ) -> LinkBackend:
     """Construct a link through the backend registry.
 
@@ -192,6 +193,11 @@ def make_link(
     crosstalk:
         Optional :class:`~repro.photonics.crosstalk.CrosstalkModel` coupling
         the parallel channels (multichannel backends only).
+    channel_gains:
+        Optional per-channel optical power gains (multichannel backends
+        only): channel ``c`` sees the link budget scaled by
+        ``channel_gains[c]`` — one ``(S, C)`` pass over receivers at
+        *different* attenuations, e.g. the dies of a broadcast column.
 
     >>> link = make_link(backend="batch", seed=1)
     >>> link.transmit_bits([1, 0, 1, 1]).symbols_sent
@@ -208,12 +214,13 @@ def make_link(
             seed=seed,
             channels=channels if channels is not None else 1,
             crosstalk=crosstalk,
+            channel_gains=channel_gains,
         )
-    if channels not in (None, 1) or crosstalk is not None:
+    if channels not in (None, 1) or crosstalk is not None or channel_gains is not None:
         raise ValueError(
-            f"backend {entry.name!r} does not support multiple channels or "
-            f"crosstalk; use a backend with supports_multichannel "
-            f"(e.g. 'multichannel')"
+            f"backend {entry.name!r} does not support multiple channels, "
+            f"crosstalk or per-channel gains; use a backend with "
+            f"supports_multichannel (e.g. 'multichannel')"
         )
     return entry.factory(resolved_config, channel=channel, seed=seed)
 

@@ -159,6 +159,14 @@ class MultichannelOpticalLink(OpticalLink):
         Optional :class:`~repro.photonics.crosstalk.CrosstalkModel` for a
         linear array at its ``channel_pitch``; ``None`` means perfectly
         isolated channels.
+    channel_gains:
+        Optional per-channel optical power gains, shape ``(channels,)``: the
+        mean photon budget of channel ``c`` is the link budget scaled by
+        ``channel_gains[c]``.  This is how one ``(S, C)`` pass models
+        receivers at *different* attenuations — e.g. the dies of a vertical
+        broadcast column, each behind a different number of silicon layers
+        (:mod:`repro.noc.broadcast`).  ``None`` means all channels see the
+        full budget (identical pixels, the array-imager case).
     """
 
     def __init__(
@@ -168,12 +176,24 @@ class MultichannelOpticalLink(OpticalLink):
         seed: int = 0,
         channels: int = 1,
         crosstalk: Optional[CrosstalkModel] = None,
+        channel_gains: Optional[Sequence[float]] = None,
     ) -> None:
         super().__init__(config, channel=channel, seed=seed)
         if channels < 1:
             raise ValueError("channels must be at least 1")
         self.channels = int(channels)
         self.crosstalk = crosstalk
+        self.channel_gains: Optional[np.ndarray] = None
+        if channel_gains is not None:
+            gains = np.asarray(channel_gains, dtype=float)
+            if gains.shape != (self.channels,):
+                raise ValueError(
+                    f"channel_gains must have shape ({self.channels},), "
+                    f"got {gains.shape}"
+                )
+            if not np.all(gains > 0):
+                raise ValueError("channel_gains must be positive")
+            self.channel_gains = gains
         self._array_source = self._root_source.spawn("multichannel")
         # Distance profile of the crosstalk coupling, split into the few
         # *near* neighbours that stand above the scattered-light floor
@@ -197,8 +217,8 @@ class MultichannelOpticalLink(OpticalLink):
 
     # -- interference -----------------------------------------------------------
     def _interference(
-        self, pulse_offsets: np.ndarray, mean_photons: float
-    ) -> Tuple[List[np.ndarray], List[float], np.ndarray]:
+        self, pulse_offsets: np.ndarray, mean_photons
+    ) -> Tuple[List[np.ndarray], List, np.ndarray]:
         """Crosstalk inputs for the array pass at this photon budget.
 
         Returns ``(secondary_offsets, secondary_photons, background_mean)``:
@@ -210,17 +230,39 @@ class MultichannelOpticalLink(OpticalLink):
         modelled as one Poisson background, uniform over the window).
         """
         offsets: List[np.ndarray] = []
-        photons: List[float] = []
+        photons: List = []
+        # With per-channel gains the *aggressor's* budget sets the coupled
+        # power: the photon count of the pulse arriving from distance d is the
+        # neighbour's own (gain-scaled) budget, shifted channel-wise exactly
+        # like its slot times.
+        per_channel = np.broadcast_to(
+            np.asarray(mean_photons, dtype=float), (self.channels,)
+        )
+        uniform = np.ndim(mean_photons) == 0
         for distance, coupling in enumerate(self._near_coupling, start=1):
             from_left = np.full_like(pulse_offsets, np.nan)
             from_left[:, distance:] = pulse_offsets[:, :-distance]
             from_right = np.full_like(pulse_offsets, np.nan)
             from_right[:, :-distance] = pulse_offsets[:, distance:]
             offsets.extend((from_left, from_right))
-            photons.extend((mean_photons * coupling, mean_photons * coupling))
-        p_floor = 1.0 - np.exp(
-            -self.spad.detection_probability * self._floor_coupling * mean_photons
-        )
+            if uniform:
+                photons.extend((mean_photons * coupling, mean_photons * coupling))
+            else:
+                left_budget = np.zeros(self.channels)
+                left_budget[distance:] = per_channel[:-distance]
+                right_budget = np.zeros(self.channels)
+                right_budget[:-distance] = per_channel[distance:]
+                photons.extend((left_budget * coupling, right_budget * coupling))
+        if self._floor_coupling == 0.0:
+            # Short-circuit keeps an unbounded photon budget (inf) from
+            # producing 0 * inf = NaN background means.
+            p_floor = 0.0
+        else:
+            p_floor = 1.0 - np.exp(
+                -self.spad.detection_probability
+                * self._floor_coupling
+                * float(per_channel.mean())
+            )
         return offsets, photons, self._far_channels * p_floor
 
     # -- transmission -----------------------------------------------------------
@@ -261,6 +303,11 @@ class MultichannelOpticalLink(OpticalLink):
         windows = grid_values.shape[0]
         symbol_duration = self.config.symbol_duration
         mean_photons = self.mean_photons_at_detector()
+        if self.channel_gains is not None:
+            # Per-channel budgets (broadcast receivers at different stack
+            # attenuations); the array pass broadcasts (C,) against (S, C)
+            # with the same draw layout as a scalar budget.
+            mean_photons = mean_photons * self.channel_gains
 
         pulse_offsets = self.codec.pulse_times_for_values(grid_values)
         secondary_offsets, secondary_photons, background = self._interference(

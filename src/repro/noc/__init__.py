@@ -12,7 +12,7 @@ broadcast primitive and a simple router for combined vertical/horizontal
 from repro.noc.packet import Packet
 from repro.noc.topology import NodeAddress, StackTopology
 from repro.noc.arbitration import RoundRobinArbiter, TdmaSchedule
-from repro.noc.bus import BusStatistics, OpticalBus
+from repro.noc.bus import BusStatistics, OpticalBus, PacketOutcome
 from repro.noc.broadcast import BroadcastResult, broadcast
 from repro.noc.router import OpticalRouter, Route
 
@@ -24,6 +24,7 @@ __all__ = [
     "TdmaSchedule",
     "OpticalBus",
     "BusStatistics",
+    "PacketOutcome",
     "broadcast",
     "BroadcastResult",
     "OpticalRouter",

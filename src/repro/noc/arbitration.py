@@ -71,39 +71,65 @@ class TdmaSchedule:
 
 
 class RoundRobinArbiter:
-    """Work-conserving round-robin arbitration over requesting nodes."""
+    """Work-conserving round-robin arbitration over requesting nodes.
+
+    Requests carry an optional *arrival slot*: :meth:`grant` called with the
+    current slot only considers requests that have already arrived, so offered
+    load shapes queueing the way it does on real slotted buses.  Called
+    without a slot, every pending request is eligible (the legacy
+    drain-everything behaviour).
+    """
 
     def __init__(self, node_count: int) -> None:
         if node_count <= 0:
             raise ValueError("node_count must be positive")
         self.node_count = node_count
-        self._pending: Dict[int, Deque[object]] = {node: deque() for node in range(node_count)}
+        # Each queue holds (arrival_slot, item); heads stay arrival-ordered
+        # because requests are enqueued in arrival order per node.
+        self._pending: Dict[int, Deque[tuple]] = {node: deque() for node in range(node_count)}
         self._next = 0
         self._grants = 0
 
-    def request(self, node: int, item: object) -> None:
-        """Enqueue a transmission request for ``node``."""
+    def request(self, node: int, item: object, arrival: int = 0) -> None:
+        """Enqueue a transmission request for ``node``, arriving at ``arrival``."""
         if node not in self._pending:
             raise ValueError(f"unknown node {node}")
-        self._pending[node].append(item)
+        if arrival < 0:
+            raise ValueError("arrival slot must be non-negative")
+        queue = self._pending[node]
+        if queue and queue[-1][0] > arrival:
+            raise ValueError(
+                f"requests for node {node} must be enqueued in arrival order"
+            )
+        queue.append((arrival, item))
 
     def pending_count(self, node: Optional[int] = None) -> int:
         if node is None:
             return sum(len(queue) for queue in self._pending.values())
         return len(self._pending[node])
 
-    def grant(self) -> Optional[tuple]:
+    def next_arrival(self) -> Optional[int]:
+        """Earliest arrival slot among pending requests (``None`` when empty).
+
+        The slot at which an idling bus next has work — callers skip idle
+        slots to it instead of polling slot by slot.
+        """
+        heads = [queue[0][0] for queue in self._pending.values() if queue]
+        return min(heads) if heads else None
+
+    def grant(self, slot: Optional[int] = None) -> Optional[tuple]:
         """Grant the bus to the next requesting node.
 
-        Returns ``(node, item)`` or ``None`` when no node has pending work.
-        The rotation pointer only advances past the granted node, preserving
-        fairness under sustained load.
+        Returns ``(node, item)`` or ``None`` when no node has an *eligible*
+        request — pending work that has arrived by ``slot`` (any pending work
+        when ``slot`` is ``None``).  The rotation pointer only advances past
+        the granted node, preserving fairness under sustained load.
         """
         for offset in range(self.node_count):
             node = (self._next + offset) % self.node_count
             queue = self._pending[node]
-            if queue:
-                item = queue.popleft()
+            if queue and (slot is None or queue[0][0] <= slot):
+                _, item = queue.popleft()
                 self._next = (node + 1) % self.node_count
                 self._grants += 1
                 return node, item

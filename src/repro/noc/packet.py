@@ -42,9 +42,14 @@ class Packet:
         """Destination 255 is the broadcast address."""
         return self.destination == (1 << self.ADDRESS_BITS) - 1
 
+    @classmethod
+    def header_bit_count(cls) -> int:
+        """Serialized header size (two address fields + sequence number)."""
+        return 2 * cls.ADDRESS_BITS + cls.SEQUENCE_BITS
+
     @property
     def header_bits(self) -> int:
-        return 2 * self.ADDRESS_BITS + self.SEQUENCE_BITS
+        return self.header_bit_count()
 
     @property
     def total_bits(self) -> int:
@@ -56,6 +61,25 @@ class Packet:
         bits += int_to_bits(self.source, self.ADDRESS_BITS)
         bits += int_to_bits(self.sequence, self.SEQUENCE_BITS)
         bits += list(self.payload)
+        return bits
+
+    def symbol_count(self, ppm_bits: int) -> int:
+        """Number of ``ppm_bits``-wide PPM symbols the serialized packet occupies."""
+        if ppm_bits <= 0:
+            raise ValueError("ppm_bits must be positive")
+        return -(-self.total_bits // ppm_bits)
+
+    def padded_bits(self, ppm_bits: int) -> List[int]:
+        """Serialized bits zero-padded to a whole number of PPM symbols.
+
+        The symbol-aligned form the batched bus concatenates: padding each
+        packet *before* concatenation keeps every packet's symbol boundaries
+        where a packet-at-a-time transmission would put them, so per-packet
+        error statistics stay comparable between the scalar slot loop and one
+        epoch-sized transmission.
+        """
+        bits = self.serialize()
+        bits += [0] * (self.symbol_count(ppm_bits) * ppm_bits - len(bits))
         return bits
 
     @classmethod

@@ -13,9 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.core.backend import make_link
+from repro.core.config import LinkConfig
 from repro.noc.topology import StackTopology
 from repro.photonics.channel import OpticalChannel
 from repro.photonics.microoptics import MicroLens
+from repro.simulation.randomness import split_seed
 
 
 @dataclass(frozen=True)
@@ -113,6 +116,32 @@ class OpticalRouter:
     def best_transmission(self, source: int, destination: int) -> float:
         """End-to-end transmission of the selected route."""
         return self.route(source, destination).transmission
+
+    def link_for(
+        self,
+        source: int,
+        destination: int,
+        config: LinkConfig = LinkConfig(),
+        emitted_photons: float = 2000.0,
+        backend: Optional[str] = None,
+        seed: int = 0,
+    ):
+        """A simulatable PPM link over the selected route.
+
+        Built through the backend registry
+        (:func:`~repro.core.backend.make_link`) with the route's end-to-end
+        transmission folded into the detected photon budget, and seeded by
+        the central seed-derivation policy so distinct routes never share a
+        random stream.
+        """
+        if emitted_photons <= 0:
+            raise ValueError("emitted_photons must be positive")
+        route = self.route(source, destination)
+        return make_link(
+            config.with_detected_photons(emitted_photons * route.transmission),
+            backend=backend,
+            seed=split_seed(seed, f"noc:route:{source}->{destination}"),
+        )
 
     def reachable_nodes(self, source: int, minimum_transmission: float) -> List[int]:
         """All nodes whose route from ``source`` stays above a transmission floor."""

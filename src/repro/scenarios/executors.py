@@ -66,7 +66,11 @@ import numpy as np
 
 from repro.scenarios.metrics import PointOutcome, available_metrics
 from repro.scenarios.scenario import Scenario
-from repro.simulation.montecarlo import MonteCarloRunner, link_batch_trial
+from repro.simulation.montecarlo import (
+    MonteCarloRunner,
+    NocTrafficTrial,
+    link_batch_trial,
+)
 from repro.simulation.randomness import split_seed
 
 
@@ -180,7 +184,16 @@ def evaluate_point(
     through this function — in-process for :class:`SerialExecutor`, inside
     the worker for :class:`ProcessExecutor` — which is what makes parallel
     reports bit-identical to serial ones.
+
+    Points whose merged parameters declare ``noc_*`` keys run NoC bus
+    traffic (:func:`evaluate_noc_point`) instead of a point-to-point payload;
+    the same determinism contract holds.
     """
+    noc = scenario.noc_for_point(parameters)
+    if noc is not None:
+        return evaluate_noc_point(
+            scenario, noc, parameters, seed, backend, chunk_symbols
+        )
     config, channel = scenario.config_for_point(parameters)
     crosstalk = scenario.crosstalk_for_point(parameters)
     channels = scenario.channels
@@ -229,6 +242,79 @@ def evaluate_point(
         channel_bit_errors=(
             tuple(int(e) for e in channel_bit_errors) if channels > 1 else ()
         ),
+    )
+
+
+def evaluate_noc_point(
+    scenario: Scenario,
+    noc: Mapping[str, Any],
+    parameters: Mapping[str, Any],
+    seed: int,
+    backend: str,
+    chunk_symbols: int,
+) -> PointOutcome:
+    """Evaluate one NoC traffic grid point (the bus analogue of a link point).
+
+    The scenario's ``bits_per_point`` is the offered payload-bit budget:
+    ``bits_per_point // packet_bits`` packets are generated by
+    :class:`~repro.simulation.montecarlo.NocTrafficTrial` and drained through
+    the epoch-batched bus, chunked so one chunk's packets serialise to about
+    ``chunk_symbols`` bus slots (the same knob that bounds link-point chunks,
+    and like there part of the deterministic seeding layout).  A point that
+    offers no traffic — zero offered load, or a budget below one packet —
+    returns an *empty* outcome whose ratio metrics are NaN.
+    """
+    from repro.noc.bus import BusStatistics
+
+    config, _channel = scenario.config_for_point(parameters)
+    packet_bits = int(noc["packet_bits"])
+    offered_load = float(noc["offered_load"])
+    packets = scenario.bits_per_point // packet_bits
+    totals = BusStatistics()
+    good_bits = 0
+
+    if offered_load > 0 and packets > 0:
+
+        def accumulate(bus) -> None:
+            nonlocal good_bits
+            totals.merge(bus.statistics)
+            # Bits of error-free packets (broadcasts count every receiver's
+            # copy) — the numerator of saturation_throughput.
+            good_bits += sum(
+                outcome.packet.total_bits * max(len(outcome.receiver_errors), 1)
+                for outcome in bus.outcomes
+                if outcome.delivered
+            )
+
+        trial = NocTrafficTrial(
+            config=config,
+            backend=backend,
+            stack_dies=int(noc["stack_dies"]),
+            stack_thickness=float(noc["stack_thickness"]),
+            traffic=str(noc["traffic"]),
+            offered_load=offered_load,
+            packet_bits=packet_bits,
+            on_result=accumulate,
+        )
+        chunk_packets = max(1, chunk_symbols // trial.slots_per_packet)
+        runner = MonteCarloRunner(seed=seed, label=scenario.point_label(parameters))
+        runner.run_batch(trial, trials=packets, chunk_size=chunk_packets)
+
+    return PointOutcome(
+        config=config,
+        bits=totals.bits_delivered,
+        bit_errors=totals.bit_errors,
+        symbols=totals.busy_slots,
+        symbol_errors=0,
+        noc={
+            "packets_offered": totals.packets_offered,
+            "packets_delivered": totals.packets_delivered,
+            "packets_corrupted": totals.packets_corrupted,
+            "good_bits": good_bits,
+            "busy_slots": totals.busy_slots,
+            "total_slots": totals.total_slots,
+            "total_latency": totals.total_latency,
+        },
     )
 
 

@@ -178,6 +178,65 @@ CROSSTALK_VS_PITCH = register_scenario(
     )
 )
 
+#: The network the paper's introduction promises: a slotted, arbitrated
+#: vertical optical bus over a stack of thinned dies.  Sweeps the offered
+#: load from light traffic to past saturation and reports the classic NoC
+#: load-latency/throughput curves, with every grid point drained through the
+#: epoch-batched bus on the vectorised backend.  The zero-load point is the
+#: empty measurement (NaN ratios) that the NaN-tolerant network metrics
+#: exist for.
+NOC_LOAD_LATENCY = register_scenario(
+    Scenario(
+        name="noc-load-latency",
+        description="Slotted vertical-bus delivery, latency and throughput versus offered load",
+        link_overrides={
+            "ppm_bits": 4,
+            "slot_duration": 2.0 * NS,
+            # A guard clearing the 32 ns SPAD dead time: the load-latency
+            # story is queueing, not the dead-time error floor.
+            "extra_guard": 32.0 * NS,
+            "wavelength": 1050e-9,
+            # Emitted photons: bright enough that the load-latency story is
+            # queueing, not photon starvation, even on the worst span.
+            "mean_detected_photons": 20_000.0,
+            "stack_dies": 4,
+            "noc_traffic": "uniform",
+            "noc_packet_bits": 64,
+        },
+        sweep_axes={"noc_offered_load": (0.1, 0.25, 0.5, 0.75, 0.9, 1.2)},
+        metrics=(
+            "delivery_ratio",
+            "mean_latency",
+            "bus_utilisation",
+            "saturation_throughput",
+        ),
+        bits_per_point=8_192,
+    )
+)
+
+#: Traffic-pattern ablation on the same bus: uniform, hotspot (most packets
+#: aim at die 0, the processor at the bottom of the stack) and
+#: nearest-neighbour exchanges, at a fixed offered load.
+NOC_TRAFFIC_MIX = register_scenario(
+    Scenario(
+        name="noc-traffic-mix",
+        description="Vertical-bus delivery and latency across traffic patterns at 0.6 offered load",
+        link_overrides={
+            "ppm_bits": 4,
+            "slot_duration": 2.0 * NS,
+            "extra_guard": 32.0 * NS,
+            "wavelength": 1050e-9,
+            "mean_detected_photons": 20_000.0,
+            "stack_dies": 4,
+            "noc_offered_load": 0.6,
+            "noc_packet_bits": 64,
+        },
+        sweep_axes={"noc_traffic": ("uniform", "hotspot", "nearest-neighbour")},
+        metrics=("delivery_ratio", "mean_latency", "bus_utilisation", "ber"),
+        bits_per_point=8_192,
+    )
+)
+
 #: PPM-order ablation at a fixed detection cycle: bits per detection versus
 #: error rate — the reason the paper picks PPM over on-off keying.
 PPM_ORDER_SWEEP = register_scenario(

@@ -30,6 +30,14 @@ class PointOutcome:
     ``bits``/``bit_errors`` always aggregate over every channel; multichannel
     points additionally carry the per-channel split (``channel_bits`` /
     ``channel_bit_errors``) that the per-channel metric variants consume.
+
+    NoC traffic points (scenarios with ``noc_*`` parameters) also carry a
+    ``noc`` mapping of aggregated bus counters — ``packets_offered``,
+    ``packets_delivered``, ``packets_corrupted``, ``good_bits``,
+    ``busy_slots``, ``total_slots``, ``total_latency`` — consumed by the
+    network metrics (``delivery_ratio``, ``mean_latency``,
+    ``bus_utilisation``, ``saturation_throughput``).  ``noc`` is ``None`` for
+    plain link points.
     """
 
     config: LinkConfig
@@ -41,10 +49,13 @@ class PointOutcome:
     channels: int = 1
     channel_bits: Tuple[int, ...] = ()
     channel_bit_errors: Tuple[int, ...] = ()
+    noc: Optional[Mapping[str, float]] = None
 
     def __post_init__(self) -> None:
-        if self.bits <= 0 or self.symbols <= 0:
-            raise ValueError("a point outcome needs at least one bit and one symbol")
+        if self.bits < 0 or self.symbols < 0:
+            # Zero bits/symbols is a valid *empty* outcome (a zero-offered-load
+            # NoC grid point); ratio metrics on it are NaN, never an error.
+            raise ValueError("bits and symbols must be non-negative")
         if not 0 <= self.bit_errors <= self.bits:
             raise ValueError("bit_errors must be within [0, bits]")
         if not 0 <= self.symbol_errors <= self.symbols:
@@ -53,6 +64,8 @@ class PointOutcome:
             raise ValueError("channels must be at least 1")
         object.__setattr__(self, "channel_bits", tuple(self.channel_bits))
         object.__setattr__(self, "channel_bit_errors", tuple(self.channel_bit_errors))
+        if self.noc is not None:
+            object.__setattr__(self, "noc", dict(self.noc))
         if len(self.channel_bits) != len(self.channel_bit_errors):
             raise ValueError("channel_bits and channel_bit_errors must pair up")
         for errors, bits in zip(self.channel_bit_errors, self.channel_bits):
@@ -85,24 +98,28 @@ class PointOutcome:
 MetricFunction = Callable[[PointOutcome], float]
 ConfidenceFunction = Callable[[PointOutcome], Optional[float]]
 
-_METRICS: Dict[str, Tuple[MetricFunction, Optional[ConfidenceFunction]]] = {}
+_METRICS: Dict[str, Tuple[MetricFunction, Optional[ConfidenceFunction], bool]] = {}
 
 
 def register_metric(
     name: str,
     confidence: Optional[ConfidenceFunction] = None,
+    allow_nan: bool = False,
 ) -> Callable[[MetricFunction], MetricFunction]:
     """Decorator registering ``function`` as the metric called ``name``.
 
     ``confidence``, when given, computes the 95 % half-width reported next to
     the metric value (``None`` marks a deterministic metric with no
-    statistical uncertainty).
+    statistical uncertainty).  ``allow_nan`` marks metrics for which ``NaN``
+    is a *measurement* ("no data at this grid point" — e.g. the mean latency
+    of a zero-offered-load NoC point) rather than a bug; the experiment
+    runner rejects NaN from every other metric.
     """
 
     def decorator(function: MetricFunction) -> MetricFunction:
         if name in _METRICS:
             raise ValueError(f"metric {name!r} is already registered")
-        _METRICS[name] = (function, confidence)
+        _METRICS[name] = (function, confidence, allow_nan)
         return function
 
     return decorator
@@ -116,10 +133,24 @@ def available_metrics() -> Tuple[str, ...]:
 def resolve_metric(name: str) -> Tuple[MetricFunction, Optional[ConfidenceFunction]]:
     """Look up a metric by name, raising with the available names on a miss."""
     try:
-        return _METRICS[name]
+        function, ci, _ = _METRICS[name]
+        return function, ci
     except KeyError:
         known = ", ".join(sorted(_METRICS))
         raise ValueError(f"unknown metric {name!r}; available: {known}") from None
+
+
+def metric_allows_nan(name: str) -> bool:
+    """Whether ``NaN`` is a valid (empty-point) value for the named metric."""
+    resolve_metric(name)  # raises the curated error on unknown names
+    return _METRICS[name][2]
+
+
+def _ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator``, ``NaN`` on an empty denominator."""
+    if denominator == 0:
+        return float("nan")
+    return numerator / denominator
 
 
 def evaluate_metrics(
@@ -142,19 +173,24 @@ def evaluate_metrics(
 # -- built-in metrics -----------------------------------------------------------
 
 
-@register_metric("ber", confidence=lambda o: binomial_confidence_95(o.bit_errors, o.bits))
+@register_metric(
+    "ber",
+    confidence=lambda o: binomial_confidence_95(o.bit_errors, o.bits) if o.bits else None,
+)
 def bit_error_rate(outcome: PointOutcome) -> float:
     """Fraction of payload bits decoded incorrectly."""
-    return outcome.bit_errors / outcome.bits
+    return _ratio(outcome.bit_errors, outcome.bits)
 
 
 @register_metric(
     "symbol_error_rate",
-    confidence=lambda o: binomial_confidence_95(o.symbol_errors, o.symbols),
+    confidence=lambda o: (
+        binomial_confidence_95(o.symbol_errors, o.symbols) if o.symbols else None
+    ),
 )
 def symbol_error_rate(outcome: PointOutcome) -> float:
     """Fraction of PPM symbols decoded incorrectly."""
-    return outcome.symbol_errors / outcome.symbols
+    return _ratio(outcome.symbol_errors, outcome.symbols)
 
 
 @register_metric("throughput")
@@ -165,12 +201,17 @@ def throughput(outcome: PointOutcome) -> float:
 
 @register_metric(
     "goodput",
-    confidence=lambda o: o.config.raw_bit_rate
-    * binomial_confidence_95(o.symbol_errors, o.symbols),
+    confidence=lambda o: (
+        o.config.raw_bit_rate * binomial_confidence_95(o.symbol_errors, o.symbols)
+        if o.symbols
+        else None
+    ),
 )
 def goodput(outcome: PointOutcome) -> float:
     """Throughput of correctly decoded symbols [bit/s]."""
-    return outcome.config.raw_bit_rate * (1.0 - outcome.symbol_errors / outcome.symbols)
+    return outcome.config.raw_bit_rate * (
+        1.0 - _ratio(outcome.symbol_errors, outcome.symbols)
+    )
 
 
 @register_metric("tdc_throughput")
@@ -186,11 +227,13 @@ def tdc_throughput(outcome: PointOutcome) -> float:
 
 @register_metric(
     "detection_rate",
-    confidence=lambda o: binomial_confidence_95(o.missed, o.symbols),
+    confidence=lambda o: (
+        binomial_confidence_95(o.missed, o.symbols) if o.symbols else None
+    ),
 )
 def detection_rate(outcome: PointOutcome) -> float:
     """Fraction of measurement windows in which the SPAD reported a detection."""
-    return 1.0 - outcome.missed / outcome.symbols
+    return 1.0 - _ratio(outcome.missed, outcome.symbols)
 
 
 @register_metric("aggregate_throughput")
@@ -217,3 +260,87 @@ def worst_channel_ber(outcome: PointOutcome) -> float:
     """
     errors, bits = outcome.worst_channel()
     return errors / bits
+
+
+# -- NoC traffic metrics ----------------------------------------------------------
+#
+# Evaluated on the ``noc`` counter mapping of bus-traffic points.  All four
+# are registered with ``allow_nan=True``: a zero-offered-load grid point (or
+# a run in which nothing was delivered) is a valid measurement whose ratios
+# are undefined, not an execution failure.
+
+#: Metrics that only make sense on NoC traffic points; scenarios naming one
+#: without declaring any ``noc_*`` parameter are rejected at construction
+#: (the allow_nan escape hatch must not mask that misconfiguration).
+NOC_METRICS: Tuple[str, ...] = (
+    "delivery_ratio",
+    "mean_latency",
+    "bus_utilisation",
+    "saturation_throughput",
+)
+
+#: Metrics that consume per-symbol / detection counts a NoC traffic point
+#: does not carry (the bus aggregates packets, not symbol outcomes) — a NoC
+#: scenario naming one would publish a fake-perfect value, so it is rejected
+#: at construction instead.
+LINK_ONLY_METRICS: Tuple[str, ...] = (
+    "symbol_error_rate",
+    "goodput",
+    "detection_rate",
+    "worst_channel_ber",
+)
+
+
+def _noc_counter(outcome: PointOutcome, key: str) -> float:
+    if outcome.noc is None:
+        return 0.0
+    return float(outcome.noc.get(key, 0.0))
+
+
+@register_metric(
+    "delivery_ratio",
+    confidence=lambda o: (
+        binomial_confidence_95(
+            int(_noc_counter(o, "packets_delivered")),
+            int(_noc_counter(o, "packets_offered")),
+        )
+        if _noc_counter(o, "packets_offered")
+        else None
+    ),
+    allow_nan=True,
+)
+def delivery_ratio(outcome: PointOutcome) -> float:
+    """Fraction of offered packets delivered error-free over the bus."""
+    return _ratio(
+        _noc_counter(outcome, "packets_delivered"),
+        _noc_counter(outcome, "packets_offered"),
+    )
+
+
+@register_metric("mean_latency", allow_nan=True)
+def mean_latency(outcome: PointOutcome) -> float:
+    """Mean arrival-to-delivery latency of delivered packets [s]."""
+    return _ratio(
+        _noc_counter(outcome, "total_latency"),
+        _noc_counter(outcome, "packets_delivered"),
+    )
+
+
+@register_metric("bus_utilisation", allow_nan=True)
+def bus_utilisation(outcome: PointOutcome) -> float:
+    """Fraction of bus slots carrying a transmission."""
+    return _ratio(
+        _noc_counter(outcome, "busy_slots"), _noc_counter(outcome, "total_slots")
+    )
+
+
+@register_metric("saturation_throughput", allow_nan=True)
+def saturation_throughput(outcome: PointOutcome) -> float:
+    """Accepted traffic: delivered packet bits per second of bus time [bit/s].
+
+    At offered loads past saturation this flattens at the bus's service
+    capacity (minus the corrupted share) — the classic saturation-throughput
+    figure of NoC evaluations.
+    """
+    elapsed = _noc_counter(outcome, "total_slots") * outcome.config.symbol_duration
+    return _ratio(_noc_counter(outcome, "good_bits"), elapsed)

@@ -40,7 +40,7 @@ from repro.scenarios.executors import (
     make_point_tasks,
     resolve_executor,
 )
-from repro.scenarios.metrics import PointOutcome, evaluate_metrics
+from repro.scenarios.metrics import PointOutcome, evaluate_metrics, metric_allows_nan
 from repro.scenarios.scenario import Scenario
 from repro.scenarios.session import ExperimentSession
 
@@ -76,9 +76,17 @@ class ExperimentPoint:
             raise KeyError(f"point has no metric {name!r}; available: {known}") from None
 
     def to_mapping(self) -> Dict[str, Any]:
+        # NaN metric values (valid empty-point measurements of allow_nan
+        # metrics) serialise as null: artefacts must stay *strict* JSON —
+        # json.dumps would otherwise emit a bare `NaN` token that jq,
+        # JSON.parse and most non-Python consumers reject.  from_mapping
+        # restores them.
         return {
             "parameters": dict(self.parameters),
-            "metrics": dict(self.metrics),
+            "metrics": {
+                name: None if math.isnan(value) else value
+                for name, value in self.metrics.items()
+            },
             "confidence": dict(self.confidence),
             "bits": self.bits,
             "symbols": self.symbols,
@@ -97,6 +105,10 @@ class ExperimentPoint:
         missing = sorted(required - set(data))
         if missing:
             raise ValueError(f"experiment-point mapping lacks key(s): {', '.join(missing)}")
+        data["metrics"] = {
+            name: float("nan") if value is None else value
+            for name, value in dict(data["metrics"]).items()
+        }
         return cls(**data)
 
 
@@ -262,11 +274,13 @@ class ExperimentRunner:
 
         Metric functions (including user-registered ones) always run here, in
         the parent process — only plain-data outcomes cross executor
-        boundaries.
+        boundaries.  Infinite values always raise; ``NaN`` raises unless the
+        metric was registered with ``allow_nan=True`` (the NoC traffic
+        metrics, whose ratios are legitimately undefined on an empty point).
         """
         values, confidence = evaluate_metrics(self.scenario.metrics, outcome)
         for name, value in values.items():
-            if math.isnan(value) or math.isinf(value):
+            if math.isinf(value) or (math.isnan(value) and not metric_allows_nan(name)):
                 raise ValueError(
                     f"metric {name!r} evaluated to {value} at point {dict(parameters)!r} "
                     f"of scenario {self.scenario.name!r}"

@@ -26,6 +26,16 @@ compiler expands structurally —
   :class:`~repro.photonics.crosstalk.CrosstalkModel` coupling the scenario's
   parallel channels (a linear array at that pitch); they require
   ``channels > 1`` and a multichannel-capable backend.
+* ``noc_traffic`` / ``noc_offered_load`` / ``noc_packet_bits`` — switch the
+  grid point onto the **NoC traffic evaluator**: instead of pushing payload
+  symbols through one link, the point drains
+  :class:`~repro.simulation.montecarlo.NocTrafficTrial` packet traffic
+  (pattern, offered load, packet size) through the epoch-batched
+  :class:`~repro.noc.bus.OpticalBus` over a ``stack_dies``-deep topology,
+  with ``mean_detected_photons`` as the *emitted* photon budget and
+  ``bits_per_point`` as the offered payload-bit budget.  Network metrics
+  (``delivery_ratio``, ``mean_latency``, ``bus_utilisation``,
+  ``saturation_throughput``) consume the resulting bus counters.
 
 Everything in a scenario is plain data, so :meth:`Scenario.to_mapping` /
 :meth:`Scenario.from_mapping` round-trip losslessly through JSON.
@@ -44,10 +54,11 @@ from repro.core.throughput import TdcDesign
 from repro.photonics.channel import OpticalChannel
 from repro.photonics.crosstalk import CrosstalkModel
 from repro.photonics.stack import DieStack
-from repro.scenarios.metrics import available_metrics
+from repro.scenarios.metrics import LINK_ONLY_METRICS, NOC_METRICS, available_metrics
+from repro.simulation.montecarlo import TRAFFIC_PATTERNS
 
-#: Derived parameter keys expanded structurally by :meth:`Scenario.config_for_point`
-#: and :meth:`Scenario.crosstalk_for_point`.
+#: Derived parameter keys expanded structurally by :meth:`Scenario.config_for_point`,
+#: :meth:`Scenario.crosstalk_for_point` and :meth:`Scenario.noc_for_point`.
 SPECIAL_PARAMETERS: Tuple[str, ...] = (
     "tdc_fine_elements",
     "tdc_coarse_bits",
@@ -55,7 +66,13 @@ SPECIAL_PARAMETERS: Tuple[str, ...] = (
     "stack_thickness",
     "crosstalk_pitch",
     "crosstalk_floor",
+    "noc_traffic",
+    "noc_offered_load",
+    "noc_packet_bits",
 )
+
+#: Parameters that switch a grid point onto the NoC traffic evaluator.
+NOC_PARAMETERS: Tuple[str, ...] = ("noc_traffic", "noc_offered_load", "noc_packet_bits")
 
 #: LinkConfig fields addressable from scenarios (scalar, JSON-serialisable ones).
 _CONFIG_FIELDS: Tuple[str, ...] = tuple(
@@ -69,6 +86,25 @@ _DEFAULT_STACK_THICKNESS = 15.0 * UM
 
 def _known_parameters() -> Tuple[str, ...]:
     return _CONFIG_FIELDS + SPECIAL_PARAMETERS
+
+
+def _validate_noc_parameter(name: str, value: Any) -> None:
+    """Early validation of one ``noc_*`` override or sweep value."""
+    if name == "noc_traffic":
+        if value not in TRAFFIC_PATTERNS:
+            raise ValueError(
+                f"noc_traffic must be one of {TRAFFIC_PATTERNS}, got {value!r}"
+            )
+    elif name == "noc_offered_load":
+        if not isinstance(value, (int, float)) or value < 0:
+            raise ValueError(
+                f"noc_offered_load must be a non-negative number, got {value!r}"
+            )
+    elif name == "noc_packet_bits":
+        if not isinstance(value, int) or value <= 0:
+            raise ValueError(
+                f"noc_packet_bits must be a positive int, got {value!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -166,6 +202,34 @@ class Scenario:
                 f"backend {self.backend!r} does not support multiple channels; "
                 f"use a multichannel-capable backend (e.g. 'multichannel')"
             )
+        noc_keys = declared & set(NOC_PARAMETERS)
+        noc_metrics = sorted(set(self.metrics) & set(NOC_METRICS))
+        if noc_metrics and not noc_keys:
+            raise ValueError(
+                f"metric(s) {', '.join(noc_metrics)} measure NoC bus traffic; "
+                f"declare a noc_* parameter (e.g. noc_traffic) or drop them"
+            )
+        if noc_keys:
+            if self.channels > 1:
+                raise ValueError(
+                    "NoC scenarios manage their own channels (one per bus "
+                    "span); set channels=1"
+                )
+            link_only = sorted(set(self.metrics) & set(LINK_ONLY_METRICS))
+            if link_only:
+                raise ValueError(
+                    f"metric(s) {', '.join(link_only)} consume per-symbol "
+                    f"counts that NoC traffic points do not carry; use the "
+                    f"network metrics ({', '.join(NOC_METRICS)}) or ber"
+                )
+            for name in NOC_PARAMETERS:
+                values: Tuple[Any, ...] = ()
+                if name in self.link_overrides:
+                    values = (self.link_overrides[name],)
+                elif name in self.sweep_axes:
+                    values = self.sweep_axes[name]
+                for value in values:
+                    _validate_noc_parameter(name, value)
         if not self.metrics:
             raise ValueError("a scenario needs at least one metric")
         missing = sorted(set(self.metrics) - set(available_metrics()))
@@ -244,9 +308,12 @@ class Scenario:
         stack_dies = merged.pop("stack_dies", None)
         stack_thickness = merged.pop("stack_thickness", _DEFAULT_STACK_THICKNESS)
         # Crosstalk parameters shape the channel coupling, not the LinkConfig;
-        # they are expanded by crosstalk_for_point.
+        # they are expanded by crosstalk_for_point.  NoC parameters shape the
+        # bus traffic, not the LinkConfig; they are expanded by noc_for_point.
         merged.pop("crosstalk_pitch", None)
         merged.pop("crosstalk_floor", None)
+        for name in NOC_PARAMETERS:
+            merged.pop(name, None)
 
         config = LinkConfig(**merged)
 
@@ -295,6 +362,32 @@ class Scenario:
         if floor is not None:
             settings["floor"] = float(floor)
         return CrosstalkModel(**settings)
+
+    def noc_for_point(
+        self, parameters: Mapping[str, Any] = ()
+    ) -> Optional[Dict[str, Any]]:
+        """NoC traffic settings for one grid point, or ``None``.
+
+        A point is a NoC traffic point when the merged parameters declare any
+        ``noc_*`` key; the returned mapping carries the traffic pattern,
+        offered load, packet payload size and the bus topology parameters
+        (``stack_dies``/``stack_thickness``), with documented defaults for
+        whatever was left unspecified.  ``None`` means a plain link point.
+        """
+        merged: Dict[str, Any] = dict(self.link_overrides)
+        merged.update(parameters)
+        if not any(name in merged for name in NOC_PARAMETERS):
+            return None
+        settings = {
+            "traffic": str(merged.get("noc_traffic", "uniform")),
+            "offered_load": float(merged.get("noc_offered_load", 0.5)),
+            "packet_bits": int(merged.get("noc_packet_bits", 64)),
+            "stack_dies": int(merged.get("stack_dies", 4)),
+            "stack_thickness": float(merged.get("stack_thickness", _DEFAULT_STACK_THICKNESS)),
+        }
+        if settings["stack_dies"] < 2:
+            raise ValueError(f"stack_dies must be at least 2, got {settings['stack_dies']}")
+        return settings
 
     # -- serialisation -------------------------------------------------------------
     def to_mapping(self) -> Dict[str, Any]:

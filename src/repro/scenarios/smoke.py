@@ -30,10 +30,11 @@ def run_smoke(
     """Run every (or the given) named scenario at a reduced budget.
 
     Returns the structured reports, in scenario-registration order.  Raises
-    :class:`SmokeFailure` if any scenario raises or reports a NaN/inf metric
-    value, naming the scenario (and metric/point) at fault.  ``executor`` /
-    ``workers`` select the grid-point dispatch (serial by default); reports
-    are identical either way.
+    :class:`SmokeFailure` if any scenario raises or reports an invalid metric
+    value (inf always; NaN unless the metric was registered with
+    ``allow_nan=True``), naming the scenario (and metric/point) at fault.
+    ``executor`` / ``workers`` select the grid-point dispatch (serial by
+    default); reports are identical either way.
     """
     if bits_per_point <= 0:
         raise ValueError("bits_per_point must be positive")

@@ -13,8 +13,10 @@ from repro.simulation.process import Process, ProcessState
 from repro.simulation.randomness import RandomSource, split_seed
 from repro.simulation.recorder import TraceRecorder, TraceSample
 from repro.simulation.montecarlo import (
+    TRAFFIC_PATTERNS,
     MonteCarloResult,
     MonteCarloRunner,
+    NocTrafficTrial,
     link_batch_trial,
     link_symbol_error_trial,
 )
@@ -31,6 +33,8 @@ __all__ = [
     "TraceSample",
     "MonteCarloRunner",
     "MonteCarloResult",
+    "NocTrafficTrial",
+    "TRAFFIC_PATTERNS",
     "link_batch_trial",
     "link_symbol_error_trial",
 ]

@@ -22,6 +22,7 @@ are not draw-for-draw identical.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -176,6 +177,153 @@ def link_batch_trial(
         channels=channels,
         crosstalk=crosstalk,
     )
+
+
+#: Traffic patterns :class:`NocTrafficTrial` can generate (and scenario
+#: ``noc_traffic`` axes may take): destination uniform over the other nodes,
+#: a hotspot node attracting most traffic, or nearest-neighbour exchanges.
+TRAFFIC_PATTERNS = ("uniform", "hotspot", "nearest-neighbour")
+
+@dataclass
+class NocTrafficTrial:
+    """A :meth:`MonteCarloRunner.run_batch` trial over the slotted optical bus.
+
+    The NoC analogue of :class:`LinkBatchTrial`: a top-level picklable value
+    whose call contract makes network traffic chunkable — **one trial is one
+    offered packet**, and one *chunk* is one bus run.  Per chunk, the trial
+    draws a bus seed from the chunk generator, generates ``count`` packets
+    according to the traffic pattern (sources, destinations, payloads and
+    arrival slots are all generator draws), drains them through an
+    epoch-batched :class:`~repro.noc.bus.OpticalBus` on the configured
+    backend, and returns each packet's delivery latency in seconds
+    (``NaN`` for packets that were corrupted or never drained).
+
+    ``offered_load`` shapes the arrival process: packets arrive uniformly
+    over a horizon sized so offered traffic consumes that fraction of the
+    bus's slot capacity (1.0 = saturation; above 1.0 the queues grow without
+    bound and latency measures backlog drain).  ``on_result`` (optional)
+    receives each chunk's completed :class:`~repro.noc.bus.OpticalBus` for
+    side statistics — aggregate counters via ``bus.statistics``, per-packet
+    outcomes via ``bus.outcomes``.
+
+    The bus's per-link seeds derive from the chunk seed through the central
+    seed-derivation policy, so chunks — and the (source, destination) links
+    within one chunk — never share a random stream.
+    """
+
+    config: object
+    backend: Optional[str] = None
+    stack_dies: int = 4
+    stack_thickness: float = 15e-6
+    nodes_per_die: int = 1
+    traffic: str = "uniform"
+    offered_load: float = 0.5
+    packet_bits: int = 64
+    hotspot_fraction: float = 0.7
+    emitted_photons: Optional[float] = None
+    epoch_packets: int = 64
+    on_result: Optional[Callable] = None
+
+    def __post_init__(self) -> None:
+        if self.traffic not in TRAFFIC_PATTERNS:
+            raise ValueError(
+                f"traffic must be one of {TRAFFIC_PATTERNS}, got {self.traffic!r}"
+            )
+        if self.offered_load <= 0:
+            raise ValueError("offered_load must be positive (zero load offers no packets)")
+        if self.packet_bits <= 0:
+            raise ValueError("packet_bits must be positive")
+        if self.stack_dies < 2:
+            raise ValueError("stack_dies must be at least 2")
+        if not 0.0 <= self.hotspot_fraction <= 1.0:
+            raise ValueError("hotspot_fraction must be within [0, 1]")
+
+    @property
+    def slots_per_packet(self) -> int:
+        """PPM symbol slots one packet (header + payload) occupies."""
+        # Imported lazily like every noc reference in this module (the noc
+        # package imports this package's randomness module at import time).
+        from repro.noc.packet import Packet
+
+        total_bits = Packet.header_bit_count() + self.packet_bits
+        return -(-total_bits // self.config.ppm_bits)
+
+    def _destinations(
+        self, generator: np.random.Generator, sources: np.ndarray, nodes: int
+    ) -> np.ndarray:
+        """Per-packet destinations under the configured traffic pattern."""
+        # Uniform over the other nodes — the base draw of every pattern.
+        offsets = generator.integers(1, nodes, size=sources.size)
+        uniform = (sources + offsets) % nodes
+        if self.traffic == "uniform":
+            return uniform
+        if self.traffic == "hotspot":
+            hot = generator.random(sources.size) < self.hotspot_fraction
+            return np.where(hot & (sources != 0), 0, uniform)
+        # nearest-neighbour: the die directly above (below at the stack top);
+        # interior dies pick a side at random.
+        up = generator.integers(0, 2, size=sources.size).astype(bool)
+        up |= sources == 0
+        up &= sources != nodes - 1
+        return np.where(up, sources + 1, sources - 1)
+
+    def __call__(self, generator: np.random.Generator, count: int) -> np.ndarray:
+        # Imported lazily for the same circularity reason as LinkBatchTrial.
+        from repro.noc.bus import OpticalBus
+        from repro.noc.packet import Packet
+        from repro.noc.topology import StackTopology
+        from repro.photonics.stack import DieStack
+
+        if count > 1 << Packet.SEQUENCE_BITS:
+            raise ValueError(
+                f"a chunk of {count} packets overflows the {Packet.SEQUENCE_BITS}-bit "
+                f"sequence numbers used to match outcomes; lower chunk_size"
+            )
+        bus_seed = int(generator.integers(0, 2**31))
+        stack = DieStack.uniform(
+            count=self.stack_dies,
+            thickness=self.stack_thickness,
+            wavelength=self.config.wavelength,
+        )
+        topology = StackTopology(stack, nodes_per_die=self.nodes_per_die)
+        emitted = (
+            self.emitted_photons
+            if self.emitted_photons is not None
+            else self.config.mean_detected_photons
+        )
+        bus = OpticalBus(
+            topology,
+            config=self.config,
+            emitted_photons=emitted,
+            seed=bus_seed,
+            backend=self.backend,
+            epoch_packets=self.epoch_packets,
+        )
+        nodes = topology.node_count
+        sources = generator.integers(0, nodes, size=count)
+        destinations = self._destinations(generator, sources, nodes)
+        payloads = generator.integers(0, 2, size=(count, self.packet_bits))
+        horizon = max(1, math.ceil(count * self.slots_per_packet / self.offered_load))
+        arrivals = generator.integers(0, horizon, size=count)
+        for index in np.argsort(arrivals, kind="stable"):
+            index = int(index)
+            bus.offer(
+                Packet(
+                    source=int(sources[index]),
+                    destination=int(destinations[index]),
+                    payload=payloads[index].tolist(),
+                    sequence=index,
+                ),
+                arrival_slot=int(arrivals[index]),
+            )
+        bus.run(max_slots=horizon + (count + 1) * self.slots_per_packet)
+        latencies = np.full(count, np.nan)
+        for outcome in bus.outcomes:
+            if outcome.delivered:
+                latencies[outcome.packet.sequence] = outcome.latency
+        if self.on_result is not None:
+            self.on_result(bus)
+        return latencies
 
 
 def link_symbol_error_trial(

@@ -80,6 +80,52 @@ class TestRun:
         process = json.loads(capsys.readouterr().out)
         assert serial == process
 
+    def test_run_file_executes_an_unregistered_scenario(self, capsys, tmp_path):
+        mapping = {
+            "name": "custom-from-file",
+            "description": "scenario mapping straight from disk",
+            "link_overrides": {"ppm_bits": 4, "mean_detected_photons": 40.0},
+            "sweep_axes": {"spad_dead_time": [16e-9, 48e-9]},
+            "metrics": ["ber", "detection_rate"],
+            "bits_per_point": 128,
+        }
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(mapping))
+        store_dir = tmp_path / "store"
+        assert run_cli("run", "--file", str(path), "--store", str(store_dir), "--quiet") == 0
+        assert "custom-from-file" in capsys.readouterr().out
+        (artifact,) = ReportStore(store_dir).list()
+        assert artifact.startswith("custom-from-file__batch__seed0__")
+
+    def test_run_file_accepts_a_stored_artifact(self, capsys, tmp_path):
+        # An earlier run's artefact is itself a runnable scenario file.
+        store_dir = tmp_path / "store"
+        assert run_cli(
+            "run", "ber-vs-photons", "--bits", "128", "--store", str(store_dir), "--quiet"
+        ) == 0
+        store = ReportStore(store_dir)
+        artifact_path = store_dir / f"{store.list()[0]}.json"
+        capsys.readouterr()
+        assert run_cli("run", "--file", str(artifact_path), "--no-store", "--quiet") == 0
+        assert "ber-vs-photons" in capsys.readouterr().out
+
+    def test_run_requires_exactly_one_source(self, capsys, tmp_path):
+        assert run_cli("run") == 1
+        assert "exactly one" in capsys.readouterr().err
+        path = tmp_path / "s.json"
+        path.write_text("{}")
+        assert run_cli("run", "ber-vs-photons", "--file", str(path)) == 1
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_run_file_rejects_bad_json_and_bad_mappings(self, capsys, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert run_cli("run", "--file", str(path)) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+        path.write_text(json.dumps({"name": "x", "metrics": ["no-such-metric"]}))
+        assert run_cli("run", "--file", str(path)) == 1
+        assert "unknown metric" in capsys.readouterr().err
+
     def test_unknown_scenario_exits_1_with_message(self, capsys):
         assert run_cli("run", "no-such-scenario") == 1
         assert "unknown scenario" in capsys.readouterr().err

@@ -64,6 +64,22 @@ class TestTopology:
         assert topology.node(bottom).die == 0
         assert topology.node(top).die == 4
 
+    def test_attenuation_is_symmetric(self):
+        # Light crosses the same intermediate layers in either direction, so
+        # a span's transmission cannot depend on which end transmits — the
+        # property the bus's per-pair link cache relies on.
+        topology = StackTopology(DieStack.uniform(count=5, wavelength=850e-9), nodes_per_die=1)
+        for source in range(topology.node_count):
+            for destination in range(topology.node_count):
+                assert topology.channel_transmission(source, destination) == pytest.approx(
+                    topology.channel_transmission(destination, source)
+                )
+
+    def test_attenuation_monotone_in_span_length(self):
+        topology = StackTopology(DieStack.uniform(count=6, wavelength=850e-9), nodes_per_die=1)
+        transmissions = [topology.channel_transmission(0, d) for d in range(1, 6)]
+        assert all(a >= b for a, b in zip(transmissions, transmissions[1:]))
+
     def test_validation(self):
         stack = DieStack.uniform(count=2)
         with pytest.raises(ValueError):
@@ -139,6 +155,50 @@ class TestRoundRobinArbiter:
         arbiter.request(0, "b")
         assert arbiter.pending_count(0) == 2
         assert arbiter.pending_count() == 2
+
+    def test_grant_share_bounds_under_asymmetric_offered_load(self):
+        # A light-load node must get its fair 1/2 share while it has traffic
+        # (round robin never starves it), and a heavy node must absorb every
+        # slot the light node leaves idle (work conservation).
+        arbiter = RoundRobinArbiter(node_count=4)
+        heavy, light = 0, 2
+        for index in range(60):
+            arbiter.request(heavy, f"h{index}")
+        for index in range(10):
+            arbiter.request(light, f"l{index}")
+        order = []
+        while True:
+            grant = arbiter.grant()
+            if grant is None:
+                break
+            order.append(grant[0])
+        assert len(order) == 70
+        # While both compete (first 20 grants) the shares are exactly equal.
+        head = order[:20]
+        assert head.count(light) == 10 and head.count(heavy) == 10
+        # Afterwards the heavy node owns the bus.
+        assert set(order[20:]) == {heavy}
+
+    def test_arrival_slots_gate_eligibility(self):
+        arbiter = RoundRobinArbiter(node_count=2)
+        arbiter.request(0, "late", arrival=5)
+        arbiter.request(1, "early", arrival=1)
+        assert arbiter.grant(0) is None
+        assert arbiter.next_arrival() == 1
+        assert arbiter.grant(1) == (1, "early")
+        assert arbiter.grant(4) is None
+        assert arbiter.grant(5) == (0, "late")
+        # Legacy slot-free grants remain drain-everything.
+        arbiter.request(0, "x", arrival=9)
+        assert arbiter.grant() == (0, "x")
+
+    def test_requests_must_arrive_in_order_per_node(self):
+        arbiter = RoundRobinArbiter(node_count=2)
+        arbiter.request(0, "a", arrival=4)
+        with pytest.raises(ValueError, match="arrival order"):
+            arbiter.request(0, "b", arrival=2)
+        with pytest.raises(ValueError):
+            arbiter.request(0, "c", arrival=-1)
 
     def test_validation(self):
         with pytest.raises(ValueError):

@@ -15,7 +15,7 @@ from repro.scenarios import (
     register_metric,
     run_scenario,
 )
-from repro.scenarios.metrics import PointOutcome
+from repro.scenarios.metrics import PointOutcome, evaluate_metrics
 
 TINY = dict(bits_per_point=256)
 
@@ -306,9 +306,21 @@ class TestMetricsRegistry:
     def test_point_outcome_validation(self):
         config = LinkConfig()
         with pytest.raises(ValueError):
-            PointOutcome(config=config, bits=0, bit_errors=0, symbols=1, symbol_errors=0)
+            PointOutcome(config=config, bits=-1, bit_errors=0, symbols=1, symbol_errors=0)
         with pytest.raises(ValueError):
             PointOutcome(config=config, bits=4, bit_errors=5, symbols=1, symbol_errors=0)
+
+    def test_empty_point_outcome_reports_nan_ratios(self):
+        # A zero-offered-load NoC point aggregates to an empty outcome: ratio
+        # metrics are NaN measurements, not exceptions.
+        import math
+
+        outcome = PointOutcome(
+            config=LinkConfig(), bits=0, bit_errors=0, symbols=0, symbol_errors=0
+        )
+        values, confidence = evaluate_metrics(("ber", "symbol_error_rate"), outcome)
+        assert math.isnan(values["ber"]) and math.isnan(values["symbol_error_rate"])
+        assert confidence["ber"] is None
 
     def test_custom_metric_usable_in_scenario(self):
         name = "test-missed-fraction"
