@@ -12,7 +12,9 @@ regenerating the reference::
     PYTHONPATH=src python -m repro run ber-vs-photons --bits 256 --seed 1 \
         --store tests/reference_artifacts
 
-Exit status: 0 when bit-identical, 1 on drift or a missing reference.
+Exit status: 0 when bit-identical, 1 on drift, 3 when the reference artefact
+is missing or unreadable (a broken *gate*, not a regression — fix the
+reference, don't chase the simulation).
 """
 
 from __future__ import annotations
@@ -30,20 +32,38 @@ BITS = 256
 METRIC = "ber"
 REFERENCE_DIR = REPO / "tests" / "reference_artifacts"
 
+#: Exit status for a missing/unreadable reference artefact: the gate itself
+#: is broken (regenerate the reference), distinct from 1 = real drift.
+EXIT_BAD_REFERENCE = 3
+
 
 def main() -> int:
     from repro.cli import main as cli_main
-    from repro.scenarios.store import ReportStore
+    from repro.scenarios.store import CorruptArtifactError, ReportStore
 
     references = sorted(REFERENCE_DIR.glob(f"{SCENARIO}__*__seed{SEED}__*.json"))
     if not references:
         print(
             f"error: no committed reference artefact for {SCENARIO!r} (seed {SEED}) "
-            f"under {REFERENCE_DIR}",
+            f"under {REFERENCE_DIR}\n"
+            f"regenerate it with:\n"
+            f"  PYTHONPATH=src python -m repro run {SCENARIO} --bits {BITS} "
+            f"--seed {SEED} --store {REFERENCE_DIR}",
             file=sys.stderr,
         )
-        return 1
+        return EXIT_BAD_REFERENCE
     reference = references[-1]
+    try:
+        ReportStore(REFERENCE_DIR).load(reference)
+    except (CorruptArtifactError, ValueError, OSError) as error:
+        print(
+            f"error: reference artefact {reference} is unreadable: {error}\n"
+            f"regenerate it with:\n"
+            f"  PYTHONPATH=src python -m repro run {SCENARIO} --bits {BITS} "
+            f"--seed {SEED} --store {REFERENCE_DIR}",
+            file=sys.stderr,
+        )
+        return EXIT_BAD_REFERENCE
 
     with tempfile.TemporaryDirectory() as scratch:
         status = cli_main(

@@ -81,11 +81,16 @@ from repro.core import (
 )
 from repro.noc import BroadcastResult, OpticalBus, Packet, StackTopology, broadcast
 from repro.scenarios import (
+    ChaosExecutor,
+    ChaosSchedule,
+    CorruptArtifactError,
     ExperimentReport,
     ExperimentRunner,
     ExperimentSession,
+    PointFailure,
     ProcessExecutor,
     ReportStore,
+    RetryPolicy,
     Scenario,
     SerialExecutor,
     get_scenario,
@@ -94,7 +99,7 @@ from repro.scenarios import (
 )
 from repro.simulation import NocTrafficTrial
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "LinkConfig",
@@ -119,7 +124,12 @@ __all__ = [
     "ExperimentReport",
     "SerialExecutor",
     "ProcessExecutor",
+    "RetryPolicy",
+    "PointFailure",
+    "ChaosSchedule",
+    "ChaosExecutor",
     "ReportStore",
+    "CorruptArtifactError",
     "run_scenario",
     "get_scenario",
     "named_scenarios",

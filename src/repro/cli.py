@@ -17,9 +17,18 @@ Four subcommands cover the run/inspect loop:
 
 Determinism carries through unchanged: ``repro run`` output is a function of
 ``(scenario, seed, chunk size)`` only — never of the executor or worker
-count.  Exit status is 0 on success, 2 for usage errors (argparse) and 1 for
-domain errors (unknown scenario, missing artefact), whose messages go to
-stderr.
+count, and never of how many retries (``--retry``) a faulty machine needed.
+Exit status is 0 on success, 2 for usage errors (argparse), 1 for domain
+errors (unknown scenario, missing artefact), and 3 for a corrupt artefact
+(:class:`~repro.scenarios.store.CorruptArtifactError` — the file exists but
+fails digest/format verification); messages go to stderr.
+
+Fault tolerance: ``repro run --retry N [--retry-timeout S]`` retries failing
+or hung points deterministically; ``--failure-policy continue`` records
+exhausted points in the report instead of aborting; completed points are
+checkpointed incrementally whenever the run stores artefacts, so a killed
+run resumes with ``repro run ... --resume`` re-evaluating only the missing
+points (the final artefact digest equals an uninterrupted run's).
 """
 
 from __future__ import annotations
@@ -33,13 +42,19 @@ from typing import List, Optional, Sequence
 from repro.analysis.report import ReportTable
 from repro.core.backend import available_backends
 from repro.scenarios import (
+    CorruptArtifactError,
     ExperimentRunner,
     ReportStore,
+    RetryPolicy,
     available_executors,
     get_scenario,
     named_scenarios,
 )
 from repro.scenarios.runner import DEFAULT_CHUNK_SYMBOLS
+
+#: Exit status for artefacts that exist but fail verification — distinct
+#: from 1 (domain errors) so calling scripts can trigger quarantine/re-run.
+EXIT_CORRUPT_ARTIFACT = 3
 
 DEFAULT_STORE = "artifacts"
 
@@ -98,6 +113,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the report mapping as JSON instead of the table")
     run_cmd.add_argument("--quiet", action="store_true",
                          help="suppress per-point progress lines")
+    run_cmd.add_argument("--retry", type=int, default=None, metavar="N",
+                         help="attempts per grid point (default 1: no retry)")
+    run_cmd.add_argument("--retry-timeout", type=float, default=None, metavar="SECONDS",
+                         help="per-attempt wall-clock budget (hung points are "
+                              "killed and retried; needs --retry)")
+    run_cmd.add_argument("--retry-backoff", type=float, default=None, metavar="SECONDS",
+                         help="base delay before a retry, growing exponentially "
+                              "with deterministic jitter (needs --retry)")
+    run_cmd.add_argument("--failure-policy", default=None,
+                         choices=("fail_fast", "continue"),
+                         help="what an exhausted point does: abort the run "
+                              "(fail_fast, default) or land in the report as a "
+                              "structured failure (continue)")
+    run_cmd.add_argument("--resume", action="store_true",
+                         help="pick up a killed run's checkpoint from the store, "
+                              "re-evaluating only the missing points")
 
     show_cmd = commands.add_parser("show", help="print a stored report artefact")
     show_cmd.add_argument("artifact", help="artefact id or path")
@@ -187,11 +218,25 @@ def _load_scenario_file(path: str):
     return Scenario.from_mapping(data)
 
 
+def _retry_policy(args: argparse.Namespace) -> Optional[RetryPolicy]:
+    if args.retry is None:
+        if args.retry_timeout is not None or args.retry_backoff is not None:
+            raise ValueError("--retry-timeout/--retry-backoff need --retry N")
+        return None
+    return RetryPolicy(
+        max_attempts=args.retry,
+        timeout=args.retry_timeout,
+        backoff=args.retry_backoff if args.retry_backoff is not None else 0.0,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if (args.scenario is None) == (args.file is None):
         raise ValueError(
             "pass exactly one of a scenario name or --file PATH (see `repro list`)"
         )
+    if args.resume and args.no_store:
+        raise ValueError("--resume reads the checkpoint from the store; drop --no-store")
     if args.file is not None:
         scenario = _load_scenario_file(args.file)
     else:
@@ -205,23 +250,47 @@ def _cmd_run(args: argparse.Namespace) -> int:
         chunk_symbols=args.chunk_symbols,
         executor=args.executor,
         workers=args.workers,
+        retry=_retry_policy(args),
+        failure_policy=args.failure_policy,
     )
-    with runner.session() as session:
+    checkpoint = None
+    if not args.no_store:
+        # Storing runs always checkpoint: a killed run can resume instead of
+        # starting over.  A fresh (non-resume) run discards any stale
+        # checkpoint left by a previous identical invocation.
+        checkpoint = ReportStore(args.store).run_checkpoint(
+            scenario.to_mapping(), runner.backend, args.seed, args.chunk_symbols
+        )
+        if not args.resume:
+            checkpoint.discard()
+    with runner.session(checkpoint=checkpoint) as session:
         if not args.quiet:
             _status(
                 f"running {scenario.name!r}: {session.total_points} point(s), "
                 f"backend={runner.backend}, executor={session.executor!r}"
             )
+            if session.resumed_points:
+                _status(
+                    f"resuming: {session.resumed_points} of {session.total_points} "
+                    f"point(s) restored from checkpoint"
+                )
         for point in session:
             if not args.quiet:
                 shown = _format_parameters(point.parameters)
                 _status(f"  [{session.completed_points}/{session.total_points}] {shown}")
         report = session.report()
+        for failure in session.failed_points:
+            _status(
+                f"  FAILED {_format_parameters(failure.parameters)}: "
+                f"{failure.error_type} after {failure.attempts} attempt(s)"
+            )
     # Persist before printing: a closed stdout pipe must never cost the
     # artefact of a completed simulation.
     if not args.no_store:
         path = ReportStore(args.store).save(report)
         _status(f"artefact: {path}")
+        if checkpoint is not None:
+            checkpoint.discard()
     if args.json:
         print(json.dumps(report.to_mapping(), indent=2))
     else:
@@ -273,6 +342,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(list(argv) if argv is not None else None)
     try:
         return _COMMANDS[args.command](args)
+    except CorruptArtifactError as error:
+        # The artefact exists but is damaged (truncated, digest mismatch):
+        # a distinct status so callers can quarantine/re-run mechanically.
+        print(f"error: {error.args[0] if error.args else error}", file=sys.stderr)
+        if error.path is not None:
+            print(
+                f"hint: move it aside with ReportStore.quarantine({str(error.path)!r}) "
+                f"and re-run the scenario",
+                file=sys.stderr,
+            )
+        return EXIT_CORRUPT_ARTIFACT
     except (ValueError, FileNotFoundError) as error:
         # Domain errors (unknown scenario/metric/artefact, bad values) — not
         # tracebacks.  KeyError is deliberately absent: curated lookups

@@ -15,6 +15,10 @@ over operating points.  This subsystem makes them first-class:
 * :mod:`repro.scenarios.executors` — pluggable grid-point dispatch:
   :class:`SerialExecutor` (in-process) and :class:`ProcessExecutor`
   (process pool), bit-identical to each other by construction.
+* :mod:`repro.scenarios.faults` — fault tolerance: :class:`RetryPolicy`
+  (retries/timeouts/deterministic backoff), :class:`PointFailure` records,
+  and the seeded :class:`ChaosSchedule`/:class:`ChaosExecutor` fault-
+  injection harness.
 * :mod:`repro.scenarios.session` — :class:`ExperimentSession`, the streaming
   execution shape: points are yielded as they complete.
 * :mod:`repro.scenarios.runner` — :class:`ExperimentRunner`, which compiles a
@@ -59,6 +63,13 @@ from repro.scenarios.executors import (
     make_point_tasks,
     resolve_executor,
 )
+from repro.scenarios.faults import (
+    ChaosExecutor,
+    ChaosSchedule,
+    PointFailure,
+    PointTimeoutError,
+    RetryPolicy,
+)
 from repro.scenarios.session import ExperimentSession
 from repro.scenarios.runner import (
     ExperimentPoint,
@@ -66,7 +77,12 @@ from repro.scenarios.runner import (
     ExperimentRunner,
     run_scenario,
 )
-from repro.scenarios.store import ReportStore, artifact_id
+from repro.scenarios.store import (
+    CorruptArtifactError,
+    ReportStore,
+    RunCheckpoint,
+    artifact_id,
+)
 from repro.scenarios.smoke import SmokeFailure, run_smoke
 
 __all__ = [
@@ -87,12 +103,19 @@ __all__ = [
     "resolve_executor",
     "evaluate_point",
     "make_point_tasks",
+    "RetryPolicy",
+    "PointFailure",
+    "PointTimeoutError",
+    "ChaosSchedule",
+    "ChaosExecutor",
     "ExperimentSession",
     "ExperimentPoint",
     "ExperimentReport",
     "ExperimentRunner",
     "run_scenario",
     "ReportStore",
+    "RunCheckpoint",
+    "CorruptArtifactError",
     "artifact_id",
     "SmokeFailure",
     "run_smoke",

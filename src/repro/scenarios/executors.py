@@ -45,8 +45,12 @@ from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
+import heapq
+import itertools
 import multiprocessing
 import os
+import time
+from collections import deque
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -64,6 +68,14 @@ from typing import (
 
 import numpy as np
 
+from repro.scenarios.faults import (
+    PointFailure,
+    PointTimeoutError,
+    RetryPolicy,
+    active_chaos,
+    inject_fault,
+    validate_failure_policy,
+)
 from repro.scenarios.metrics import PointOutcome, available_metrics
 from repro.scenarios.scenario import Scenario
 from repro.simulation.montecarlo import (
@@ -347,28 +359,110 @@ def evaluate_task(task: PointTask) -> PointOutcome:
     )
 
 
+def evaluate_task_attempt(task: PointTask, attempt: int) -> PointOutcome:
+    """One *attempt* at a task: the retry-aware worker entry point.
+
+    Identical to :func:`evaluate_task` except that an active chaos schedule
+    (the ``REPRO_CHAOS`` environment hook, inherited by worker processes)
+    may inject a fault first.  The fault key mixes the task seed with the
+    grid index, so even under the ``"shared"`` seed policy each point draws
+    an independent fault decision — and a given ``(point, attempt)`` always
+    draws the *same* one, run after run.
+    """
+    schedule = active_chaos()
+    if schedule is not None:
+        key = split_seed(task.seed, f"chaos-point:{task.index}")
+        inject_fault(schedule, key, attempt)
+    return evaluate_task(task)
+
+
 @runtime_checkable
 class Executor(Protocol):
     """Structural protocol every grid-point executor implements.
 
     ``map_tasks`` consumes :class:`PointTask` work units and yields
-    ``(index, outcome)`` pairs as points complete; completion order is
+    ``(index, result)`` pairs as points complete; completion order is
     unspecified, grid order is reconstructed by the caller from ``index``.
+    A result is normally a :class:`~repro.scenarios.metrics.PointOutcome`;
+    under ``failure_policy="continue"`` an exhausted point yields a
+    :class:`~repro.scenarios.faults.PointFailure` instead.
     """
 
     def map_tasks(
         self, tasks: Sequence[PointTask]
-    ) -> Iterator[Tuple[int, PointOutcome]]: ...
+    ) -> Iterator[Tuple[int, Union[PointOutcome, PointFailure]]]: ...
 
 
 class SerialExecutor:
-    """Evaluates every task in grid order, in the calling process."""
+    """Evaluates every task in grid order, in the calling process.
+
+    Parameters
+    ----------
+    retry:
+        Optional :class:`~repro.scenarios.faults.RetryPolicy`.  A failing
+        attempt is retried (with the policy's deterministic backoff) up to
+        ``max_attempts`` times; because point evaluation is a pure function
+        of the task, a successful retry is bit-identical to a first-attempt
+        success.  The serial path cannot pre-empt a running evaluation, so
+        ``timeout`` is enforced *post hoc*: an attempt that overran is
+        discarded and retried.
+    failure_policy:
+        ``"fail_fast"`` (default) re-raises the final error of an exhausted
+        point; ``"continue"`` yields a structured
+        :class:`~repro.scenarios.faults.PointFailure` and moves on.
+    """
+
+    def __init__(
+        self,
+        retry: Optional[RetryPolicy] = None,
+        failure_policy: str = "fail_fast",
+    ) -> None:
+        self.retry = retry
+        self.failure_policy = validate_failure_policy(failure_policy)
+        self.stats: Dict[str, int] = {"retries": 0, "failures": 0}
 
     def map_tasks(
         self, tasks: Sequence[PointTask]
-    ) -> Iterator[Tuple[int, PointOutcome]]:
+    ) -> Iterator[Tuple[int, Union[PointOutcome, PointFailure]]]:
         for task in tasks:
-            yield task.index, evaluate_task(task)
+            yield task.index, self._evaluate_with_retry(task)
+
+    def _evaluate_with_retry(self, task: PointTask) -> Union[PointOutcome, PointFailure]:
+        policy = self.retry or RetryPolicy(max_attempts=1)
+        started = time.monotonic()
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            attempt_started = time.monotonic()
+            try:
+                outcome = evaluate_task_attempt(task, attempt)
+            except Exception as error:
+                last_error = error
+            else:
+                elapsed = time.monotonic() - attempt_started
+                if policy.timeout is not None and elapsed > policy.timeout:
+                    last_error = PointTimeoutError(
+                        f"point {task.index} attempt {attempt} ran {elapsed:.3f}s, "
+                        f"over the {policy.timeout}s budget"
+                    )
+                else:
+                    return outcome
+            if attempt < policy.max_attempts:
+                self.stats["retries"] += 1
+                delay = policy.delay(task.seed, attempt)
+                if delay > 0:
+                    time.sleep(delay)
+        self.stats["failures"] += 1
+        assert last_error is not None
+        if self.failure_policy == "continue":
+            return PointFailure(
+                index=task.index,
+                parameters=task.parameters,
+                error_type=type(last_error).__name__,
+                message=str(last_error),
+                attempts=policy.max_attempts,
+                elapsed=time.monotonic() - started,
+            )
+        raise last_error
 
     def __repr__(self) -> str:
         return "SerialExecutor()"
@@ -387,17 +481,56 @@ class ProcessExecutor:
     start_method:
         Optional :mod:`multiprocessing` start method (``"fork"``/``"spawn"``/
         ``"forkserver"``); ``None`` uses the platform default.
+    retry:
+        Optional :class:`~repro.scenarios.faults.RetryPolicy`.  Beyond the
+        serial semantics (retry failed attempts with deterministic backoff),
+        the pool enforces the policy's ``timeout`` pre-emptively — a worker
+        still running past the budget is treated as hung, the pool is torn
+        down and rebuilt, and only the overdue task is charged an attempt
+        (innocent in-flight tasks are requeued uncharged).  A dead worker
+        (``BrokenProcessPool``: segfault, OOM kill, ``os._exit``) likewise
+        rebuilds the pool; since the culprit cannot be identified, every
+        in-flight task is charged one attempt and requeued.  Because point
+        seeds are pre-derived and evaluation is pure, re-execution after any
+        of this is bit-identical to an unfailed run.
+    failure_policy:
+        ``"fail_fast"`` (default) re-raises the final error of an exhausted
+        point; ``"continue"`` yields a structured
+        :class:`~repro.scenarios.faults.PointFailure` and keeps draining the
+        grid.
     """
 
-    def __init__(self, workers: Optional[int] = None, start_method: Optional[str] = None) -> None:
+    #: Poll interval for the dispatch loop (seconds): bounds hung-worker
+    #: detection latency and delayed-retry promotion without busy-waiting.
+    _POLL_SECONDS = 0.05
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
+        failure_policy: str = "fail_fast",
+    ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be a positive int, got {workers!r}")
         self.workers = workers
         self.start_method = start_method
+        self.retry = retry
+        self.failure_policy = validate_failure_policy(failure_policy)
+        self.stats: Dict[str, int] = {"retries": 0, "failures": 0, "pool_rebuilds": 0}
+
+    @staticmethod
+    def _terminate_workers(pool: concurrent.futures.ProcessPoolExecutor) -> None:
+        """Hard-kill a pool's worker processes (hung workers never exit on
+        their own, so a plain shutdown would block forever)."""
+        for process in list(getattr(pool, "_processes", {}).values() or ()):
+            if process.is_alive():
+                process.terminate()
+        pool.shutdown(wait=False, cancel_futures=True)
 
     def map_tasks(
         self, tasks: Sequence[PointTask]
-    ) -> Iterator[Tuple[int, PointOutcome]]:
+    ) -> Iterator[Tuple[int, Union[PointOutcome, PointFailure]]]:
         tasks = list(tasks)
         if not tasks:
             return
@@ -412,16 +545,156 @@ class ProcessExecutor:
                     f"process boundary: only plain Scenario values ship to "
                     f"workers; run subclassed scenarios on the serial executor"
                 )
+        policy = self.retry or RetryPolicy(max_attempts=1)
         workers = self.workers or usable_cpu_count()
         workers = max(1, min(workers, len(tasks)))
         context = multiprocessing.get_context(self.start_method)
-        pool = concurrent.futures.ProcessPoolExecutor(
-            max_workers=workers, mp_context=context
-        )
+
+        def new_pool() -> concurrent.futures.ProcessPoolExecutor:
+            return concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers, mp_context=context
+            )
+
+        pool = new_pool()
+        pending: "deque[Tuple[PointTask, int]]" = deque((task, 1) for task in tasks)
+        delayed: List[Tuple[float, int, PointTask, int]] = []  # (ready_at, tiebreak, ...)
+        tiebreak = itertools.count()
+        in_flight: Dict[concurrent.futures.Future, Tuple[PointTask, int, float]] = {}
+        first_dispatch: Dict[int, float] = {}
+
+        def after_failed_attempt(
+            task: PointTask, attempt: int, error: BaseException
+        ) -> Optional[PointFailure]:
+            """Requeue a failed attempt, or close the point out.
+
+            Returns the :class:`PointFailure` to yield (``"continue"`` with
+            attempts exhausted), ``None`` when a retry was scheduled, and
+            raises the original error under ``"fail_fast"``.
+            """
+            if attempt < policy.max_attempts:
+                self.stats["retries"] += 1
+                delay = policy.delay(task.seed, attempt)
+                if delay > 0:
+                    heapq.heappush(
+                        delayed,
+                        (time.monotonic() + delay, next(tiebreak), task, attempt + 1),
+                    )
+                else:
+                    pending.append((task, attempt + 1))
+                return None
+            self.stats["failures"] += 1
+            if self.failure_policy == "continue":
+                return PointFailure(
+                    index=task.index,
+                    parameters=task.parameters,
+                    error_type=type(error).__name__,
+                    message=str(error),
+                    attempts=policy.max_attempts,
+                    elapsed=time.monotonic() - first_dispatch.get(task.index, time.monotonic()),
+                )
+            raise error
+
+        def rebuild_pool() -> None:
+            nonlocal pool
+            self._terminate_workers(pool)
+            pool = new_pool()
+            self.stats["pool_rebuilds"] += 1
+
         try:
-            futures = {pool.submit(evaluate_task, task): task.index for task in tasks}
-            for future in concurrent.futures.as_completed(futures):
-                yield futures[future], future.result()
+            while pending or delayed or in_flight:
+                now = time.monotonic()
+                while delayed and delayed[0][0] <= now:
+                    _ready, _tie, task, attempt = heapq.heappop(delayed)
+                    pending.append((task, attempt))
+                pool_broken = False
+                while pending and len(in_flight) < workers:
+                    task, attempt = pending.popleft()
+                    try:
+                        future = pool.submit(evaluate_task_attempt, task, attempt)
+                    except (concurrent.futures.BrokenExecutor, RuntimeError):
+                        # The pool died between polls; requeue and rebuild.
+                        pending.appendleft((task, attempt))
+                        pool_broken = True
+                        break
+                    in_flight[future] = (task, attempt, time.monotonic())
+                    first_dispatch.setdefault(task.index, now)
+                if in_flight and not pool_broken:
+                    done, _running = concurrent.futures.wait(
+                        set(in_flight),
+                        timeout=self._POLL_SECONDS,
+                        return_when=concurrent.futures.FIRST_COMPLETED,
+                    )
+                    for future in done:
+                        task, attempt, _started = in_flight.pop(future)
+                        try:
+                            result = future.result()
+                        except concurrent.futures.BrokenExecutor:
+                            # A worker died; the whole pool is poisoned and
+                            # every in-flight future will raise this.  Put the
+                            # entry back so the uniform crash handling below
+                            # charges all of them identically.
+                            in_flight[future] = (task, attempt, _started)
+                            pool_broken = True
+                            break
+                        except concurrent.futures.CancelledError:
+                            pending.append((task, attempt))  # uncharged requeue
+                        except Exception as error:
+                            failure = after_failed_attempt(task, attempt, error)
+                            if failure is not None:
+                                yield task.index, failure
+                        else:
+                            yield task.index, result
+                if pool_broken or getattr(pool, "_broken", False):
+                    # Which in-flight task killed the worker is unknowable, so
+                    # each is charged one attempt and requeued (or closed out).
+                    casualties = list(in_flight.values())
+                    in_flight.clear()
+                    rebuild_pool()
+                    error: BaseException = concurrent.futures.process.BrokenProcessPool(
+                        "a worker process died while the task was in flight"
+                    )
+                    for task, attempt, _started in casualties:
+                        failure = after_failed_attempt(task, attempt, error)
+                        if failure is not None:
+                            yield task.index, failure
+                    continue
+                if policy.timeout is not None and in_flight:
+                    now = time.monotonic()
+                    overdue = {
+                        future
+                        for future, (_t, _a, started) in in_flight.items()
+                        if now - started > policy.timeout
+                    }
+                    if overdue:
+                        # A genuinely hung worker cannot be cancelled — kill
+                        # the pool.  Only overdue tasks are charged an attempt;
+                        # innocents requeue at their current attempt number.
+                        entries = list(in_flight.items())
+                        in_flight.clear()
+                        rebuild_pool()
+                        for future, (task, attempt, started) in entries:
+                            if future not in overdue:
+                                pending.append((task, attempt))
+                                continue
+                            timeout_error = PointTimeoutError(
+                                f"point {task.index} attempt {attempt} exceeded the "
+                                f"{policy.timeout}s budget"
+                            )
+                            failure = after_failed_attempt(task, attempt, timeout_error)
+                            if failure is not None:
+                                yield task.index, failure
+                elif not in_flight and delayed:
+                    # Everything is waiting out a backoff window; sleep to it.
+                    pause = delayed[0][0] - time.monotonic()
+                    if pause > 0:
+                        time.sleep(min(pause, self._POLL_SECONDS))
+        except KeyboardInterrupt:
+            # Ctrl-C must not orphan workers or leave the pool draining the
+            # grid: cancel everything queued and hard-stop the workers.
+            for future in in_flight:
+                future.cancel()
+            self._terminate_workers(pool)
+            raise
         finally:
             # Abandoned streams (a consumer that stops after a few points)
             # must not simulate the rest of the grid to completion: cancel
@@ -446,13 +719,17 @@ def available_executors() -> Tuple[str, ...]:
 def resolve_executor(
     executor: Union[None, str, Executor] = None,
     workers: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    failure_policy: Optional[str] = None,
 ) -> Executor:
     """Normalise an executor argument to an :class:`Executor` instance.
 
     ``None`` means serial; a string names a built-in executor (``workers`` is
     forwarded to :class:`ProcessExecutor`); an instance passes through
     unchanged, in which case ``workers`` must be left unset (the instance
-    already fixed its pool size).
+    already fixed its pool size).  ``retry`` and ``failure_policy``, when
+    given, are applied to whatever executor results — including passed-in
+    instances, whose previous settings they override.
     """
     if executor is None:
         executor = "process" if workers is not None else "serial"
@@ -465,12 +742,19 @@ def resolve_executor(
                 f"unknown executor {executor!r}; available: {known}"
             ) from None
         if factory is ProcessExecutor:
-            return ProcessExecutor(workers=workers)
+            resolved: Executor = ProcessExecutor(workers=workers)
+        else:
+            if workers is not None:
+                raise ValueError(f"executor {executor!r} does not take workers=")
+            resolved = factory()
+    else:
         if workers is not None:
-            raise ValueError(f"executor {executor!r} does not take workers=")
-        return factory()
-    if workers is not None:
-        raise ValueError("pass workers= only with a named executor, not an instance")
-    if not isinstance(executor, Executor):
-        raise TypeError(f"not an executor: {executor!r}")
-    return executor
+            raise ValueError("pass workers= only with a named executor, not an instance")
+        if not isinstance(executor, Executor):
+            raise TypeError(f"not an executor: {executor!r}")
+        resolved = executor
+    if retry is not None:
+        resolved.retry = retry
+    if failure_policy is not None:
+        resolved.failure_policy = validate_failure_policy(failure_policy)
+    return resolved

@@ -40,9 +40,13 @@ from repro.scenarios.executors import (
     make_point_tasks,
     resolve_executor,
 )
+from repro.scenarios.faults import PointFailure, RetryPolicy
 from repro.scenarios.metrics import PointOutcome, evaluate_metrics, metric_allows_nan
 from repro.scenarios.scenario import Scenario
 from repro.scenarios.session import ExperimentSession
+
+if False:  # pragma: no cover - typing only, avoids a runtime cycle
+    from repro.scenarios.store import RunCheckpoint
 
 #: Default symbols per Monte-Carlo chunk.  Reports are deterministic in
 #: ``(scenario, seed, chunk_symbols)``, so every front door (runner,
@@ -114,17 +118,27 @@ class ExperimentPoint:
 
 @dataclass(frozen=True)
 class ExperimentReport:
-    """Structured outcome of running one scenario end to end."""
+    """Structured outcome of running one scenario end to end.
+
+    ``failures`` is normally empty: under ``failure_policy="continue"`` it
+    carries one :class:`~repro.scenarios.faults.PointFailure` per grid point
+    that exhausted its retry budget (those points are absent from
+    ``points``).  A report with no failures serialises exactly as before —
+    the key is omitted — so fault tolerance never perturbs the content
+    digest of a clean run.
+    """
 
     scenario: Mapping[str, Any]
     backend: str
     seed: int
     points: Tuple[ExperimentPoint, ...]
     total_bits: int
+    failures: Tuple[PointFailure, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "scenario", dict(self.scenario))
         object.__setattr__(self, "points", tuple(self.points))
+        object.__setattr__(self, "failures", tuple(self.failures))
 
     @property
     def name(self) -> str:
@@ -148,14 +162,21 @@ class ExperimentReport:
         return xs, ys
 
     def to_mapping(self) -> Dict[str, Any]:
-        """Plain-data form of the report (JSON-serialisable)."""
-        return {
+        """Plain-data form of the report (JSON-serialisable).
+
+        The ``failures`` key appears only when there are failures: clean
+        reports keep their historical shape (and content digest).
+        """
+        mapping = {
             "scenario": dict(self.scenario),
             "backend": self.backend,
             "seed": self.seed,
             "total_bits": self.total_bits,
             "points": [point.to_mapping() for point in self.points],
         }
+        if self.failures:
+            mapping["failures"] = [failure.to_mapping() for failure in self.failures]
+        return mapping
 
     @classmethod
     def from_mapping(cls, mapping: Mapping[str, Any]) -> "ExperimentReport":
@@ -168,18 +189,23 @@ class ExperimentReport:
         True
         """
         data = dict(mapping)
-        known = {"scenario", "backend", "seed", "total_bits", "points"}
+        required = {"scenario", "backend", "seed", "total_bits", "points"}
+        known = required | {"failures"}
         unknown = sorted(set(data) - known)
         if unknown:
             raise ValueError(f"unknown experiment-report key(s): {', '.join(unknown)}")
-        missing = sorted(known - set(data))
+        missing = sorted(required - set(data))
         if missing:
             raise ValueError(f"experiment-report mapping lacks key(s): {', '.join(missing)}")
         points = tuple(
             point if isinstance(point, ExperimentPoint) else ExperimentPoint.from_mapping(point)
             for point in data.pop("points", ())
         )
-        return cls(points=points, **data)
+        failures = tuple(
+            failure if isinstance(failure, PointFailure) else PointFailure.from_mapping(failure)
+            for failure in data.pop("failures", ())
+        )
+        return cls(points=points, failures=failures, **data)
 
     def summary(self) -> str:
         """Aligned text table of every point (one row) and metric (one column)."""
@@ -199,6 +225,13 @@ class ExperimentReport:
             f"scenario {self.name!r} — backend={self.backend}, seed={self.seed}, "
             f"{len(self.points)} point(s), {self.total_bits} bits"
         )
+        if self.failures:
+            lines = [
+                f"  FAILED {dict(failure.parameters)!r}: {failure.error_type} "
+                f"after {failure.attempts} attempt(s): {failure.message}"
+                for failure in self.failures
+            ]
+            header += f", {len(self.failures)} failed point(s)\n" + "\n".join(lines)
         return f"{header}\n{table.render()}"
 
 
@@ -226,6 +259,13 @@ class ExperimentRunner:
     workers:
         Pool size for a named ``"process"`` executor (implies it when set
         without ``executor=``).
+    retry:
+        Optional :class:`~repro.scenarios.faults.RetryPolicy` applied to the
+        resolved executor: failed/hung point attempts are retried with
+        deterministic backoff, bit-identically to an unfailed run.
+    failure_policy:
+        ``"fail_fast"`` (default) or ``"continue"`` — whether an exhausted
+        point aborts the run or lands in ``report.failures``.
     """
 
     def __init__(
@@ -236,6 +276,8 @@ class ExperimentRunner:
         chunk_symbols: int = DEFAULT_CHUNK_SYMBOLS,
         executor: Union[None, str, Executor] = None,
         workers: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        failure_policy: Optional[str] = None,
     ) -> None:
         if chunk_symbols <= 0:
             raise ValueError("chunk_symbols must be positive")
@@ -248,7 +290,7 @@ class ExperimentRunner:
                 f"which backend {self.backend!r} does not support"
             )
         self.chunk_symbols = chunk_symbols
-        self.executor = resolve_executor(executor, workers)
+        self.executor = resolve_executor(executor, workers, retry, failure_policy)
 
     # -- point execution -------------------------------------------------------
     def point_tasks(self) -> List[PointTask]:
@@ -294,14 +336,19 @@ class ExperimentRunner:
             detection_counts=outcome.detection_counts,
         )
 
-    def assemble_report(self, points: Sequence[ExperimentPoint]) -> ExperimentReport:
-        """Assemble grid-ordered points into the structured report."""
+    def assemble_report(
+        self,
+        points: Sequence[ExperimentPoint],
+        failures: Sequence[PointFailure] = (),
+    ) -> ExperimentReport:
+        """Assemble grid-ordered points (and any failures) into the report."""
         return ExperimentReport(
             scenario=self.scenario.to_mapping(),
             backend=self.backend,
             seed=self.seed,
             points=tuple(points),
             total_bits=sum(point.bits for point in points),
+            failures=tuple(failures),
         )
 
     # -- experiment execution ------------------------------------------------------
@@ -309,18 +356,23 @@ class ExperimentRunner:
         self,
         executor: Union[None, str, Executor] = None,
         workers: Optional[int] = None,
+        checkpoint: Optional["RunCheckpoint"] = None,
     ) -> ExperimentSession:
         """Start a streaming :class:`ExperimentSession` for this run.
 
         ``executor``/``workers`` override the runner's dispatch for this
         session only; iterate the session for points as they complete and
         call :meth:`ExperimentSession.report` for the assembled report.
+        ``checkpoint`` (see
+        :meth:`~repro.scenarios.store.ReportStore.run_checkpoint`) enables
+        incremental crash recovery: previously recorded points are restored
+        instead of re-evaluated, and new points are appended as they land.
         """
         if executor is None and workers is None:
             chosen = self.executor
         else:
             chosen = resolve_executor(executor, workers)
-        return ExperimentSession(self, chosen)
+        return ExperimentSession(self, chosen, checkpoint=checkpoint)
 
     def run(
         self,
@@ -355,6 +407,9 @@ def run_scenario(
     executor: Union[None, str, Executor] = None,
     workers: Optional[int] = None,
     store: Union[None, str, "ReportStore"] = None,  # noqa: F821 - forward ref
+    retry: Optional[RetryPolicy] = None,
+    failure_policy: Optional[str] = None,
+    resume: bool = False,
 ) -> ExperimentReport:
     """One-call convenience: build an :class:`ExperimentRunner` and run it.
 
@@ -363,17 +418,44 @@ def run_scenario(
     dispatch them — and optionally persists the report into a
     :class:`~repro.scenarios.store.ReportStore` (a store instance or a
     directory path).
+
+    With a store, completed points are checkpointed incrementally; pass
+    ``resume=True`` to pick up a killed run's checkpoint, re-evaluating only
+    the points it had not finished (the final report — and its content
+    digest — equals an uninterrupted run's).  Without ``resume`` any stale
+    checkpoint for the same run is discarded first.  The checkpoint is
+    removed once the report is safely saved.
     """
-    report = ExperimentRunner(
+    runner = ExperimentRunner(
         scenario,
         seed=seed,
         backend=backend,
         chunk_symbols=chunk_symbols,
         executor=executor,
         workers=workers,
-    ).run()
+        retry=retry,
+        failure_policy=failure_policy,
+    )
+    if resume and store is None:
+        raise ValueError("resume=True needs a store to read the checkpoint from")
+    checkpoint = None
+    report_store = None
     if store is not None:
         from repro.scenarios.store import ReportStore
 
-        (store if isinstance(store, ReportStore) else ReportStore(store)).save(report)
+        report_store = store if isinstance(store, ReportStore) else ReportStore(store)
+        checkpoint = report_store.run_checkpoint(
+            scenario.to_mapping(), runner.backend, seed, chunk_symbols
+        )
+        if not resume:
+            checkpoint.discard()
+    session = runner.session(checkpoint=checkpoint)
+    try:
+        report = session.report()
+    finally:
+        session.close()
+    if report_store is not None:
+        report_store.save(report)
+        if checkpoint is not None:
+            checkpoint.discard()
     return report

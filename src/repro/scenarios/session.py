@@ -29,13 +29,15 @@ the stream (see :meth:`~repro.scenarios.runner.ExperimentRunner.run`).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.scenarios.executors import Executor, PointTask
+from repro.scenarios.faults import PointFailure
 from repro.scenarios.metrics import PointOutcome
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
     from repro.scenarios.runner import ExperimentPoint, ExperimentReport, ExperimentRunner
+    from repro.scenarios.store import RunCheckpoint
 
 
 class ExperimentSession:
@@ -44,18 +46,46 @@ class ExperimentSession:
     Built by :meth:`ExperimentRunner.session`; not constructed directly.
     The session owns the executor stream and the completed points; the runner
     owns point semantics (seeds, metric evaluation, report assembly).
+
+    With a ``checkpoint`` (see
+    :meth:`~repro.scenarios.store.ReportStore.run_checkpoint`), points
+    already recorded on disk are restored up front and *not* re-evaluated —
+    the resume path — and every newly completed point is appended to the
+    checkpoint before it is yielded, so a killed run loses at most the point
+    that was in flight.
+
+    Under an executor with ``failure_policy="continue"``, exhausted points
+    arrive as :class:`~repro.scenarios.faults.PointFailure` records: they are
+    collected (see :attr:`failed_points`), excluded from metrics, and the
+    session keeps streaming the surviving points.
     """
 
-    def __init__(self, runner: "ExperimentRunner", executor: Executor) -> None:
+    def __init__(
+        self,
+        runner: "ExperimentRunner",
+        executor: Executor,
+        checkpoint: Optional["RunCheckpoint"] = None,
+    ) -> None:
         self._runner = runner
         self._executor = executor
         self._tasks: Sequence[PointTask] = runner.point_tasks()
-        self._stream: Optional[Iterator[Tuple[int, PointOutcome]]] = None
+        self._stream: Optional[Iterator[Tuple[int, Union[PointOutcome, PointFailure]]]] = None
         self._points: Dict[int, "ExperimentPoint"] = {}
         self._failures: Dict[int, Exception] = {}
+        self._failed: Dict[int, PointFailure] = {}
         self._stream_error: Optional[Exception] = None
         self._closed = False
         self._report: Optional["ExperimentReport"] = None
+        self._checkpoint = checkpoint
+        self._resumed: Dict[int, "ExperimentPoint"] = {}
+        if checkpoint is not None:
+            from repro.scenarios.runner import ExperimentPoint
+
+            for index, mapping in checkpoint.load().items():
+                if 0 <= index < len(self._tasks):
+                    point = ExperimentPoint.from_mapping(mapping)
+                    self._points[index] = point
+                    self._resumed[index] = point
 
     # -- introspection ---------------------------------------------------------
     @property
@@ -70,6 +100,16 @@ class ExperimentSession:
     def completed_points(self) -> int:
         return len(self._points)
 
+    @property
+    def resumed_points(self) -> int:
+        """Points restored from the checkpoint (not re-evaluated this run)."""
+        return len(self._resumed)
+
+    @property
+    def failed_points(self) -> List[PointFailure]:
+        """Exhausted points recorded so far (``"continue"`` policy), grid order."""
+        return [self._failed[index] for index in sorted(self._failed)]
+
     def completed(self) -> List["ExperimentPoint"]:
         """Points completed so far, in grid order."""
         return [self._points[index] for index in sorted(self._points)]
@@ -79,29 +119,54 @@ class ExperimentSession:
         return self
 
     def __next__(self) -> "ExperimentPoint":
-        if self._closed:
-            raise StopIteration
-        if self._stream is None:
-            self._stream = self._executor.map_tasks(self._tasks)
-        try:
-            index, outcome = next(self._stream)
-        except StopIteration:
-            raise
-        except Exception as error:
-            # A point evaluation (or the pool itself) failed; the generator
-            # is now closed.  Remember the cause so report() can re-raise it.
-            self._stream_error = error
-            raise
-        try:
-            point = self._runner.build_point(self._tasks[index].parameters, outcome)
-        except Exception as error:
-            # The executor delivered the outcome; metric evaluation failed.
-            # Remember why, so a later report() raises the real cause instead
-            # of claiming the point was never delivered.
-            self._failures[index] = error
-            raise
-        self._points[index] = point
-        return point
+        while True:
+            if self._closed:
+                raise StopIteration
+            if self._stream is None:
+                outstanding = [
+                    task for task in self._tasks if task.index not in self._points
+                ]
+                if not outstanding:
+                    raise StopIteration
+                self._stream = self._executor.map_tasks(outstanding)
+            try:
+                index, outcome = next(self._stream)
+            except StopIteration:
+                raise
+            except Exception as error:
+                # A point evaluation (or the pool itself) failed; the generator
+                # is now closed.  Remember the cause so report() can re-raise it.
+                self._stream_error = error
+                raise
+            if isinstance(outcome, PointFailure):
+                # An exhausted point under failure_policy="continue": record
+                # it and keep streaming the surviving points.
+                self._failed[index] = outcome
+                continue
+            try:
+                point = self._runner.build_point(self._tasks[index].parameters, outcome)
+            except Exception as error:
+                if getattr(self._executor, "failure_policy", "fail_fast") == "continue":
+                    # Metric evaluation failed, but the run was asked to keep
+                    # going — degrade this point to a structured failure too.
+                    self._failed[index] = PointFailure(
+                        index=index,
+                        parameters=self._tasks[index].parameters,
+                        error_type=type(error).__name__,
+                        message=str(error),
+                        attempts=1,
+                        elapsed=0.0,
+                    )
+                    continue
+                # The executor delivered the outcome; metric evaluation failed.
+                # Remember why, so a later report() raises the real cause
+                # instead of claiming the point was never delivered.
+                self._failures[index] = error
+                raise
+            self._points[index] = point
+            if self._checkpoint is not None:
+                self._checkpoint.append(index, point.to_mapping())
+            return point
 
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:
@@ -139,7 +204,11 @@ class ExperimentSession:
                 # rest of the grid in the background.
                 self.close()
                 raise
-            missing = [i for i in range(len(self._tasks)) if i not in self._points]
+            missing = [
+                i
+                for i in range(len(self._tasks))
+                if i not in self._points and i not in self._failed
+            ]
             for index in missing:
                 if index in self._failures:
                     raise self._failures[index]
@@ -152,7 +221,8 @@ class ExperimentSession:
             if missing:  # pragma: no cover - executors deliver every task
                 raise RuntimeError(f"executor never delivered point(s) {missing}")
             self._report = self._runner.assemble_report(
-                [self._points[index] for index in range(len(self._tasks))]
+                [self._points[index] for index in sorted(self._points)],
+                failures=self.failed_points,
             )
         return self._report
 

@@ -32,6 +32,7 @@ True
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 import time
@@ -43,7 +44,47 @@ from repro.scenarios.runner import ExperimentReport
 #: Format tag written into every artefact envelope; bumped on layout changes.
 ARTIFACT_FORMAT = "repro-report-v1"
 
+#: Format tag of checkpoint files (JSONL, one completed point per line).
+CHECKPOINT_FORMAT = "repro-checkpoint-v1"
+
 _DIGEST_CHARS = 12
+
+#: Distinguishes scratch files of concurrent saves from the *same* process
+#: (the pid alone would collide); combined with the pid for cross-process
+#: uniqueness.
+_SCRATCH_COUNTER = itertools.count()
+
+
+class CorruptArtifactError(ValueError):
+    """An artefact on disk is damaged: truncated, foreign, or digest-mismatched.
+
+    Subclasses :class:`ValueError`, so pre-existing ``except ValueError``
+    call sites (and the CLI's error mapping) keep working; ``path`` names
+    the offending file so tooling can :meth:`ReportStore.quarantine` it.
+    """
+
+    def __init__(self, message: str, path: Optional[Path] = None) -> None:
+        super().__init__(message)
+        self.path = path
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory entry to disk (crash safety of the rename itself).
+
+    Best effort: not every platform/filesystem lets directories be opened
+    for fsync, and a failure here only narrows the crash window, never
+    correctness (the artefact content was already fsynced).
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform dependent
+        pass
+    finally:
+        os.close(fd)
 
 
 def _canonical_json(mapping: Mapping[str, Any]) -> str:
@@ -118,11 +159,20 @@ class ReportStore:
             "report": report.to_mapping(),
         }
         path = self.root / f"{name}.json"
-        # Atomic: an interrupted run (Ctrl-C, OOM) must never leave a
-        # truncated artefact behind — write aside, then rename into place.
-        scratch = self.root / f".{name}.tmp-{os.getpid()}"
-        scratch.write_text(json.dumps(envelope, sort_keys=True, indent=2))
+        # Atomic and durable: an interrupted run (Ctrl-C, OOM, power loss)
+        # must never leave a truncated artefact behind — write aside, flush
+        # to disk, then rename into place.  A crash before the rename leaves
+        # only a dot-prefixed scratch file, which list()/load()/latest()
+        # never see; concurrent saves of the same id are last-writer-wins
+        # (each writes its own scratch, renames are atomic), never
+        # interleaved.
+        scratch = self.root / f".{name}.tmp-{os.getpid()}-{next(_SCRATCH_COUNTER)}"
+        with open(scratch, "w") as handle:
+            handle.write(json.dumps(envelope, sort_keys=True, indent=2))
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(scratch, path)
+        _fsync_directory(self.root)
         return path
 
     # -- reading ---------------------------------------------------------------
@@ -143,20 +193,64 @@ class ReportStore:
         )
 
     def read_envelope(self, ref: Union[str, Path]) -> Dict[str, Any]:
-        """The raw artefact envelope (format, artefact id, timestamp, report)."""
+        """The raw artefact envelope (format, artefact id, timestamp, report).
+
+        Verifies the envelope end to end — valid JSON, the expected format
+        tag, a report payload, and the content digest embedded in the
+        artefact id matching a recomputation over the payload — and raises
+        :class:`CorruptArtifactError` (a :class:`ValueError`) naming the
+        file otherwise.  Truncated writes, bit rot, and hand-edited
+        artefacts all surface here instead of as downstream surprises.
+        """
         path = self._resolve(ref)
         try:
             envelope = json.loads(path.read_text())
         except json.JSONDecodeError as error:
-            raise ValueError(f"artefact {path} is not valid JSON: {error}") from error
+            raise CorruptArtifactError(
+                f"artefact {path} is not valid JSON: {error}", path=path
+            ) from error
         if not isinstance(envelope, dict) or envelope.get("format") != ARTIFACT_FORMAT:
-            raise ValueError(
+            raise CorruptArtifactError(
                 f"artefact {path} is not a {ARTIFACT_FORMAT} envelope "
-                f"(format={envelope.get('format') if isinstance(envelope, dict) else None!r})"
+                f"(format={envelope.get('format') if isinstance(envelope, dict) else None!r})",
+                path=path,
             )
         if not isinstance(envelope.get("report"), dict):
-            raise ValueError(f"artefact {path} carries no report payload")
+            raise CorruptArtifactError(
+                f"artefact {path} carries no report payload", path=path
+            )
+        artifact = envelope.get("artifact")
+        parts = artifact.rsplit("__", 3) if isinstance(artifact, str) else []
+        if len(parts) != 4:
+            raise CorruptArtifactError(
+                f"artefact {path} has no well-formed artefact id "
+                f"(artifact={artifact!r})",
+                path=path,
+            )
+        payload = _canonical_json(envelope["report"]).encode("utf-8")
+        actual = hashlib.sha256(payload).hexdigest()[:_DIGEST_CHARS]
+        if actual != parts[3]:
+            raise CorruptArtifactError(
+                f"artefact {path} failed digest verification: id says {parts[3]}, "
+                f"payload hashes to {actual} — the report content was altered "
+                f"after it was saved",
+                path=path,
+            )
         return envelope
+
+    def quarantine(self, ref: Union[str, Path]) -> Path:
+        """Move a (typically corrupt) artefact aside, out of the store's view.
+
+        The file lands in ``<root>/quarantine/`` under its original name;
+        :meth:`list`, :meth:`latest` and :meth:`load` no longer see it.
+        Returns the new path.
+        """
+        path = self._resolve(ref)
+        refuge = self.root / "quarantine"
+        refuge.mkdir(parents=True, exist_ok=True)
+        target = refuge / path.name
+        os.replace(path, target)
+        return target
 
     def load(self, ref: Union[str, Path]) -> ExperimentReport:
         """Load an artefact back into an :class:`ExperimentReport`."""
@@ -262,5 +356,112 @@ class ReportStore:
             "only_b": [dict(key) for key in points_b if key not in points_a],
         }
 
+    # -- crash recovery ----------------------------------------------------------
+    def run_checkpoint(
+        self,
+        scenario: Mapping[str, Any],
+        backend: str,
+        seed: int,
+        chunk_symbols: int,
+    ) -> "RunCheckpoint":
+        """The incremental checkpoint for one exact run of an experiment.
+
+        Keyed by everything a report is deterministic in — the scenario
+        mapping, backend, seed, and ``chunk_symbols`` — so a checkpoint can
+        only ever resume the *same* run: change any input and the key (hence
+        the file) differs, and stale recorded points can never leak into a
+        different experiment.
+        """
+        key = {
+            "scenario": dict(scenario),
+            "backend": backend,
+            "seed": seed,
+            "chunk_symbols": chunk_symbols,
+        }
+        digest = hashlib.sha256(_canonical_json(key).encode("utf-8")).hexdigest()
+        run_key = digest[:_DIGEST_CHARS]
+        name = str(scenario.get("name", "experiment"))
+        safe = name if not any(sep in name for sep in ("/", "\\")) else "experiment"
+        path = self.root / "checkpoints" / f"{safe}__{backend}__seed{seed}__{run_key}.jsonl"
+        return RunCheckpoint(path, run_key)
+
     def __repr__(self) -> str:
         return f"ReportStore({str(self.root)!r})"
+
+
+class RunCheckpoint:
+    """Append-only JSONL journal of one run's completed points.
+
+    Line 1 is a header (``{"format": ..., "run": <key>}``); every following
+    line is ``{"index": <grid index>, "point": <ExperimentPoint mapping>}``.
+    Appends are flushed and fsynced, so a killed run loses at most the point
+    that was mid-write — and :meth:`load` tolerates exactly that: a torn
+    final line is ignored rather than poisoning the resume.
+    """
+
+    def __init__(self, path: Path, run_key: str) -> None:
+        self.path = Path(path)
+        self.run_key = run_key
+
+    def exists(self) -> bool:
+        return self.path.is_file()
+
+    def load(self) -> Dict[int, Mapping[str, Any]]:
+        """Recorded points by grid index (empty for a missing/foreign file)."""
+        if not self.path.is_file():
+            return {}
+        lines = self.path.read_text().splitlines()
+        if not lines:
+            return {}
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            return {}
+        if (
+            not isinstance(header, dict)
+            or header.get("format") != CHECKPOINT_FORMAT
+            or header.get("run") != self.run_key
+        ):
+            # A different format or another run's key: refuse to resume from
+            # it rather than mixing experiments.
+            return {}
+        points: Dict[int, Mapping[str, Any]] = {}
+        for line in lines[1:]:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                # Torn tail of a killed run — everything before it is intact.
+                break
+            if (
+                isinstance(entry, dict)
+                and isinstance(entry.get("index"), int)
+                and isinstance(entry.get("point"), dict)
+            ):
+                points[entry["index"]] = entry["point"]
+        return points
+
+    def append(self, index: int, point_mapping: Mapping[str, Any]) -> None:
+        """Durably record one completed point."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        write_header = not self.path.is_file() or self.path.stat().st_size == 0
+        with open(self.path, "a") as handle:
+            if write_header:
+                handle.write(
+                    json.dumps({"format": CHECKPOINT_FORMAT, "run": self.run_key}) + "\n"
+                )
+            handle.write(json.dumps({"index": index, "point": dict(point_mapping)}) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def discard(self) -> None:
+        """Delete the checkpoint (done after the final artefact is saved)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __repr__(self) -> str:
+        return f"RunCheckpoint({str(self.path)!r})"

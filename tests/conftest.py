@@ -18,6 +18,12 @@ def pytest_configure(config):
         "docs_smoke: executes the front-door doctests and the README code "
         "blocks so the documentation stays runnable",
     )
+    config.addinivalue_line(
+        "markers",
+        "chaos: deterministic fault-injection suite (worker crashes, hangs, "
+        "corrupt results) proving recovery stays bit-identical; also run "
+        "standalone in CI via `pytest -m chaos`",
+    )
 from repro.simulation.randomness import RandomSource
 from repro.tdc.fpga import VIRTEX2PRO_PROFILE, build_fpga_delay_line, build_fpga_tdc
 

@@ -14,11 +14,12 @@ from pathlib import Path
 
 import pytest
 
-from repro.cli import main
+from repro.cli import EXIT_CORRUPT_ARTIFACT, main
 from repro.scenarios import ExperimentRunner, ReportStore, get_scenario
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
+SCRIPTS = REPO_ROOT / "scripts"
 
 
 def run_cli(*argv):
@@ -162,6 +163,168 @@ class TestShowAndCompare:
         comparison = json.loads(capsys.readouterr().out)
         assert comparison["metric"] == "ber"
         assert len(comparison["points"]) == 6
+
+
+class TestTypedErrorExitCodes:
+    """The new error contract: 1 = domain error, 3 = corrupt artefact."""
+
+    @pytest.fixture()
+    def corrupt_store(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        run_cli("run", "ber-vs-photons", "--bits", "128", "--quiet",
+                "--store", str(store_dir))
+        capsys.readouterr()
+        store = ReportStore(store_dir)
+        (artifact,) = store.list()
+        path = store_dir / f"{artifact}.json"
+        envelope = json.loads(path.read_text())
+        envelope["report"]["seed"] = 777  # digest no longer matches the id
+        path.write_text(json.dumps(envelope))
+        return store_dir, artifact
+
+    def test_show_maps_corruption_to_exit_3(self, corrupt_store, capsys):
+        store_dir, artifact = corrupt_store
+        assert run_cli("show", artifact, "--store", str(store_dir)) == EXIT_CORRUPT_ARTIFACT
+        err = capsys.readouterr().err
+        assert "digest verification" in err
+        assert "quarantine" in err  # the actionable hint
+
+    def test_compare_maps_corruption_to_exit_3(self, corrupt_store, capsys):
+        store_dir, artifact = corrupt_store
+        code = run_cli("compare", artifact, artifact, "--metric", "ber",
+                       "--store", str(store_dir))
+        assert code == EXIT_CORRUPT_ARTIFACT
+        assert "error:" in capsys.readouterr().err
+
+    def test_truncated_artifact_also_exits_3(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        run_cli("run", "ber-vs-photons", "--bits", "128", "--quiet",
+                "--store", str(store_dir))
+        capsys.readouterr()
+        (artifact,) = ReportStore(store_dir).list()
+        path = store_dir / f"{artifact}.json"
+        path.write_text(path.read_text()[:50])
+        assert run_cli("show", artifact, "--store", str(store_dir)) == EXIT_CORRUPT_ARTIFACT
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_missing_artifact_stays_exit_1(self, tmp_path, capsys):
+        assert run_cli("show", "missing", "--store", str(tmp_path)) == 1
+        assert "no artefact" in capsys.readouterr().err
+
+
+class TestRetryAndResumeFlags:
+    def test_retry_flags_need_retry(self, capsys):
+        assert run_cli("run", "ber-vs-photons", "--retry-timeout", "5",
+                       "--no-store") == 1
+        assert "--retry" in capsys.readouterr().err
+
+    def test_resume_conflicts_with_no_store(self, capsys):
+        assert run_cli("run", "ber-vs-photons", "--resume", "--no-store") == 1
+        assert "--no-store" in capsys.readouterr().err
+
+    def test_retried_run_is_bit_identical_to_a_plain_one(self, capsys, tmp_path):
+        common = ("run", "ber-vs-photons", "--bits", "128", "--quiet",
+                  "--json", "--no-store")
+        assert run_cli(*common) == 0
+        plain = json.loads(capsys.readouterr().out)
+        assert run_cli(*common, "--retry", "3", "--retry-backoff", "0.001") == 0
+        retried = json.loads(capsys.readouterr().out)
+        assert retried == plain
+
+    def test_resume_reevaluates_only_the_missing_points(self, capsys, tmp_path, monkeypatch):
+        from repro.scenarios import ChaosSchedule
+        from repro.scenarios.executors import make_point_tasks
+        from repro.scenarios.faults import CHAOS_ENV
+        from repro.simulation.randomness import split_seed
+
+        store_dir = tmp_path / "store"
+        scenario = get_scenario("ber-vs-photons").with_budget(128)
+
+        # Baseline: the uninterrupted run's artefact id.
+        assert run_cli("run", "ber-vs-photons", "--bits", "128", "--seed", "3",
+                       "--quiet", "--store", str(store_dir)) == 0
+        capsys.readouterr()
+        (expected,) = ReportStore(store_dir).list()
+        (store_dir / f"{expected}.json").unlink()
+
+        # Find a chaos seed whose schedule lets the first two points through
+        # serially and then crashes a later one — a deterministic mid-flight
+        # kill (fail_fast, no retry, so the run aborts with points 0..k-1
+        # already checkpointed).
+        tasks = make_point_tasks(scenario, seed=3, backend="batch", chunk_symbols=8_192)
+        keys = [split_seed(t.seed, f"chaos-point:{t.index}") for t in tasks]
+        chaos_seed = None
+        for candidate in range(200):
+            schedule = ChaosSchedule(seed=candidate, crash_rate=0.3,
+                                     max_faulty_attempts=99)
+            faults = [schedule.fault_for(k, 1) for k in keys]
+            if faults[0] is None and faults[1] is None and "crash" in faults[2:]:
+                chaos_seed = candidate
+                break
+        assert chaos_seed is not None
+        schedule = ChaosSchedule(seed=chaos_seed, crash_rate=0.3, max_faulty_attempts=99)
+        first_crash = [schedule.fault_for(k, 1) for k in keys].index("crash")
+
+        monkeypatch.setenv(CHAOS_ENV, json.dumps(schedule.to_mapping()))
+        from repro.scenarios.faults import InjectedWorkerCrash
+
+        with pytest.raises(InjectedWorkerCrash):
+            run_cli("run", "ber-vs-photons", "--bits", "128", "--seed", "3",
+                    "--store", str(store_dir))
+        monkeypatch.delenv(CHAOS_ENV)
+        captured = capsys.readouterr()
+        assert f"[{first_crash}/6]" in captured.err  # progress up to the kill
+        assert ReportStore(store_dir).list() == []  # no artefact yet
+
+        # --resume completes the run, re-evaluating only the missing points.
+        assert run_cli("run", "ber-vs-photons", "--bits", "128", "--seed", "3",
+                       "--store", str(store_dir), "--resume") == 0
+        captured = capsys.readouterr()
+        assert f"resuming: {first_crash} of 6 point(s) restored" in captured.err
+        assert f"[{first_crash + 1}/6]" in captured.err
+        assert "[6/6]" in captured.err
+        # The final artefact digest equals the uninterrupted run's.
+        assert ReportStore(store_dir).list() == [expected]
+
+    def test_failure_policy_continue_reports_failures(self, capsys, tmp_path, monkeypatch):
+        from repro.scenarios import ChaosSchedule
+        from repro.scenarios.faults import CHAOS_ENV
+
+        schedule = ChaosSchedule(seed=1, crash_rate=1.0, max_faulty_attempts=99)
+        monkeypatch.setenv(CHAOS_ENV, json.dumps(schedule.to_mapping()))
+        assert run_cli("run", "ber-vs-photons", "--bits", "128", "--no-store",
+                       "--json", "--failure-policy", "continue") == 0
+        captured = capsys.readouterr()
+        mapping = json.loads(captured.out)
+        assert len(mapping["failures"]) == 6 and mapping["points"] == []
+        assert "FAILED" in captured.err
+
+
+class TestRegressionCheckExitCodes:
+    @pytest.fixture()
+    def gate(self):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "regression_check", SCRIPTS / "regression_check.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_missing_reference_exits_3_with_guidance(self, gate, tmp_path, capsys):
+        gate.REFERENCE_DIR = tmp_path / "nowhere"
+        assert gate.main() == gate.EXIT_BAD_REFERENCE == 3
+        err = capsys.readouterr().err
+        assert "no committed reference artefact" in err
+        assert "regenerate it with" in err
+
+    def test_unreadable_reference_exits_3(self, gate, tmp_path, capsys):
+        gate.REFERENCE_DIR = tmp_path
+        bogus = tmp_path / "ber-vs-photons__batch__seed1__000000000000.json"
+        bogus.write_text("{truncated")
+        assert gate.main() == 3
+        assert "unreadable" in capsys.readouterr().err
 
 
 @pytest.mark.scenario_smoke

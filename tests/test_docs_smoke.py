@@ -25,6 +25,7 @@ import repro.cli
 import repro.core.backend
 import repro.scenarios
 import repro.scenarios.executors
+import repro.scenarios.faults
 import repro.scenarios.library
 import repro.scenarios.metrics
 import repro.scenarios.runner
@@ -44,6 +45,7 @@ DOCTEST_MODULES = (
     repro.scenarios.library,
     repro.scenarios.metrics,
     repro.scenarios.executors,
+    repro.scenarios.faults,
     repro.scenarios.session,
     repro.scenarios.runner,
     repro.scenarios.store,

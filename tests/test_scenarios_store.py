@@ -1,10 +1,14 @@
-"""ReportStore artefact tests: round-trip, content addressing, compare."""
+"""ReportStore artefact tests: round-trip, content addressing, compare,
+and crash/corruption robustness (atomic saves, digest verification,
+quarantine)."""
 
 import json
+import os
 
 import pytest
 
 from repro.scenarios import (
+    CorruptArtifactError,
     ExperimentReport,
     ExperimentRunner,
     ReportStore,
@@ -171,3 +175,113 @@ class TestRobustness:
         assert store.latest("store__tricky__name") == saved.stem
         # ...and prefixes of it do not accidentally match.
         assert store.list("store") == []
+
+
+class TestCorruption:
+    """Typed corruption detection: truncation, digest mismatch, quarantine."""
+
+    def test_truncated_json_raises_corrupt_artifact_error(self, report, tmp_path):
+        store = ReportStore(tmp_path)
+        path = store.save(report)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # simulated torn write/bit rot
+        with pytest.raises(CorruptArtifactError, match="not valid JSON") as info:
+            store.load(path.stem)
+        assert info.value.path == path
+        assert isinstance(info.value, ValueError)  # legacy except clauses still work
+
+    def test_altered_payload_fails_digest_verification(self, report, tmp_path):
+        store = ReportStore(tmp_path)
+        path = store.save(report)
+        envelope = json.loads(path.read_text())
+        envelope["report"]["seed"] = 999  # silent tamper: id no longer matches
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(CorruptArtifactError, match="digest verification"):
+            store.load(path.stem)
+        with pytest.raises(CorruptArtifactError):
+            store.read_envelope(path.stem)
+
+    def test_envelope_without_artifact_id_is_corrupt(self, report, tmp_path):
+        store = ReportStore(tmp_path)
+        path = store.save(report)
+        envelope = json.loads(path.read_text())
+        del envelope["artifact"]
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(CorruptArtifactError, match="artefact id"):
+            store.load(path.stem)
+
+    def test_quarantine_moves_the_file_out_of_view(self, report, tmp_path):
+        store = ReportStore(tmp_path)
+        good = store.save(report)
+        scenario = Scenario.from_mapping(report.scenario)
+        bad = store.save(ExperimentRunner(scenario, seed=22).run())
+        bad.write_text(bad.read_text()[:40])  # corrupt the second artefact
+        moved = store.quarantine(bad.stem)
+        assert moved == tmp_path / "quarantine" / bad.name
+        assert moved.is_file() and not bad.exists()
+        # list()/latest() see only the surviving artefact — quarantined files
+        # are out of the store's namespace entirely.
+        assert store.list() == [good.stem]
+        assert store.latest() == good.stem
+        with pytest.raises(FileNotFoundError):
+            store.load(bad.stem)
+
+
+class TestCrashSafety:
+    """Atomic save: no partial artefact is ever visible, whatever the crash."""
+
+    def test_crash_between_write_and_rename_exposes_nothing(
+        self, report, tmp_path, monkeypatch
+    ):
+        store = ReportStore(tmp_path)
+
+        def crash(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(os, "replace", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            store.save(report)
+        monkeypatch.undo()
+        # The fully-written scratch file exists, but no reader can see it.
+        assert any(tmp_path.glob(".*.tmp-*"))
+        assert store.list() == []
+        assert store.latest() is None
+        with pytest.raises(FileNotFoundError):
+            store.load(artifact_id(report))
+        # A later save completes normally next to the debris.
+        saved = store.save(report)
+        assert store.list() == [saved.stem]
+        assert store.load(saved.stem) == report
+
+    def test_concurrent_saves_are_last_writer_wins(self, report, tmp_path, monkeypatch):
+        # Two processes saving the same artefact id interleave their writes;
+        # each writes a private scratch file and the renames are atomic, so
+        # the surviving file is one complete envelope — never a splice.
+        store_a, store_b = ReportStore(tmp_path), ReportStore(tmp_path)
+        real_replace = os.replace
+        order = []
+
+        def racing_replace(src, dst):
+            # First save's rename runs *after* the second's write landed —
+            # the classic lost-update interleaving.
+            order.append(str(src))
+            real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", racing_replace)
+        path_a = store_a.save(report)
+        path_b = store_b.save(report)
+        assert path_a == path_b
+        assert len(order) == 2 and order[0] != order[1]  # distinct scratch files
+        assert store_a.list() == [path_a.stem]
+        assert store_a.load(path_a.stem) == report  # complete, verified envelope
+
+    def test_scratch_names_are_unique_within_a_process(self, report, tmp_path, monkeypatch):
+        captured = []
+        real_replace = os.replace
+        monkeypatch.setattr(
+            os, "replace", lambda src, dst: (captured.append(str(src)), real_replace(src, dst))
+        )
+        store = ReportStore(tmp_path)
+        store.save(report)
+        store.save(report)
+        assert len(set(captured)) == 2
