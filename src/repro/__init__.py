@@ -25,6 +25,12 @@ optical interconnect depends on:
   compiled onto the batch Monte-Carlo machinery by
   :class:`~repro.scenarios.ExperimentRunner`.
 * :mod:`repro.analysis` — units, sweeps, statistics and report helpers.
+* :mod:`repro.frontdoor` — the shared run/list/show/compare layer the CLI
+  and the experiment service both consume (scenario resolution, the
+  machine-readable catalogue, pre-run cache keys).
+* :mod:`repro.service` — ``repro serve``: an asyncio HTTP daemon where
+  completed runs are O(1) digest cache hits, identical in-flight requests
+  coalesce onto one simulation, and progress streams as server-sent events.
 
 Quickstart
 ----------
@@ -97,9 +103,16 @@ from repro.scenarios import (
     named_scenarios,
     run_scenario,
 )
+from repro.frontdoor import RunRequest, scenario_catalogue
+from repro.service import (
+    ExperimentService,
+    ServiceBindError,
+    ServiceClient,
+    serve_app,
+)
 from repro.simulation import NocTrafficTrial
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "LinkConfig",
@@ -139,5 +152,11 @@ __all__ = [
     "broadcast",
     "BroadcastResult",
     "NocTrafficTrial",
+    "RunRequest",
+    "scenario_catalogue",
+    "ExperimentService",
+    "ServiceBindError",
+    "ServiceClient",
+    "serve_app",
     "__version__",
 ]

@@ -1,8 +1,11 @@
 """``python -m repro`` — drive the experiment layer without writing Python.
 
-Four subcommands cover the run/inspect loop:
+Six subcommands cover the run/inspect/serve loop:
 
-* ``repro list`` — catalogue the named library scenarios;
+* ``repro list`` — catalogue the named library scenarios (``--json`` prints
+  the shared machine-readable catalogue,
+  :func:`repro.frontdoor.scenario_catalogue` — the same payload the service
+  serves on ``GET /scenarios``);
 * ``repro run <scenario>`` — execute a scenario (choosing backend, executor,
   worker count, seed, per-point bit budget and chunk size), stream per-point
   progress, print the report table and persist the artefact into a
@@ -10,18 +13,29 @@ Four subcommands cover the run/inspect loop:
   scenario.json`` runs a custom scenario mapping
   (:meth:`~repro.scenarios.scenario.Scenario.from_mapping`) — or a stored
   artefact — without registering it;
+* ``repro probe <scenario>`` — compute the run's artefact cache key
+  (:meth:`~repro.scenarios.store.ReportStore.digest_for`) *without running
+  anything* and say whether the store already holds the completed artefact:
+  exits 0 on a cache hit, :data:`EXIT_CACHE_MISS` (4) when the run is still
+  pending — scripts can gate expensive simulations on it;
 * ``repro show <artefact>`` — reload a stored artefact (by id or path) and
-  print its report;
+  print its report (``--json`` prints the report mapping, the same shape
+  the service client's ``report()`` returns);
 * ``repro compare <a> <b> --metric ber`` — per-point metric deltas between
-  two artefacts, for longitudinal figure tracking.
+  two artefacts, for longitudinal figure tracking;
+* ``repro serve`` — boot the :mod:`repro.service` HTTP daemon on the same
+  store: completed runs become O(1) cache hits, identical in-flight
+  requests coalesce, and progress streams as server-sent events.
 
 Determinism carries through unchanged: ``repro run`` output is a function of
 ``(scenario, seed, chunk size)`` only — never of the executor or worker
 count, and never of how many retries (``--retry``) a faulty machine needed.
 Exit status is 0 on success, 2 for usage errors (argparse), 1 for domain
-errors (unknown scenario, missing artefact), and 3 for a corrupt artefact
+errors (unknown scenario, missing artefact), 3 for a corrupt artefact
 (:class:`~repro.scenarios.store.CorruptArtifactError` — the file exists but
-fails digest/format verification); messages go to stderr.
+fails digest/format verification), 4 for ``probe`` misses and — typed as
+:data:`EXIT_PORT_BIND`, also 4 — a ``serve`` socket that cannot be bound
+(:class:`~repro.service.ServiceBindError`); messages go to stderr.
 
 Fault tolerance: ``repro run --retry N [--retry-timeout S]`` retries failing
 or hung points deterministically; ``--failure-policy continue`` records
@@ -39,6 +53,7 @@ import os
 import sys
 from typing import List, Optional, Sequence
 
+from repro import frontdoor
 from repro.analysis.report import ReportTable
 from repro.core.backend import available_backends
 from repro.scenarios import (
@@ -47,8 +62,6 @@ from repro.scenarios import (
     ReportStore,
     RetryPolicy,
     available_executors,
-    get_scenario,
-    named_scenarios,
 )
 from repro.scenarios.runner import DEFAULT_CHUNK_SYMBOLS
 
@@ -56,7 +69,18 @@ from repro.scenarios.runner import DEFAULT_CHUNK_SYMBOLS
 #: from 1 (domain errors) so calling scripts can trigger quarantine/re-run.
 EXIT_CORRUPT_ARTIFACT = 3
 
+#: Exit status of ``repro probe`` when the run has no completed artefact yet
+#: — a grep-style "no match", not an error.
+EXIT_CACHE_MISS = 4
+
+#: Exit status of ``repro serve`` when the socket cannot be bound (port in
+#: use, privileged port): typed so supervisors can tell it from a crash.
+EXIT_PORT_BIND = 4
+
 DEFAULT_STORE = "artifacts"
+
+DEFAULT_SERVE_HOST = "127.0.0.1"
+DEFAULT_SERVE_PORT = 8765
 
 
 def _format_parameters(parameters) -> str:
@@ -130,6 +154,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="pick up a killed run's checkpoint from the store, "
                               "re-evaluating only the missing points")
 
+    probe_cmd = commands.add_parser(
+        "probe",
+        help="cache-probe a run (compute its artefact key without running)",
+    )
+    probe_cmd.add_argument("scenario", nargs="?", default=None,
+                           help="library scenario name (see `list`)")
+    probe_cmd.add_argument("--file", default=None, metavar="PATH",
+                           help="probe a scenario from a JSON mapping instead")
+    probe_cmd.add_argument("--backend", default=None,
+                           help=f"link backend override ({', '.join(available_backends())})")
+    probe_cmd.add_argument("--seed", type=int, default=0, help="root seed (default 0)")
+    probe_cmd.add_argument("--bits", type=int, default=None,
+                           help="payload bits per grid point (default: the scenario's budget)")
+    probe_cmd.add_argument("--chunk-symbols", type=int, default=DEFAULT_CHUNK_SYMBOLS,
+                           help="symbols per Monte-Carlo chunk (part of the cache key)")
+    probe_cmd.add_argument("--store", default=DEFAULT_STORE,
+                           help=f"artefact store directory (default {DEFAULT_STORE!r})")
+    probe_cmd.add_argument("--json", action="store_true",
+                           help="machine-readable output")
+
     show_cmd = commands.add_parser("show", help="print a stored report artefact")
     show_cmd.add_argument("artifact", help="artefact id or path")
     show_cmd.add_argument("--store", default=DEFAULT_STORE,
@@ -147,75 +191,44 @@ def build_parser() -> argparse.ArgumentParser:
                              help=f"artefact store directory (default {DEFAULT_STORE!r})")
     compare_cmd.add_argument("--json", action="store_true",
                              help="machine-readable output")
+
+    serve_cmd = commands.add_parser(
+        "serve", help="boot the experiment service (HTTP + SSE) on this store"
+    )
+    serve_cmd.add_argument("--host", default=DEFAULT_SERVE_HOST,
+                           help=f"bind address (default {DEFAULT_SERVE_HOST})")
+    serve_cmd.add_argument("--port", type=int, default=DEFAULT_SERVE_PORT,
+                           help=f"TCP port; 0 picks an ephemeral one "
+                                f"(default {DEFAULT_SERVE_PORT})")
+    serve_cmd.add_argument("--store", default=DEFAULT_STORE,
+                           help=f"artefact store directory (default {DEFAULT_STORE!r})")
+    serve_cmd.add_argument("--executor", default=None, choices=available_executors(),
+                           help="grid-point dispatch for served runs (default: serial)")
+    serve_cmd.add_argument("--workers", type=int, default=None,
+                           help="process-pool size (implies --executor process)")
+    serve_cmd.add_argument("--chunk-symbols", type=int, default=DEFAULT_CHUNK_SYMBOLS,
+                           help="default chunk size for requests that omit one")
     return parser
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
-    names = named_scenarios()
+    # One catalogue format for every consumer: --json prints exactly what
+    # the experiment service serves on GET /scenarios.
+    catalogue = frontdoor.scenario_catalogue()
     if args.json:
-        catalogue = []
-        for name in names:
-            scenario = get_scenario(name)
-            catalogue.append(
-                {
-                    "name": name,
-                    "description": scenario.description,
-                    "points": scenario.point_count(),
-                    "backend": scenario.backend,
-                    "channels": scenario.channels,
-                    "bits_per_point": scenario.bits_per_point,
-                }
-            )
         print(json.dumps(catalogue, indent=2))
         return 0
     table = ReportTable(columns=["scenario", "points", "backend", "channels", "bits/point"])
-    for name in names:
-        scenario = get_scenario(name)
+    for entry in catalogue:
         table.add_row(
-            name,
-            scenario.point_count(),
-            scenario.backend,
-            scenario.channels,
-            scenario.bits_per_point,
+            entry["name"],
+            entry["points"],
+            entry["backend"],
+            entry["channels"],
+            entry["bits_per_point"],
         )
     print(table.render())
     return 0
-
-
-def _get_scenario(name: str):
-    """Library lookup with the KeyError converted at the call site.
-
-    ``main()`` deliberately does not catch KeyError — an internal one should
-    surface as a traceback — so the curated lookup message is rethrown as
-    the domain-error type it is.
-    """
-    try:
-        return get_scenario(name)
-    except KeyError as error:
-        raise ValueError(error.args[0]) from None
-
-
-def _load_scenario_file(path: str):
-    """A :class:`Scenario` from a JSON mapping on disk (``run --file``).
-
-    Accepts either a bare scenario mapping or a stored report artefact (the
-    envelope's ``report.scenario`` mapping), so a previous run's artefact can
-    be re-run directly.
-    """
-    try:
-        with open(path) as handle:
-            data = json.load(handle)
-    except json.JSONDecodeError as error:
-        raise ValueError(f"scenario file {path!r} is not valid JSON: {error}") from error
-    if not isinstance(data, dict):
-        raise ValueError(f"scenario file {path!r} must hold a JSON object")
-    if "report" in data and isinstance(data["report"], dict):
-        data = data["report"]
-    if "scenario" in data and isinstance(data["scenario"], dict):
-        data = data["scenario"]
-    from repro.scenarios import Scenario
-
-    return Scenario.from_mapping(data)
 
 
 def _retry_policy(args: argparse.Namespace) -> Optional[RetryPolicy]:
@@ -231,18 +244,11 @@ def _retry_policy(args: argparse.Namespace) -> Optional[RetryPolicy]:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    if (args.scenario is None) == (args.file is None):
-        raise ValueError(
-            "pass exactly one of a scenario name or --file PATH (see `repro list`)"
-        )
     if args.resume and args.no_store:
         raise ValueError("--resume reads the checkpoint from the store; drop --no-store")
-    if args.file is not None:
-        scenario = _load_scenario_file(args.file)
-    else:
-        scenario = _get_scenario(args.scenario)
-    if args.bits is not None:
-        scenario = scenario.with_budget(args.bits)
+    scenario = frontdoor.resolve_scenario(
+        name=args.scenario, file=args.file, bits=args.bits
+    )
     runner = ExperimentRunner(
         scenario,
         seed=args.seed,
@@ -285,9 +291,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"{failure.error_type} after {failure.attempts} attempt(s)"
             )
     # Persist before printing: a closed stdout pipe must never cost the
-    # artefact of a completed simulation.
+    # artefact of a completed simulation.  The checkpoint key doubles as the
+    # run key, indexing the artefact for O(1) cache probes (`repro probe`,
+    # the experiment service).
     if not args.no_store:
-        path = ReportStore(args.store).save(report)
+        path = ReportStore(args.store).save(report, run_key=checkpoint.run_key)
         _status(f"artefact: {path}")
         if checkpoint is not None:
             checkpoint.discard()
@@ -295,6 +303,57 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(json.dumps(report.to_mapping(), indent=2))
     else:
         print(report.summary())
+    return 0
+
+
+def _cmd_probe(args: argparse.Namespace) -> int:
+    """Cache-probe: the run's artefact key and hit/pending state, no simulation."""
+    request = frontdoor.RunRequest.build(
+        args.scenario,
+        file=args.file,
+        seed=args.seed,
+        backend=args.backend,
+        chunk_symbols=args.chunk_symbols,
+        bits=args.bits,
+    )
+    result = frontdoor.probe(ReportStore(args.store), request)
+    if args.json:
+        print(json.dumps(result, indent=2))
+    elif result["state"] == "hit":
+        print(f"HIT {result['artifact']} (run {result['run']})")
+    else:
+        print(
+            f"PENDING run {result['run']} "
+            f"({result['scenario']}, backend={result['backend']}, seed={result['seed']})"
+        )
+    return 0 if result["state"] == "hit" else EXIT_CACHE_MISS
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ExperimentService, ServiceBindError
+
+    service = ExperimentService(
+        store=args.store,
+        executor=args.executor,
+        workers=args.workers,
+        chunk_symbols=args.chunk_symbols,
+    )
+
+    def _ready(host: str, port: int) -> None:
+        # Machine-parseable readiness line on stdout (the smoke harness and
+        # supervisors scrape it for the ephemeral port); detail on stderr.
+        print(f"serving http://{host}:{port}", flush=True)
+        _status(
+            f"experiment service on http://{host}:{port} — store={args.store!r}, "
+            f"endpoints: POST /runs, GET /runs/{{id}}[/events], /scenarios, "
+            f"/probe, /artifacts, /compare, /stats (Ctrl-C to stop)"
+        )
+
+    try:
+        service.serve_forever(args.host, args.port, on_ready=_ready)
+    except ServiceBindError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_PORT_BIND
     return 0
 
 
@@ -331,8 +390,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "list": _cmd_list,
     "run": _cmd_run,
+    "probe": _cmd_probe,
     "show": _cmd_show,
     "compare": _cmd_compare,
+    "serve": _cmd_serve,
 }
 
 

@@ -82,6 +82,7 @@ from repro.scenarios.store import (
     ReportStore,
     RunCheckpoint,
     artifact_id,
+    run_digest,
 )
 from repro.scenarios.smoke import SmokeFailure, run_smoke
 
@@ -117,6 +118,7 @@ __all__ = [
     "RunCheckpoint",
     "CorruptArtifactError",
     "artifact_id",
+    "run_digest",
     "SmokeFailure",
     "run_smoke",
 ]

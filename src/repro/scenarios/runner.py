@@ -55,6 +55,25 @@ if False:  # pragma: no cover - typing only, avoids a runtime cycle
 DEFAULT_CHUNK_SYMBOLS = 8_192
 
 
+def resolve_scenario_backend(scenario: Scenario, backend: Optional[str] = None) -> str:
+    """The registered backend a run of ``scenario`` would use.
+
+    ``backend`` overrides the scenario's own choice; aliases are normalised
+    through the registry and the scenario's channel count is validated
+    against the backend's capabilities.  This is the single place run
+    front-doors (the runner, the CLI, the experiment service) resolve
+    backends, so cache keys computed *before* running always match the
+    backend the report will record.
+    """
+    resolved = resolve_backend(backend if backend is not None else scenario.backend)
+    if scenario.channels > 1 and not backend_capabilities(resolved).supports_multichannel:
+        raise ValueError(
+            f"scenario {scenario.name!r} runs {scenario.channels} channels, "
+            f"which backend {resolved!r} does not support"
+        )
+    return resolved
+
+
 @dataclass(frozen=True)
 class ExperimentPoint:
     """One evaluated grid point of a scenario experiment."""
@@ -283,12 +302,7 @@ class ExperimentRunner:
             raise ValueError("chunk_symbols must be positive")
         self.scenario = scenario
         self.seed = seed
-        self.backend = resolve_backend(backend if backend is not None else scenario.backend)
-        if scenario.channels > 1 and not backend_capabilities(self.backend).supports_multichannel:
-            raise ValueError(
-                f"scenario {scenario.name!r} runs {scenario.channels} channels, "
-                f"which backend {self.backend!r} does not support"
-            )
+        self.backend = resolve_scenario_backend(scenario, backend)
         self.chunk_symbols = chunk_symbols
         self.executor = resolve_executor(executor, workers, retry, failure_policy)
 
@@ -455,7 +469,10 @@ def run_scenario(
     finally:
         session.close()
     if report_store is not None:
-        report_store.save(report)
+        # The checkpoint key *is* the run key: recording it indexes the
+        # finished artefact for O(1) cache probes (store.find_run / the
+        # experiment service's dedupe path).
+        report_store.save(report, run_key=checkpoint.run_key)
         if checkpoint is not None:
             checkpoint.discard()
     return report

@@ -77,6 +77,7 @@ class ExperimentSession:
         self._closed = False
         self._report: Optional["ExperimentReport"] = None
         self._checkpoint = checkpoint
+        self._last_index: Optional[int] = None
         self._resumed: Dict[int, "ExperimentPoint"] = {}
         if checkpoint is not None:
             from repro.scenarios.runner import ExperimentPoint
@@ -164,9 +165,23 @@ class ExperimentSession:
                 self._failures[index] = error
                 raise
             self._points[index] = point
+            self._last_index = index
             if self._checkpoint is not None:
                 self._checkpoint.append(index, point.to_mapping())
             return point
+
+    def indexed(self) -> Iterator[Tuple[int, "ExperimentPoint"]]:
+        """Stream ``(grid_index, point)`` pairs as points complete.
+
+        Completion order, like plain iteration — but each point arrives with
+        its grid index, so streaming consumers (progress UIs, the experiment
+        service's SSE feed) can label points without re-deriving the grid.
+        Points restored from a checkpoint are not re-delivered, matching
+        plain iteration.
+        """
+        for point in self:
+            assert self._last_index is not None
+            yield self._last_index, point
 
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:

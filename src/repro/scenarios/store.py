@@ -47,6 +47,9 @@ ARTIFACT_FORMAT = "repro-report-v1"
 #: Format tag of checkpoint files (JSONL, one completed point per line).
 CHECKPOINT_FORMAT = "repro-checkpoint-v1"
 
+#: Format tag of run-index entries (run key -> completed artefact id).
+RUN_INDEX_FORMAT = "repro-run-index-v1"
+
 _DIGEST_CHARS = 12
 
 #: Distinguishes scratch files of concurrent saves from the *same* process
@@ -103,6 +106,44 @@ def report_digest(report: ExperimentReport) -> str:
     return hashlib.sha256(payload).hexdigest()[:_DIGEST_CHARS]
 
 
+def run_digest(
+    scenario: Union[Mapping[str, Any], Any],
+    backend: str,
+    seed: int,
+    chunk_symbols: int,
+) -> str:
+    """The *run key*: a digest of everything a report is deterministic in.
+
+    Reports are a pure function of ``(scenario, backend, seed,
+    chunk_symbols)`` — never of the executor, worker count or retries — so
+    this key can be computed **before** running anything and used to answer
+    "has this exact experiment already been simulated?".  It is the key of
+    the store's run index (:meth:`ReportStore.find_run`), of in-flight
+    dedupe in :mod:`repro.service`, and of resume checkpoints
+    (:meth:`ReportStore.run_checkpoint`).
+
+    ``scenario`` is a scenario mapping (or anything with ``to_mapping()``,
+    e.g. a :class:`~repro.scenarios.scenario.Scenario`).
+
+    >>> from repro.scenarios import get_scenario
+    >>> key = run_digest(get_scenario("ber-vs-photons"), "batch", 0, 8192)
+    >>> len(key), key == run_digest(get_scenario("ber-vs-photons"), "batch", 0, 8192)
+    (12, True)
+    >>> key == run_digest(get_scenario("ber-vs-photons"), "batch", 1, 8192)
+    False
+    """
+    if hasattr(scenario, "to_mapping"):
+        scenario = scenario.to_mapping()
+    key = {
+        "scenario": dict(scenario),
+        "backend": backend,
+        "seed": seed,
+        "chunk_symbols": chunk_symbols,
+    }
+    digest = hashlib.sha256(_canonical_json(key).encode("utf-8")).hexdigest()
+    return digest[:_DIGEST_CHARS]
+
+
 def artifact_id(report: ExperimentReport) -> str:
     """The report's content-addressed artefact id (without ``.json``).
 
@@ -142,11 +183,16 @@ class ReportStore:
         self.root = Path(root)
 
     # -- writing ---------------------------------------------------------------
-    def save(self, report: ExperimentReport) -> Path:
+    def save(self, report: ExperimentReport, run_key: Optional[str] = None) -> Path:
         """Persist ``report``; returns the artefact path.
 
         Idempotent: an artefact with identical content is overwritten in
         place (same id), never duplicated.
+
+        ``run_key`` (see :meth:`digest_for`) additionally records the run
+        index entry ``run_key -> artefact id``, making the completed run an
+        O(1) cache hit for :meth:`find_run` — the dedupe path of the
+        experiment service and of ``repro probe``.
         """
         if not isinstance(report, ExperimentReport):
             raise TypeError(f"can only store ExperimentReport values, got {report!r}")
@@ -173,7 +219,67 @@ class ReportStore:
             os.fsync(handle.fileno())
         os.replace(scratch, path)
         _fsync_directory(self.root)
+        if run_key is not None:
+            self._record_run(run_key, name)
         return path
+
+    # -- run index ---------------------------------------------------------------
+    def digest_for(
+        self,
+        scenario: Union[Mapping[str, Any], Any],
+        backend: str,
+        seed: int,
+        chunk_symbols: int,
+    ) -> str:
+        """The artefact cache key for a run, computed *without* running it.
+
+        A thin store-level handle on :func:`run_digest`; pair it with
+        :meth:`find_run` to probe whether this exact experiment already has
+        a completed artefact.
+        """
+        return run_digest(scenario, backend, seed, chunk_symbols)
+
+    def _run_index_path(self, run_key: str) -> Path:
+        return self.root / "index" / f"{run_key}.json"
+
+    def _record_run(self, run_key: str, artifact: str) -> None:
+        """Durably map ``run_key`` to a completed artefact id (atomic write)."""
+        index_dir = self.root / "index"
+        index_dir.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "format": RUN_INDEX_FORMAT,
+            "run": run_key,
+            "artifact": artifact,
+            "saved_unix": time.time(),
+        }
+        scratch = index_dir / f".{run_key}.tmp-{os.getpid()}-{next(_SCRATCH_COUNTER)}"
+        scratch.write_text(json.dumps(entry, sort_keys=True, indent=2))
+        os.replace(scratch, self._run_index_path(run_key))
+
+    def find_run(self, run_key: str) -> Optional[str]:
+        """Artefact id of the completed run with this key, or ``None``.
+
+        Tolerant by construction: a missing/corrupt index entry, or an entry
+        whose artefact was since deleted or quarantined, reads as a cache
+        miss (re-running lands on the same artefact id and re-records the
+        entry), never as an error.
+        """
+        path = self._run_index_path(run_key)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("format") != RUN_INDEX_FORMAT
+            or entry.get("run") != run_key
+            or not isinstance(entry.get("artifact"), str)
+        ):
+            return None
+        artifact = entry["artifact"]
+        if not (self.root / f"{artifact}.json").is_file():
+            return None
+        return artifact
 
     # -- reading ---------------------------------------------------------------
     def _resolve(self, ref: Union[str, Path]) -> Path:
@@ -372,14 +478,7 @@ class ReportStore:
         the file) differs, and stale recorded points can never leak into a
         different experiment.
         """
-        key = {
-            "scenario": dict(scenario),
-            "backend": backend,
-            "seed": seed,
-            "chunk_symbols": chunk_symbols,
-        }
-        digest = hashlib.sha256(_canonical_json(key).encode("utf-8")).hexdigest()
-        run_key = digest[:_DIGEST_CHARS]
+        run_key = run_digest(scenario, backend, seed, chunk_symbols)
         name = str(scenario.get("name", "experiment"))
         safe = name if not any(sep in name for sep in ("/", "\\")) else "experiment"
         path = self.root / "checkpoints" / f"{safe}__{backend}__seed{seed}__{run_key}.jsonl"

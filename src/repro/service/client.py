@@ -1,0 +1,214 @@
+"""A stdlib client for the experiment service (``http.client`` only).
+
+:class:`ServiceClient` wraps the HTTP surface of :mod:`repro.service` in
+plain method calls — and parses the exact same JSON shapes the CLI emits
+(``repro list --json`` ≡ :meth:`ServiceClient.scenarios`, ``repro show
+--json`` ≡ :meth:`ServiceClient.report`), so scripts can switch between
+shelling out and talking HTTP without reformatting anything.
+
+Typical use::
+
+    client = ServiceClient("127.0.0.1", 8765)
+    status = client.submit_run("ber-vs-photons", seed=3, bits=4096)
+    for event, data in client.events(status["run"]):
+        if event == "point":
+            print(data["completed"], "/", data["total"])
+        elif event == "report":
+            report = data["report"]
+
+or in one call::
+
+    report = client.run_and_wait("ber-vs-photons", seed=3, bits=4096)
+
+Errors come back as :class:`ServiceError` carrying the HTTP status and the
+server's ``error`` message.  One connection per request (the server closes
+after responding), so a client value is cheap and has no state to corrupt.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple, Union
+from urllib.parse import quote, urlencode
+
+from repro.service.sse import REPORT_EVENT, TERMINAL_EVENTS
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the experiment service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Talk to one ``repro serve`` daemon."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765, timeout: float = 300.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Mapping[str, Any]] = None,
+    ) -> Any:
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = None if body is None else json.dumps(dict(body))
+            headers = {} if payload is None else {"Content-Type": "application/json"}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            data = json.loads(response.read().decode("utf-8"))
+            if response.status >= 400:
+                message = data.get("error", "") if isinstance(data, dict) else str(data)
+                raise ServiceError(response.status, message)
+            return data
+        finally:
+            connection.close()
+
+    # -- catalogue / store -----------------------------------------------------
+    def scenarios(self) -> List[Dict[str, Any]]:
+        """The shared scenario catalogue (same shape as ``repro list --json``)."""
+        return self._request("GET", "/scenarios")
+
+    def artifacts(self, scenario: Optional[str] = None) -> List[str]:
+        path = "/artifacts"
+        if scenario is not None:
+            path += "?" + urlencode({"scenario": scenario})
+        return self._request("GET", path)["artifacts"]
+
+    def artifact(self, key: str) -> Dict[str, Any]:
+        """One artefact's verified envelope (format, id, timestamp, report)."""
+        return self._request("GET", f"/artifacts/{quote(key)}")
+
+    def report(self, key: str) -> Dict[str, Any]:
+        """The report mapping of one artefact (same shape as ``repro show --json``)."""
+        return self.artifact(key)["report"]
+
+    def compare(self, ref_a: str, ref_b: str, metric: str) -> Dict[str, Any]:
+        query = urlencode({"a": ref_a, "b": ref_b, "metric": metric})
+        return self._request("GET", f"/compare?{query}")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    # -- runs ------------------------------------------------------------------
+    def probe(
+        self,
+        scenario: str,
+        seed: int = 0,
+        backend: Optional[str] = None,
+        chunk_symbols: Optional[int] = None,
+        bits: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Cache-probe a run without executing it (``GET /probe``)."""
+        fields: Dict[str, Any] = {"scenario": scenario, "seed": seed}
+        for name, value in (
+            ("backend", backend),
+            ("chunk_symbols", chunk_symbols),
+            ("bits", bits),
+        ):
+            if value is not None:
+                fields[name] = value
+        return self._request("GET", "/probe?" + urlencode(fields))
+
+    def submit_run(
+        self,
+        scenario: Union[str, Mapping[str, Any]],
+        seed: int = 0,
+        backend: Optional[str] = None,
+        chunk_symbols: Optional[int] = None,
+        bits: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Submit a run request; returns its status snapshot.
+
+        The snapshot's ``status`` field says how the request was satisfied:
+        ``"started"`` (a fresh simulation), ``"joined"`` (coalesced onto an
+        identical in-flight run) or ``"cached"`` (served from the store);
+        ``run`` is the key for :meth:`run` / :meth:`events`.
+        """
+        body: Dict[str, Any] = {"scenario": scenario, "seed": seed}
+        for name, value in (
+            ("backend", backend),
+            ("chunk_symbols", chunk_symbols),
+            ("bits", bits),
+        ):
+            if value is not None:
+                body[name] = value
+        return self._request("POST", "/runs", body=body)
+
+    def run(self, run_key: str) -> Dict[str, Any]:
+        """One run's status snapshot (``GET /runs/{id}``)."""
+        return self._request("GET", f"/runs/{quote(run_key)}")
+
+    def runs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/runs")["runs"]
+
+    def events(self, run_key: str) -> Iterator[Tuple[str, Any]]:
+        """The run's server-sent events, replay-then-live, ending terminally.
+
+        Yields ``(event, data)`` pairs: ``("point", {...})`` per grid point,
+        then exactly one ``("report", {...})`` or ``("error", {...})``.
+        """
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request("GET", f"/runs/{quote(run_key)}/events")
+            response = connection.getresponse()
+            if response.status >= 400:
+                data = json.loads(response.read().decode("utf-8"))
+                message = data.get("error", "") if isinstance(data, dict) else str(data)
+                raise ServiceError(response.status, message)
+            event = ""
+            data_lines: List[str] = []
+            for raw in response:
+                line = raw.decode("utf-8").rstrip("\r\n")
+                if line.startswith(":"):
+                    continue
+                if line == "":
+                    if data_lines:
+                        parsed = json.loads("\n".join(data_lines))
+                        yield (event or "message", parsed)
+                        if event in TERMINAL_EVENTS:
+                            return
+                    event = ""
+                    data_lines = []
+                    continue
+                field, _, value = line.partition(":")
+                value = value[1:] if value.startswith(" ") else value
+                if field == "event":
+                    event = value
+                elif field == "data":
+                    data_lines.append(value)
+        finally:
+            connection.close()
+
+    def run_and_wait(
+        self,
+        scenario: Union[str, Mapping[str, Any]],
+        seed: int = 0,
+        backend: Optional[str] = None,
+        chunk_symbols: Optional[int] = None,
+        bits: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Submit, stream to completion, and return the final report mapping.
+
+        Raises :class:`ServiceError` if the run ends in an ``error`` event.
+        """
+        status = self.submit_run(
+            scenario, seed=seed, backend=backend, chunk_symbols=chunk_symbols, bits=bits
+        )
+        for event, data in self.events(status["run"]):
+            if event == REPORT_EVENT:
+                return data["report"]
+            if event == "error":
+                raise ServiceError(500, f"{data.get('type')}: {data.get('message')}")
+        raise ServiceError(500, "event stream ended without a terminal event")
+
+    def __repr__(self) -> str:
+        return f"ServiceClient({self.host!r}, {self.port})"

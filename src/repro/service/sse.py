@@ -1,0 +1,67 @@
+"""Server-sent events (SSE) wire format — encoder and parser.
+
+The experiment service streams run progress as ``text/event-stream``
+(`the WHATWG SSE format <https://html.spec.whatwg.org/multipage/server-sent-events.html>`_):
+each event is an ``event:`` line naming the type, one ``data:`` line per
+payload line, and a blank-line terminator.  Payloads here are always one
+line of JSON, so both ends stay trivial and dependency-free.
+
+The parser half (:func:`decode_lines`) is what
+:class:`~repro.service.client.ServiceClient` uses; round-tripping is locked
+by doctest:
+
+>>> chunk = encode_event("point", {"index": 0, "metrics": {"ber": 0.25}})
+>>> chunk
+b'event: point\\ndata: {"index": 0, "metrics": {"ber": 0.25}}\\n\\n'
+>>> list(decode_lines(chunk.decode().splitlines()))
+[('point', {'index': 0, 'metrics': {'ber': 0.25}})]
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Iterator, Tuple
+
+#: Event types a run stream can carry, in protocol order.  ``point`` repeats
+#: once per completed grid point; exactly one terminal event (``report`` on
+#: success, ``error`` on failure) ends every stream.
+POINT_EVENT = "point"
+REPORT_EVENT = "report"
+ERROR_EVENT = "error"
+TERMINAL_EVENTS = (REPORT_EVENT, ERROR_EVENT)
+
+
+def encode_event(event: str, data: Any) -> bytes:
+    """One SSE frame: ``event:`` + single-line JSON ``data:`` + blank line."""
+    if "\n" in event or "\r" in event:
+        raise ValueError(f"SSE event names are single-line, got {event!r}")
+    payload = json.dumps(data, sort_keys=True)
+    return f"event: {event}\ndata: {payload}\n\n".encode("utf-8")
+
+
+def decode_lines(lines: Iterable[str]) -> Iterator[Tuple[str, Any]]:
+    """Parse decoded text lines into ``(event, data)`` pairs.
+
+    Tolerant the way SSE consumers must be: comment lines (``:`` prefix) and
+    unknown fields are ignored, multiple ``data:`` lines concatenate with a
+    newline per the spec, and a truncated trailing event (stream cut before
+    its blank line) is dropped rather than raised.
+    """
+    event = ""
+    data_lines: list = []
+    for raw in lines:
+        line = raw.rstrip("\r\n") if isinstance(raw, str) else raw
+        if line.startswith(":"):
+            continue
+        if line == "":
+            if data_lines:
+                yield (event or "message", json.loads("\n".join(data_lines)))
+            event = ""
+            data_lines = []
+            continue
+        field, _, value = line.partition(":")
+        value = value[1:] if value.startswith(" ") else value
+        if field == "event":
+            event = value
+        elif field == "data":
+            data_lines.append(value)

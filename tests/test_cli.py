@@ -348,3 +348,86 @@ def test_python_dash_m_repro_smoke(tmp_path):
     report = store.load(artifact)
     assert report.name == "ber-vs-photons"
     assert report.total_bits == 6 * 2048
+
+
+class TestProbe:
+    """`repro probe` — the pre-run cache probe and its exit-code contract."""
+
+    def test_miss_then_run_then_hit(self, capsys, tmp_path):
+        store = str(tmp_path / "artifacts")
+        args = ("probe", "ber-vs-photons", "--seed", "7", "--bits", "128",
+                "--store", store)
+        assert run_cli(*args) == 4  # EXIT_CACHE_MISS: nothing simulated yet
+        out = capsys.readouterr().out
+        assert out.startswith("PENDING run ")
+        assert run_cli("run", "ber-vs-photons", "--seed", "7", "--bits", "128",
+                       "--quiet", "--store", store) == 0
+        capsys.readouterr()
+        assert run_cli(*args) == 0  # same inputs now probe as a hit
+        out = capsys.readouterr().out
+        assert out.startswith("HIT ")
+        artifact = out.split()[1]
+        assert ReportStore(store).load(artifact) is not None
+
+    def test_json_payload_is_the_shared_probe_shape(self, capsys, tmp_path):
+        from repro import frontdoor
+        from repro.scenarios.store import run_digest
+
+        store = str(tmp_path / "artifacts")
+        assert run_cli("probe", "ber-vs-photons", "--seed", "7", "--bits", "128",
+                       "--store", store, "--json") == 4
+        payload = json.loads(capsys.readouterr().out)
+        request = frontdoor.RunRequest.build("ber-vs-photons", seed=7, bits=128)
+        assert payload == frontdoor.probe(ReportStore(store), request)
+        assert payload["state"] == "pending" and payload["artifact"] is None
+        assert payload["run"] == run_digest(
+            request.scenario, request.backend, 7, request.chunk_symbols
+        )
+
+    def test_probe_is_sensitive_to_every_run_input(self, capsys, tmp_path):
+        store = str(tmp_path / "artifacts")
+        assert run_cli("run", "ber-vs-photons", "--seed", "7", "--bits", "128",
+                       "--quiet", "--store", store) == 0
+        capsys.readouterr()
+        base = ("ber-vs-photons", "--bits", "128", "--store", store)
+        assert run_cli("probe", *base, "--seed", "7") == 0
+        assert run_cli("probe", *base, "--seed", "8") == 4
+        assert run_cli("probe", *base, "--seed", "7", "--chunk-symbols", "4096") == 4
+        assert run_cli("probe", "ber-vs-photons", "--bits", "256", "--seed", "7",
+                       "--store", store) == 4
+
+    def test_probe_never_creates_artifacts(self, capsys, tmp_path):
+        store = tmp_path / "artifacts"
+        assert run_cli("probe", "ber-vs-photons", "--store", str(store)) == 4
+        assert not any(store.rglob("*.json")) if store.exists() else True
+
+    def test_probe_usage_errors(self, capsys, tmp_path):
+        assert run_cli("probe", "no-such-scenario") == 1
+        assert "unknown scenario" in capsys.readouterr().err
+        assert run_cli("probe") == 1  # no source at all
+        assert "exactly one" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_occupied_port_exits_4_with_typed_error(self, capsys, tmp_path):
+        import socket
+
+        from repro.cli import EXIT_PORT_BIND
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            code = run_cli("serve", "--port", str(port), "--store", str(tmp_path))
+        finally:
+            blocker.close()
+        assert code == EXIT_PORT_BIND == 4
+        err = capsys.readouterr().err
+        assert "cannot bind" in err and str(port) in err
+
+    def test_list_json_matches_the_service_catalogue(self, capsys):
+        from repro import frontdoor
+
+        assert run_cli("list", "--json") == 0
+        assert json.loads(capsys.readouterr().out) == frontdoor.scenario_catalogue()

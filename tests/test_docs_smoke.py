@@ -33,6 +33,10 @@ import repro.scenarios.scenario
 import repro.scenarios.session
 import repro.scenarios.smoke
 import repro.scenarios.store
+import repro.frontdoor
+import repro.service.app
+import repro.service.client
+import repro.service.sse
 
 README = Path(__file__).resolve().parent.parent / "README.md"
 
@@ -50,6 +54,10 @@ DOCTEST_MODULES = (
     repro.scenarios.runner,
     repro.scenarios.store,
     repro.scenarios.smoke,
+    repro.frontdoor,
+    repro.service.app,
+    repro.service.client,
+    repro.service.sse,
 )
 
 
@@ -102,3 +110,20 @@ def test_readme_documents_every_backend_and_subpackage():
         "repro.simulation", "repro.scenarios", "repro.analysis",
     ):
         assert subpackage in text, f"README module map is missing {subpackage}"
+
+
+@pytest.mark.docs_smoke
+def test_architecture_doc_covers_the_service_design():
+    # The service's design doc is part of the contract: the run-key/dedupe
+    # story must stay written down next to the code that implements it.
+    doc = README.parent / "docs" / "ARCHITECTURE.md"
+    assert doc.exists(), "docs/ARCHITECTURE.md is part of the project contract"
+    text = doc.read_text()
+    for heading in (
+        "## Experiment service",
+        "### The run key and the run index",
+        "### In-flight dedupe and SSE fan-out",
+    ):
+        assert heading in text, f"ARCHITECTURE.md lost its {heading!r} section"
+    for anchor in ("RunRequest", "find_run", "serve_app", "ServiceBindError"):
+        assert anchor in text, f"ARCHITECTURE.md no longer mentions {anchor}"

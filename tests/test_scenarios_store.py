@@ -285,3 +285,132 @@ class TestCrashSafety:
         store.save(report)
         store.save(report)
         assert len(set(captured)) == 2
+
+
+class TestRunIndex:
+    """The run index: pre-run cache keys mapped to completed artefacts."""
+
+    def test_digest_for_needs_no_execution(self, report, tmp_path):
+        store = ReportStore(tmp_path)
+        key = store.digest_for(report.scenario, "batch", 21, 8192)
+        assert len(key) == 12 and int(key, 16) >= 0
+        # Pure function of the run inputs — stable across stores and calls.
+        assert key == ReportStore(tmp_path / "other").digest_for(
+            report.scenario, "batch", 21, 8192
+        )
+        # ...and sensitive to every one of them.
+        assert key != store.digest_for(report.scenario, "scalar", 21, 8192)
+        assert key != store.digest_for(report.scenario, "batch", 22, 8192)
+        assert key != store.digest_for(report.scenario, "batch", 21, 4096)
+
+    def test_save_with_run_key_makes_find_run_hit(self, report, tmp_path):
+        store = ReportStore(tmp_path)
+        key = store.digest_for(report.scenario, "batch", 21, 8192)
+        assert store.find_run(key) is None
+        path = store.save(report, run_key=key)
+        assert store.find_run(key) == path.stem
+        # A second store over the same directory sees it too (it's on disk).
+        assert ReportStore(tmp_path).find_run(key) == path.stem
+
+    def test_save_without_run_key_records_nothing(self, report, tmp_path):
+        store = ReportStore(tmp_path)
+        store.save(report)
+        assert not (tmp_path / "index").exists()
+
+    def test_missing_artifact_is_a_clean_miss(self, report, tmp_path):
+        store = ReportStore(tmp_path)
+        key = store.digest_for(report.scenario, "batch", 21, 8192)
+        path = store.save(report, run_key=key)
+        path.unlink()  # artefact gone, index entry stale
+        assert store.find_run(key) is None
+
+    def test_corrupt_index_entries_are_clean_misses(self, report, tmp_path):
+        store = ReportStore(tmp_path)
+        key = store.digest_for(report.scenario, "batch", 21, 8192)
+        store.save(report, run_key=key)
+        index_path = tmp_path / "index" / f"{key}.json"
+        for garbage in ("", "not json", json.dumps({"format": "wrong"}),
+                        json.dumps({"format": ARTIFACT_FORMAT})):
+            index_path.write_text(garbage)
+            assert store.find_run(key) is None
+        assert store.find_run("0" * 12) is None  # never-written key
+
+
+class TestConcurrentStoreAccess:
+    """Real threads against one directory — the service's actual regime."""
+
+    def test_racing_writers_same_digest_leave_one_valid_artifact(
+        self, report, tmp_path
+    ):
+        # N writers save the *same* report (same content digest, same target
+        # path) simultaneously.  Private scratch files + atomic os.replace
+        # mean whoever lands last wins wholesale — the surviving file is
+        # always one complete, digest-verified envelope, never a splice.
+        import threading
+
+        store = ReportStore(tmp_path)
+        key = store.digest_for(report.scenario, "batch", 21, 8192)
+        start = threading.Barrier(8)
+        paths, errors = [], []
+
+        def write():
+            try:
+                start.wait(timeout=30)
+                for _ in range(10):
+                    paths.append(store.save(report, run_key=key))
+            except Exception as error:  # pragma: no cover - failure detail
+                errors.append(error)
+
+        threads = [threading.Thread(target=write) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert len(set(paths)) == 1  # content addressing: one target path
+        assert store.list() == [paths[0].stem]  # no scratch debris surfaced
+        assert store.load(paths[0].stem) == report  # complete and verified
+        assert store.find_run(key) == paths[0].stem
+
+    def test_reader_racing_writers_never_sees_a_torn_file(self, report, tmp_path):
+        import threading
+
+        store = ReportStore(tmp_path)
+        stop = threading.Event()
+        errors = []
+
+        def write():
+            try:
+                while not stop.is_set():
+                    store.save(report)
+            except Exception as error:  # pragma: no cover - failure detail
+                errors.append(error)
+
+        writer = threading.Thread(target=write)
+        writer.start()
+        try:
+            name = artifact_id(report)
+            for _ in range(200):
+                listed = store.list()
+                assert listed in ([], [name])  # scratch files never listed
+                if listed:
+                    assert store.load(name) == report  # always a whole envelope
+        finally:
+            stop.set()
+            writer.join(timeout=60)
+        assert not errors
+
+    def test_reader_ignores_a_mid_save_scratch_file(self, report, tmp_path):
+        # Freeze the exact moment save() has written its scratch file but not
+        # yet renamed it: readers must act as if the save never happened.
+        store = ReportStore(tmp_path)
+        done = store.save(report)
+        scratch = tmp_path / f".{artifact_id(report)}.tmp-{os.getpid()}-999"
+        scratch.write_text(done.read_text()[: done.stat().st_size // 2])
+        index_scratch = tmp_path / "index" / ".deadbeef0000.tmp-1-1"
+        index_scratch.parent.mkdir(exist_ok=True)
+        index_scratch.write_text("{ half an ind")
+        assert store.list() == [done.stem]
+        assert store.load(done.stem) == report
+        assert store.latest() == done.stem
+        assert store.find_run("deadbeef0000") is None
