@@ -12,13 +12,25 @@ regenerating the reference::
     PYTHONPATH=src python -m repro run ber-vs-photons --bits 256 --seed 1 \
         --store tests/reference_artifacts
 
-Exit status: 0 when bit-identical, 1 on drift, 3 when the reference artefact
-is missing or unreadable (a broken *gate*, not a regression — fix the
-reference, don't chase the simulation).
+Two modes (``--mode``):
+
+* ``bit-identical`` (default) — any non-zero per-point delta fails.  The
+  right gate for the deterministic contract: same scenario, same seed, same
+  chunk size must reproduce the committed artefact byte for byte.
+* ``confidence`` — a point fails only when the two estimates' 95 %
+  confidence intervals fail to overlap.  The right gate for *statistically*
+  equivalent estimators (the importance-sampling trial mode, backend
+  swaps): their draws differ by design, so bit-identity is the wrong
+  contract, but the physics may not move.
+
+Exit status: 0 when the gate holds, 1 on drift, 3 when the reference
+artefact is missing or unreadable (a broken *gate*, not a regression — fix
+the reference, don't chase the simulation).
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import tempfile
 from pathlib import Path
@@ -37,9 +49,52 @@ REFERENCE_DIR = REPO / "tests" / "reference_artifacts"
 EXIT_BAD_REFERENCE = 3
 
 
-def main() -> int:
+def _point_intervals(store, artifact, metric):
+    """``{sorted-parameter-items: (value, half_width)}`` for one artefact."""
+    report = store.load(artifact)
+    return {
+        tuple(sorted(point.parameters.items())): (
+            point.metric(metric),
+            point.confidence.get(metric),
+        )
+        for point in report.points
+    }
+
+
+def _confidence_drift(reference_points, current_points, metric):
+    """Point labels whose estimates are statistically incompatible.
+
+    A pair drifts when the 95 % intervals fail to overlap; a point with no
+    published half-width falls back to exact equality (there is no noise to
+    hide behind).
+    """
+    drifted = []
+    for key in sorted(set(reference_points) & set(current_points)):
+        value_a, half_a = reference_points[key]
+        value_b, half_b = current_points[key]
+        if half_a is None or half_b is None:
+            if value_a != value_b:
+                drifted.append((key, value_a, half_a, value_b, half_b))
+            continue
+        if abs(value_a - value_b) > half_a + half_b:
+            drifted.append((key, value_a, half_a, value_b, half_b))
+    return drifted
+
+
+def main(argv=None) -> int:
     from repro.cli import main as cli_main
     from repro.scenarios.store import CorruptArtifactError, ReportStore
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--mode",
+        choices=("bit-identical", "confidence"),
+        default="bit-identical",
+        help="bit-identical: any delta fails (deterministic contract); "
+             "confidence: fail only when 95%% CIs no longer overlap "
+             "(statistical-equivalence contract)",
+    )
+    args = parser.parse_args(argv)
 
     references = sorted(REFERENCE_DIR.glob(f"{SCENARIO}__*__seed{SEED}__*.json"))
     if not references:
@@ -84,6 +139,35 @@ def main() -> int:
         store = ReportStore(scratch)
         current = store.latest(SCENARIO)
         comparison = store.compare(reference, current, METRIC)
+        if args.mode == "confidence":
+            reference_points = _point_intervals(
+                ReportStore(REFERENCE_DIR), reference, METRIC
+            )
+            current_points = _point_intervals(store, current, METRIC)
+            ci_drifted = _confidence_drift(reference_points, current_points, METRIC)
+
+    if args.mode == "confidence":
+        if ci_drifted or comparison["only_a"] or comparison["only_b"]:
+            print(
+                f"REGRESSION: {SCENARIO!r} statistically incompatible with "
+                f"{reference.name}",
+                file=sys.stderr,
+            )
+            for key, value_a, half_a, value_b, half_b in ci_drifted:
+                print(
+                    f"  {dict(key)}: {METRIC} {value_a} +/- {half_a} vs "
+                    f"{value_b} +/- {half_b} (CIs do not overlap)",
+                    file=sys.stderr,
+                )
+            for side_key, side in (("only_a", "reference"), ("only_b", "current")):
+                for parameters in comparison[side_key]:
+                    print(f"  point only in {side}: {parameters}", file=sys.stderr)
+            return 1
+        print(
+            f"regression gate ok: {SCENARIO!r} ({len(comparison['points'])} points) "
+            f"within 95% confidence of {reference.name}"
+        )
+        return 0
 
     drifted = [row for row in comparison["points"] if row["delta"] != 0.0]
     if drifted or comparison["only_a"] or comparison["only_b"]:

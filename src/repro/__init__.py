@@ -112,7 +112,7 @@ from repro.service import (
 )
 from repro.simulation import NocTrafficTrial
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "LinkConfig",

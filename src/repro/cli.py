@@ -129,6 +129,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="payload bits per grid point (default: the scenario's budget)")
     run_cmd.add_argument("--chunk-symbols", type=int, default=DEFAULT_CHUNK_SYMBOLS,
                          help="symbols per Monte-Carlo chunk (fixes the seeding layout)")
+    run_cmd.add_argument("--trial-mode", default=None, choices=("naive", "importance"),
+                         help="estimator: plain Monte-Carlo (naive, default) or "
+                              "importance sampling with likelihood weighting")
+    run_cmd.add_argument("--ci-target", type=float, default=None, metavar="HALF_WIDTH",
+                         help="adaptive budget: simulate each point until its 95%% "
+                              "CI half-width reaches this target")
+    run_cmd.add_argument("--max-symbols", type=int, default=None,
+                         help="hard per-point symbol cap for --ci-target runs")
     run_cmd.add_argument("--store", default=DEFAULT_STORE,
                          help=f"artefact store directory (default {DEFAULT_STORE!r})")
     run_cmd.add_argument("--no-store", action="store_true",
@@ -169,6 +177,12 @@ def build_parser() -> argparse.ArgumentParser:
                            help="payload bits per grid point (default: the scenario's budget)")
     probe_cmd.add_argument("--chunk-symbols", type=int, default=DEFAULT_CHUNK_SYMBOLS,
                            help="symbols per Monte-Carlo chunk (part of the cache key)")
+    probe_cmd.add_argument("--trial-mode", default=None, choices=("naive", "importance"),
+                           help="estimator override (part of the cache key)")
+    probe_cmd.add_argument("--ci-target", type=float, default=None, metavar="HALF_WIDTH",
+                           help="adaptive CI half-width target (part of the cache key)")
+    probe_cmd.add_argument("--max-symbols", type=int, default=None,
+                           help="per-point symbol cap for --ci-target runs")
     probe_cmd.add_argument("--store", default=DEFAULT_STORE,
                            help=f"artefact store directory (default {DEFAULT_STORE!r})")
     probe_cmd.add_argument("--json", action="store_true",
@@ -247,7 +261,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.resume and args.no_store:
         raise ValueError("--resume reads the checkpoint from the store; drop --no-store")
     scenario = frontdoor.resolve_scenario(
-        name=args.scenario, file=args.file, bits=args.bits
+        name=args.scenario,
+        file=args.file,
+        bits=args.bits,
+        trial_mode=args.trial_mode,
+        ci_target=args.ci_target,
+        max_symbols=args.max_symbols,
     )
     runner = ExperimentRunner(
         scenario,
@@ -315,6 +334,9 @@ def _cmd_probe(args: argparse.Namespace) -> int:
         backend=args.backend,
         chunk_symbols=args.chunk_symbols,
         bits=args.bits,
+        trial_mode=args.trial_mode,
+        ci_target=args.ci_target,
+        max_symbols=args.max_symbols,
     )
     result = frontdoor.probe(ReportStore(args.store), request)
     if args.json:

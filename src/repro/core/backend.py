@@ -42,6 +42,7 @@ from repro.core.link import OpticalLink, TransmissionResult
 from repro.core.multilink import MultichannelOpticalLink
 from repro.photonics.channel import OpticalChannel
 from repro.photonics.crosstalk import CrosstalkModel
+from repro.spad.device import ImportanceSettings
 
 
 @dataclass(frozen=True)
@@ -60,11 +61,17 @@ class BackendCapabilities:
     draw_for_draw_reference:
         This backend defines the reference sample path for a given seed
         (legacy results are reproduced draw for draw against it).
+    supports_importance:
+        The backend accepts ``importance=``
+        (:class:`~repro.spad.device.ImportanceSettings`) and produces
+        likelihood-weighted rare-event transmissions whose weighted error
+        statistics are unbiased estimates of the naive path's.
     """
 
     supports_batch: bool
     supports_multichannel: bool = False
     draw_for_draw_reference: bool = False
+    supports_importance: bool = False
 
 
 @runtime_checkable
@@ -169,6 +176,7 @@ def make_link(
     channels: Optional[int] = None,
     crosstalk: Optional[CrosstalkModel] = None,
     channel_gains: Optional[Sequence[float]] = None,
+    importance: Optional[ImportanceSettings] = None,
 ) -> LinkBackend:
     """Construct a link through the backend registry.
 
@@ -198,6 +206,10 @@ def make_link(
         only): channel ``c`` sees the link budget scaled by
         ``channel_gains[c]`` — one ``(S, C)`` pass over receivers at
         *different* attenuations, e.g. the dies of a broadcast column.
+    importance:
+        Optional :class:`~repro.spad.device.ImportanceSettings` switching
+        the link to importance-sampled rare-event transmission; only
+        backends whose capabilities flag ``supports_importance`` accept it.
 
     >>> link = make_link(backend="batch", seed=1)
     >>> link.transmit_bits([1, 0, 1, 1]).symbols_sent
@@ -207,6 +219,12 @@ def make_link(
     """
     entry = _REGISTRY[resolve_backend(backend)]
     resolved_config = config if config is not None else LinkConfig()
+    if importance is not None and not entry.capabilities.supports_importance:
+        raise ValueError(
+            f"backend {entry.name!r} does not support importance sampling; "
+            f"use a backend with supports_importance (e.g. 'batch')"
+        )
+    extra = {} if importance is None else {"importance": importance}
     if entry.capabilities.supports_multichannel:
         return entry.factory(
             resolved_config,
@@ -215,6 +233,7 @@ def make_link(
             channels=channels if channels is not None else 1,
             crosstalk=crosstalk,
             channel_gains=channel_gains,
+            **extra,
         )
     if channels not in (None, 1) or crosstalk is not None or channel_gains is not None:
         raise ValueError(
@@ -222,7 +241,7 @@ def make_link(
             f"crosstalk or per-channel gains; use a backend with "
             f"supports_multichannel (e.g. 'multichannel')"
         )
-    return entry.factory(resolved_config, channel=channel, seed=seed)
+    return entry.factory(resolved_config, channel=channel, seed=seed, **extra)
 
 
 register_backend(
@@ -233,12 +252,14 @@ register_backend(
 register_backend(
     "batch",
     FastOpticalLink,
-    BackendCapabilities(supports_batch=True),
+    BackendCapabilities(supports_batch=True, supports_importance=True),
     aliases=("fast",),
 )
 register_backend(
     "multichannel",
     MultichannelOpticalLink,
-    BackendCapabilities(supports_batch=True, supports_multichannel=True),
+    BackendCapabilities(
+        supports_batch=True, supports_multichannel=True, supports_importance=True
+    ),
     aliases=("array",),
 )

@@ -41,13 +41,15 @@ path returns, at a ≥10× (typically 30–100×) symbols/sec advantage on
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.core.config import LinkConfig
 from repro.core.link import OpticalLink, TransmissionResult
 from repro.modulation.symbols import ints_to_bit_matrix
-from repro.spad.device import ORIGIN_BY_CODE
+from repro.photonics.channel import OpticalChannel
+from repro.spad.device import ORIGIN_BY_CODE, ImportanceSettings
 
 
 class FastOpticalLink(OpticalLink):
@@ -58,7 +60,23 @@ class FastOpticalLink(OpticalLink):
     :meth:`transmit_bits` is overridden.  Use the scalar class when you need
     draw-for-draw reproduction of legacy results, the fast class everywhere
     throughput matters.
+
+    ``importance`` switches the detection core to the importance-sampled
+    rare-event path (:class:`~repro.spad.device.ImportanceSettings`): the
+    returned result then carries per-symbol likelihood weights in
+    ``symbol_weights`` and its *weighted* error statistics are unbiased
+    estimates of the naive path's.
     """
+
+    def __init__(
+        self,
+        config: LinkConfig = LinkConfig(),
+        channel: Optional[OpticalChannel] = None,
+        seed: int = 0,
+        importance: Optional[ImportanceSettings] = None,
+    ) -> None:
+        super().__init__(config=config, channel=channel, seed=seed)
+        self.importance = importance
 
     def transmit_bits(self, bits: Sequence[int]) -> TransmissionResult:
         """Send a payload over the link, simulating every symbol in one batch.
@@ -94,9 +112,15 @@ class FastOpticalLink(OpticalLink):
         pulse_offsets = self.codec.pulse_times_for_values(values)
 
         self.spad.reset()
-        times, origins = self.spad.detect_in_windows(
-            symbol_duration, pulse_offsets, mean_photons
-        )
+        symbol_weights = None
+        if self.importance is not None:
+            times, origins, symbol_weights = self.spad.detect_in_windows(
+                symbol_duration, pulse_offsets, mean_photons, importance=self.importance
+            )
+        else:
+            times, origins = self.spad.detect_in_windows(
+                symbol_duration, pulse_offsets, mean_photons
+            )
 
         detected = origins >= 0
         decoded = np.zeros(symbol_count, dtype=np.int64)
@@ -126,4 +150,6 @@ class FastOpticalLink(OpticalLink):
             symbol_errors=int(np.count_nonzero(decoded != values)),
             detection_counts=counts,
             elapsed_time=symbol_count * symbol_duration,
+            symbol_weights=symbol_weights,
+            symbol_origins=origins if self.importance is not None else None,
         )

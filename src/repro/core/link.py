@@ -46,6 +46,15 @@ class TransmissionResult:
     symbol_errors: int
     detection_counts: Dict[str, int]
     elapsed_time: float
+    #: Per-symbol likelihood weights (importance-sampled backends only;
+    #: ``None`` for naive transmission).  ``symbol_weights[i]`` reweights
+    #: symbol ``i``'s error indicator back to the natural measure.
+    symbol_weights: Optional[np.ndarray] = None
+    #: Per-symbol winning detection-origin codes (importance-sampled backends
+    #: only; ``None`` for naive transmission) — indexes into
+    #: :data:`~repro.spad.device.CODE_BY_ORIGIN`'s value space, ``-1`` for a
+    #: missed window.  Lets consumers stratify weighted error mass by origin.
+    symbol_origins: Optional[np.ndarray] = None
 
     @property
     def bit_errors(self) -> int:

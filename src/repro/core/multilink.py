@@ -50,7 +50,7 @@ from repro.photonics.channel import OpticalChannel
 from repro.photonics.crosstalk import CrosstalkModel
 from repro.simulation.randomness import RandomSource
 from repro.spad.array import detect_in_windows_multichannel
-from repro.spad.device import ORIGIN_BY_CODE
+from repro.spad.device import ORIGIN_BY_CODE, ImportanceSettings
 
 #: Bit errors caused by decoding one symbol value as another = popcount of
 #: their XOR.  ``ppm_bits`` is capped at 16, so one 2^16 lookup table covers
@@ -177,10 +177,17 @@ class MultichannelOpticalLink(OpticalLink):
         channels: int = 1,
         crosstalk: Optional[CrosstalkModel] = None,
         channel_gains: Optional[Sequence[float]] = None,
+        importance: Optional[ImportanceSettings] = None,
     ) -> None:
         super().__init__(config, channel=channel, seed=seed)
         if channels < 1:
             raise ValueError("channels must be at least 1")
+        if importance is not None and crosstalk is not None:
+            raise ValueError(
+                "importance sampling does not support crosstalk "
+                "(interference couples channel likelihoods)"
+            )
+        self.importance = importance
         self.channels = int(channels)
         self.crosstalk = crosstalk
         self.channel_gains: Optional[np.ndarray] = None
@@ -313,16 +320,30 @@ class MultichannelOpticalLink(OpticalLink):
         secondary_offsets, secondary_photons, background = self._interference(
             pulse_offsets, mean_photons
         )
-        times, origins = detect_in_windows_multichannel(
-            self.spad,
-            symbol_duration,
-            pulse_offsets,
-            mean_photons=mean_photons,
-            generator=self._array_source.generator,
-            secondary_offsets=secondary_offsets,
-            secondary_photons=secondary_photons,
-            background_mean=background,
-        )
+        symbol_weights = None
+        if self.importance is not None:
+            times, origins, grid_weights = detect_in_windows_multichannel(
+                self.spad,
+                symbol_duration,
+                pulse_offsets,
+                mean_photons=mean_photons,
+                generator=self._array_source.generator,
+                importance=self.importance,
+            )
+            # Weights align to the flat payload symbol order (symbol i rode
+            # channel i % C in window i // C); grid-padding windows drop out.
+            symbol_weights = grid_weights.reshape(-1)[:symbol_count]
+        else:
+            times, origins = detect_in_windows_multichannel(
+                self.spad,
+                symbol_duration,
+                pulse_offsets,
+                mean_photons=mean_photons,
+                generator=self._array_source.generator,
+                secondary_offsets=secondary_offsets,
+                secondary_photons=secondary_photons,
+                background_mean=background,
+            )
 
         detected = origins >= 0
         decoded = np.zeros((windows, self.channels), dtype=np.int64)
@@ -369,6 +390,8 @@ class MultichannelOpticalLink(OpticalLink):
             symbol_errors=int(np.count_nonzero(errors_per_symbol)),
             detection_counts=self._origin_counts(origins_flat),
             elapsed_time=elapsed,
+            symbol_weights=symbol_weights,
+            symbol_origins=origins_flat if self.importance is not None else None,
             channel_bits=channel_bits,
             channel_bit_errors=channel_bit_errors,
             _channel_results_builder=lambda: self._channel_results(

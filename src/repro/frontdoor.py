@@ -56,6 +56,9 @@ def resolve_scenario(
     file: Optional[str] = None,
     mapping: Optional[Mapping[str, Any]] = None,
     bits: Optional[int] = None,
+    trial_mode: Optional[str] = None,
+    ci_target: Optional[float] = None,
+    max_symbols: Optional[int] = None,
 ) -> Scenario:
     """Resolve exactly one scenario source into a :class:`Scenario`.
 
@@ -64,7 +67,9 @@ def resolve_scenario(
     bare scenario mapping or a stored report artefact (whose
     ``report.scenario`` is extracted) — a previous run's artefact is itself
     a runnable scenario description.  ``bits`` overrides the per-point
-    bit budget (``Scenario.with_budget``).
+    bit budget (``Scenario.with_budget``); ``trial_mode``/``ci_target``/
+    ``max_symbols`` override the rare-event estimator settings
+    (``Scenario.with_trial_mode``).
     """
     sources = [source for source in (name, file, mapping) if source is not None]
     if len(sources) != 1:
@@ -90,7 +95,24 @@ def resolve_scenario(
         scenario = Scenario.from_mapping(_unwrap_scenario_mapping(data))
     if bits is not None:
         scenario = scenario.with_budget(bits)
+    scenario = _apply_trial_overrides(scenario, trial_mode, ci_target, max_symbols)
     return scenario
+
+
+def _apply_trial_overrides(
+    scenario: Scenario,
+    trial_mode: Optional[str],
+    ci_target: Optional[float],
+    max_symbols: Optional[int],
+) -> Scenario:
+    """Apply rare-event overrides to a resolved scenario (no-op when unset)."""
+    if trial_mode is None and ci_target is None and max_symbols is None:
+        return scenario
+    return scenario.with_trial_mode(
+        trial_mode if trial_mode is not None else scenario.trial_mode,
+        ci_target=ci_target,
+        max_symbols=max_symbols,
+    )
 
 
 def _unwrap_scenario_mapping(data: Mapping[str, Any]) -> Mapping[str, Any]:
@@ -149,19 +171,38 @@ class RunRequest:
         chunk_symbols: int = DEFAULT_CHUNK_SYMBOLS,
         bits: Optional[int] = None,
         file: Optional[str] = None,
+        trial_mode: Optional[str] = None,
+        ci_target: Optional[float] = None,
+        max_symbols: Optional[int] = None,
     ) -> "RunRequest":
         """Resolve loose inputs (CLI flags, HTTP body fields) into a request."""
         if isinstance(scenario, Scenario):
             if file is not None:
                 raise ValueError("pass exactly one of a scenario and --file PATH")
             resolved = scenario if bits is None else scenario.with_budget(bits)
+            resolved = _apply_trial_overrides(
+                resolved, trial_mode, ci_target, max_symbols
+            )
         elif isinstance(scenario, str) or scenario is None:
             # resolve_scenario enforces the exactly-one-source rule.
-            resolved = resolve_scenario(name=scenario, file=file, bits=bits)
+            resolved = resolve_scenario(
+                name=scenario,
+                file=file,
+                bits=bits,
+                trial_mode=trial_mode,
+                ci_target=ci_target,
+                max_symbols=max_symbols,
+            )
         elif isinstance(scenario, Mapping):
             if file is not None:
                 raise ValueError("pass exactly one of a scenario and --file PATH")
-            resolved = resolve_scenario(mapping=scenario, bits=bits)
+            resolved = resolve_scenario(
+                mapping=scenario,
+                bits=bits,
+                trial_mode=trial_mode,
+                ci_target=ci_target,
+                max_symbols=max_symbols,
+            )
         else:
             raise ValueError(
                 f"scenario must be a name, a Scenario or a mapping, got {scenario!r}"

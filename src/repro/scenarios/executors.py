@@ -84,6 +84,7 @@ from repro.simulation.montecarlo import (
     link_batch_trial,
 )
 from repro.simulation.randomness import split_seed
+from repro.spad.device import ORIGIN_BY_CODE, ImportanceSettings
 
 
 @dataclass(frozen=True)
@@ -112,6 +113,15 @@ class PointTask:
     backend: str
     chunk_symbols: int
     index: int
+    #: Absolute index of the first symbol this task simulates.  Non-zero for
+    #: adaptive-budget *continuation* installments: chunk seeds derive from
+    #: the absolute symbol offset, so a continuation reproduces exactly the
+    #: chunks a single longer run would have evaluated.  Must be a multiple
+    #: of ``chunk_symbols``.
+    start_symbol: int = 0
+    #: Explicit number of symbols to simulate (continuation installments);
+    #: ``None`` derives the point's full budget from ``bits_per_point``.
+    symbols: Optional[int] = None
     live_scenario: Optional[Scenario] = dataclasses.field(
         default=None, compare=False, repr=False
     )
@@ -187,6 +197,8 @@ def evaluate_point(
     seed: int,
     backend: str,
     chunk_symbols: int,
+    start_symbol: int = 0,
+    symbols: Optional[int] = None,
 ) -> PointOutcome:
     """Evaluate one grid point: the single definition of point execution.
 
@@ -196,6 +208,14 @@ def evaluate_point(
     through this function — in-process for :class:`SerialExecutor`, inside
     the worker for :class:`ProcessExecutor` — which is what makes parallel
     reports bit-identical to serial ones.
+
+    ``start_symbol``/``symbols`` carve an adaptive-budget *installment* out
+    of a notional longer run: chunk seeds derive from the absolute symbol
+    offset, so running ``[0, n)`` then ``[n, m)`` and merging the outcomes
+    is bit-identical to running ``[0, m)`` at once.  Importance-mode
+    scenarios (``trial_mode="importance"``) run the likelihood-weighted
+    rare-event path and additionally fill the outcome's weighted
+    accumulators and origin strata.
 
     Points whose merged parameters declare ``noc_*`` keys run NoC bus
     traffic (:func:`evaluate_noc_point`) instead of a point-to-point payload;
@@ -209,13 +229,23 @@ def evaluate_point(
     config, channel = scenario.config_for_point(parameters)
     crosstalk = scenario.crosstalk_for_point(parameters)
     channels = scenario.channels
+    importance = (
+        ImportanceSettings() if scenario.trial_mode == "importance" else None
+    )
     k = config.ppm_bits
-    symbols = max(1, -(-scenario.bits_per_point // k))
+    if symbols is None:
+        symbols = max(1, -(-scenario.bits_per_point // k))
     # Accumulators for the per-chunk statistics that are not the trial's
     # scalar sample (the sample itself is bit errors per symbol).
     detection_counts: Dict[str, int] = {}
     channel_bits = np.zeros(channels, dtype=np.int64)
     channel_bit_errors = np.zeros(channels, dtype=np.int64)
+    # Importance-only accumulators: raw (proposal-measure) error counts, the
+    # weighted symbol-error indicator moments, and the weighted bit-error
+    # mass split by winning detection origin.
+    raw_errors = {"bit_errors": 0, "symbol_errors": 0}
+    weighted_symbol = {"sum": 0.0, "sumsq": 0.0}
+    error_strata: Dict[str, float] = {}
 
     def accumulate_detections(result) -> None:
         for origin, origin_count in result.detection_counts.items():
@@ -226,6 +256,28 @@ def evaluate_point(
         if split is not None and len(split) == channels:
             channel_bits[:] += split
             channel_bit_errors[:] += result.channel_bit_errors
+        if importance is None:
+            return
+        # The run_batch samples are w_i * biterr_i, from which neither the
+        # raw counts nor the weighted indicators are recoverable — derive
+        # them here from the chunk's full transmission result.
+        weights = np.asarray(result.symbol_weights, dtype=float)
+        sent = np.asarray(result.transmitted_bits).reshape(weights.size, -1)
+        received = np.asarray(result.received_bits).reshape(weights.size, -1)
+        errors = np.count_nonzero(sent != received, axis=1)
+        err_mask = errors > 0
+        raw_errors["bit_errors"] += int(errors.sum())
+        raw_errors["symbol_errors"] += int(np.count_nonzero(err_mask))
+        indicator = weights * err_mask
+        weighted_symbol["sum"] += float(indicator.sum())
+        weighted_symbol["sumsq"] += float(np.square(indicator).sum())
+        origins = np.asarray(result.symbol_origins)
+        mass = weights * errors
+        for code in np.unique(origins[err_mask]):
+            code = int(code)
+            name = "missed" if code < 0 else ORIGIN_BY_CODE[code].value
+            stratum = float(mass[err_mask & (origins == code)].sum())
+            error_strata[name] = error_strata.get(name, 0.0) + stratum
 
     # The shared chunked-link trial defines the reproducibility protocol
     # (seed draw, payload draw, transmission order) in one place.
@@ -237,10 +289,36 @@ def evaluate_point(
         on_result=accumulate_detections,
         channels=channels if channels > 1 else None,
         crosstalk=crosstalk,
+        importance=importance,
     )
 
     runner = MonteCarloRunner(seed=seed, label=scenario.point_label(parameters))
-    outcome = runner.run_batch(batch_trial, trials=symbols, chunk_size=chunk_symbols)
+    outcome = runner.run_batch(
+        batch_trial,
+        trials=symbols,
+        chunk_size=chunk_symbols,
+        first_trial=start_symbol,
+    )
+    if importance is not None:
+        weighted = outcome.samples  # w_i * biterr_i per symbol
+        return PointOutcome(
+            config=config,
+            bits=symbols * k,
+            bit_errors=raw_errors["bit_errors"],
+            symbols=symbols,
+            symbol_errors=raw_errors["symbol_errors"],
+            detection_counts=detection_counts,
+            channels=channels,
+            channel_bits=tuple(int(b) for b in channel_bits) if channels > 1 else (),
+            channel_bit_errors=(
+                tuple(int(e) for e in channel_bit_errors) if channels > 1 else ()
+            ),
+            weighted_error_sum=float(weighted.sum()),
+            weighted_error_sumsq=float(np.square(weighted).sum()),
+            weighted_symbol_error_sum=weighted_symbol["sum"],
+            weighted_symbol_error_sumsq=weighted_symbol["sumsq"],
+            error_strata=error_strata,
+        )
     per_symbol_bit_errors = outcome.samples.astype(int)
     return PointOutcome(
         config=config,
@@ -355,7 +433,13 @@ def evaluate_task(task: PointTask) -> PointOutcome:
         mapping["metrics"] = kept or ["ber"]
         scenario = Scenario.from_mapping(mapping)
     return evaluate_point(
-        scenario, task.parameters, task.seed, task.backend, task.chunk_symbols
+        scenario,
+        task.parameters,
+        task.seed,
+        task.backend,
+        task.chunk_symbols,
+        start_symbol=task.start_symbol,
+        symbols=task.symbols,
     )
 
 

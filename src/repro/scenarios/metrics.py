@@ -15,9 +15,9 @@ live in :mod:`repro.modulation.symbols` and are shared with
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
-from repro.analysis.statistics import binomial_confidence_95
+from repro.analysis.statistics import binomial_confidence_95, weighted_mean_confidence_95
 from repro.core.config import LinkConfig
 
 
@@ -38,6 +38,16 @@ class PointOutcome:
     network metrics (``delivery_ratio``, ``mean_latency``,
     ``bus_utilisation``, ``saturation_throughput``).  ``noc`` is ``None`` for
     plain link points.
+
+    Importance-sampled points (``trial_mode="importance"`` scenarios) carry
+    the likelihood-weighted error accumulators: ``weighted_error_sum`` /
+    ``weighted_error_sumsq`` are Σ(wᵢ·biterrᵢ) and Σ(wᵢ·biterrᵢ)² over the
+    per-symbol samples, ``weighted_symbol_error_sum`` / ``_sumsq`` the same
+    for the symbol-error indicator, and ``error_strata`` splits the weighted
+    bit-error mass by the winning :class:`~repro.spad.device.DetectionOrigin`
+    (plus ``"missed"``).  The raw count fields then hold the *unweighted*
+    proposal-measure counts; ``ber``/``symbol_error_rate``/``goodput``
+    automatically switch to the weighted estimator and its variance-based CI.
     """
 
     config: LinkConfig
@@ -50,6 +60,11 @@ class PointOutcome:
     channel_bits: Tuple[int, ...] = ()
     channel_bit_errors: Tuple[int, ...] = ()
     noc: Optional[Mapping[str, float]] = None
+    weighted_error_sum: Optional[float] = None
+    weighted_error_sumsq: Optional[float] = None
+    weighted_symbol_error_sum: Optional[float] = None
+    weighted_symbol_error_sumsq: Optional[float] = None
+    error_strata: Mapping[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.bits < 0 or self.symbols < 0:
@@ -66,15 +81,130 @@ class PointOutcome:
         object.__setattr__(self, "channel_bit_errors", tuple(self.channel_bit_errors))
         if self.noc is not None:
             object.__setattr__(self, "noc", dict(self.noc))
+        object.__setattr__(self, "error_strata", dict(self.error_strata))
         if len(self.channel_bits) != len(self.channel_bit_errors):
             raise ValueError("channel_bits and channel_bit_errors must pair up")
         for errors, bits in zip(self.channel_bit_errors, self.channel_bits):
             if not 0 <= errors <= bits:
                 raise ValueError("per-channel bit_errors must be within [0, bits]")
+        weighted = (
+            self.weighted_error_sum,
+            self.weighted_error_sumsq,
+            self.weighted_symbol_error_sum,
+            self.weighted_symbol_error_sumsq,
+        )
+        if any(value is not None for value in weighted) and any(
+            value is None for value in weighted
+        ):
+            raise ValueError(
+                "importance outcomes need all four weighted accumulators "
+                "(weighted_error_sum/_sumsq, weighted_symbol_error_sum/_sumsq)"
+            )
+
+    @property
+    def is_weighted(self) -> bool:
+        """Whether this outcome carries importance-sampled accumulators."""
+        return self.weighted_error_sum is not None
 
     @property
     def missed(self) -> int:
         return int(self.detection_counts.get("missed", 0))
+
+    def merge(self, other: "PointOutcome") -> "PointOutcome":
+        """Combine two disjoint-sample outcomes of the same grid point.
+
+        The adaptive-budget primitive: every count and accumulator is the sum
+        over both sample sets, so merging round ``n``'s installment into the
+        running outcome reproduces exactly the outcome a single longer run
+        would have produced.  Both outcomes must be of the same kind (naive
+        with naive, weighted with weighted); NoC outcomes do not merge.
+        """
+        if self.is_weighted != other.is_weighted:
+            raise ValueError("cannot merge naive and importance outcomes")
+        if self.noc is not None or other.noc is not None:
+            raise ValueError("NoC traffic outcomes do not support merging")
+        if self.channels != other.channels:
+            raise ValueError("cannot merge outcomes with different channel counts")
+        counts: Dict[str, int] = dict(self.detection_counts)
+        for key, value in other.detection_counts.items():
+            counts[key] = counts.get(key, 0) + int(value)
+        strata: Dict[str, float] = dict(self.error_strata)
+        for key, value in other.error_strata.items():
+            strata[key] = strata.get(key, 0.0) + float(value)
+        if self.channel_bits and other.channel_bits:
+            if len(self.channel_bits) != len(other.channel_bits):
+                raise ValueError("cannot merge mismatched per-channel splits")
+            channel_bits = tuple(
+                a + b for a, b in zip(self.channel_bits, other.channel_bits)
+            )
+            channel_bit_errors = tuple(
+                a + b for a, b in zip(self.channel_bit_errors, other.channel_bit_errors)
+            )
+        else:
+            channel_bits = self.channel_bits or other.channel_bits
+            channel_bit_errors = self.channel_bit_errors or other.channel_bit_errors
+
+        def add(a: Optional[float], b: Optional[float]) -> Optional[float]:
+            return None if a is None else a + b
+
+        return PointOutcome(
+            config=self.config,
+            bits=self.bits + other.bits,
+            bit_errors=self.bit_errors + other.bit_errors,
+            symbols=self.symbols + other.symbols,
+            symbol_errors=self.symbol_errors + other.symbol_errors,
+            detection_counts=counts,
+            channels=self.channels,
+            channel_bits=channel_bits,
+            channel_bit_errors=channel_bit_errors,
+            weighted_error_sum=add(self.weighted_error_sum, other.weighted_error_sum),
+            weighted_error_sumsq=add(
+                self.weighted_error_sumsq, other.weighted_error_sumsq
+            ),
+            weighted_symbol_error_sum=add(
+                self.weighted_symbol_error_sum, other.weighted_symbol_error_sum
+            ),
+            weighted_symbol_error_sumsq=add(
+                self.weighted_symbol_error_sumsq, other.weighted_symbol_error_sumsq
+            ),
+            error_strata=strata,
+        )
+
+    def to_accumulator_mapping(self) -> Dict[str, Any]:
+        """Plain-data form of the *accumulated state* (adaptive checkpoints).
+
+        Everything except ``config`` and ``noc`` — the link configuration is
+        derivable from the scenario and the point parameters, and NoC points
+        never run adaptive budgets.  Weighted fields appear only on weighted
+        outcomes, so naive partial records stay compact.
+        """
+        mapping: Dict[str, Any] = {
+            "bits": self.bits,
+            "bit_errors": self.bit_errors,
+            "symbols": self.symbols,
+            "symbol_errors": self.symbol_errors,
+            "detection_counts": dict(self.detection_counts),
+            "channels": self.channels,
+            "channel_bits": list(self.channel_bits),
+            "channel_bit_errors": list(self.channel_bit_errors),
+        }
+        if self.is_weighted:
+            mapping["weighted_error_sum"] = self.weighted_error_sum
+            mapping["weighted_error_sumsq"] = self.weighted_error_sumsq
+            mapping["weighted_symbol_error_sum"] = self.weighted_symbol_error_sum
+            mapping["weighted_symbol_error_sumsq"] = self.weighted_symbol_error_sumsq
+            mapping["error_strata"] = dict(self.error_strata)
+        return mapping
+
+    @classmethod
+    def from_accumulator_mapping(
+        cls, config: LinkConfig, mapping: Mapping[str, Any]
+    ) -> "PointOutcome":
+        """Inverse of :meth:`to_accumulator_mapping`, given the rebuilt config."""
+        data = dict(mapping)
+        data["channel_bits"] = tuple(data.get("channel_bits", ()))
+        data["channel_bit_errors"] = tuple(data.get("channel_bit_errors", ()))
+        return cls(config=config, **data)
 
     def worst_channel(self) -> Tuple[int, int]:
         """``(bit_errors, bits)`` of the channel with the highest BER.
@@ -173,24 +303,64 @@ def evaluate_metrics(
 # -- built-in metrics -----------------------------------------------------------
 
 
-@register_metric(
-    "ber",
-    confidence=lambda o: binomial_confidence_95(o.bit_errors, o.bits) if o.bits else None,
-)
+def _ber_confidence(outcome: PointOutcome) -> Optional[float]:
+    """95 % half-width of the BER estimate (weighted or binomial)."""
+    if not outcome.bits:
+        return None
+    if outcome.is_weighted:
+        # Per-symbol samples are w_i * biterr_i; BER is their mean divided by
+        # bits-per-symbol, so the half-width scales by the same factor.
+        bits_per_symbol = outcome.bits / outcome.symbols
+        return (
+            weighted_mean_confidence_95(
+                outcome.weighted_error_sum,
+                outcome.weighted_error_sumsq,
+                outcome.symbols,
+            )
+            / bits_per_symbol
+        )
+    return binomial_confidence_95(outcome.bit_errors, outcome.bits)
+
+
+def _ser_confidence(outcome: PointOutcome) -> Optional[float]:
+    """95 % half-width of the SER estimate (weighted or binomial)."""
+    if not outcome.symbols:
+        return None
+    if outcome.is_weighted:
+        return weighted_mean_confidence_95(
+            outcome.weighted_symbol_error_sum,
+            outcome.weighted_symbol_error_sumsq,
+            outcome.symbols,
+        )
+    return binomial_confidence_95(outcome.symbol_errors, outcome.symbols)
+
+
+def _symbol_error_ratio(outcome: PointOutcome) -> float:
+    if outcome.is_weighted:
+        return _ratio(outcome.weighted_symbol_error_sum, outcome.symbols)
+    return _ratio(outcome.symbol_errors, outcome.symbols)
+
+
+@register_metric("ber", confidence=_ber_confidence)
 def bit_error_rate(outcome: PointOutcome) -> float:
-    """Fraction of payload bits decoded incorrectly."""
+    """Fraction of payload bits decoded incorrectly.
+
+    On importance-sampled outcomes this is the likelihood-weighted estimator
+    Σ(wᵢ·biterrᵢ) / bits — an unbiased estimate of the naive-measure BER.
+    """
+    if outcome.is_weighted:
+        return _ratio(outcome.weighted_error_sum, outcome.bits)
     return _ratio(outcome.bit_errors, outcome.bits)
 
 
-@register_metric(
-    "symbol_error_rate",
-    confidence=lambda o: (
-        binomial_confidence_95(o.symbol_errors, o.symbols) if o.symbols else None
-    ),
-)
+@register_metric("symbol_error_rate", confidence=_ser_confidence)
 def symbol_error_rate(outcome: PointOutcome) -> float:
-    """Fraction of PPM symbols decoded incorrectly."""
-    return _ratio(outcome.symbol_errors, outcome.symbols)
+    """Fraction of PPM symbols decoded incorrectly.
+
+    Likelihood-weighted (Σ wᵢ·1{errᵢ} / symbols) on importance-sampled
+    outcomes, matching :func:`bit_error_rate`.
+    """
+    return _symbol_error_ratio(outcome)
 
 
 @register_metric("throughput")
@@ -202,16 +372,12 @@ def throughput(outcome: PointOutcome) -> float:
 @register_metric(
     "goodput",
     confidence=lambda o: (
-        o.config.raw_bit_rate * binomial_confidence_95(o.symbol_errors, o.symbols)
-        if o.symbols
-        else None
+        o.config.raw_bit_rate * _ser_confidence(o) if o.symbols else None
     ),
 )
 def goodput(outcome: PointOutcome) -> float:
     """Throughput of correctly decoded symbols [bit/s]."""
-    return outcome.config.raw_bit_rate * (
-        1.0 - _ratio(outcome.symbol_errors, outcome.symbols)
-    )
+    return outcome.config.raw_bit_rate * (1.0 - _symbol_error_ratio(outcome))
 
 
 @register_metric("tdc_throughput")

@@ -76,7 +76,14 @@ def resolve_scenario_backend(scenario: Scenario, backend: Optional[str] = None) 
 
 @dataclass(frozen=True)
 class ExperimentPoint:
-    """One evaluated grid point of a scenario experiment."""
+    """One evaluated grid point of a scenario experiment.
+
+    ``budget`` is present only on adaptive-budget runs (scenarios with a
+    ``ci_target``): a mapping recording the target, the metric it applied
+    to, the achieved 95 % half-width, the number of simulation rounds, and
+    whether the point converged before any ``max_symbols`` cap.  Fixed-budget
+    points leave it ``None`` and serialise exactly as before.
+    """
 
     parameters: Mapping[str, Any]
     metrics: Mapping[str, float]
@@ -84,12 +91,15 @@ class ExperimentPoint:
     bits: int
     symbols: int
     detection_counts: Mapping[str, int] = field(default_factory=dict)
+    budget: Optional[Mapping[str, Any]] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "parameters", dict(self.parameters))
         object.__setattr__(self, "metrics", dict(self.metrics))
         object.__setattr__(self, "confidence", dict(self.confidence))
         object.__setattr__(self, "detection_counts", dict(self.detection_counts))
+        if self.budget is not None:
+            object.__setattr__(self, "budget", dict(self.budget))
 
     def metric(self, name: str) -> float:
         try:
@@ -104,7 +114,7 @@ class ExperimentPoint:
         # json.dumps would otherwise emit a bare `NaN` token that jq,
         # JSON.parse and most non-Python consumers reject.  from_mapping
         # restores them.
-        return {
+        mapping = {
             "parameters": dict(self.parameters),
             "metrics": {
                 name: None if math.isnan(value) else value
@@ -115,13 +125,18 @@ class ExperimentPoint:
             "symbols": self.symbols,
             "detection_counts": dict(self.detection_counts),
         }
+        if self.budget is not None:
+            # Emitted only on adaptive runs: fixed-budget artefacts (and
+            # their content digests) keep their historical shape.
+            mapping["budget"] = dict(self.budget)
+        return mapping
 
     @classmethod
     def from_mapping(cls, mapping: Mapping[str, Any]) -> "ExperimentPoint":
         """Inverse of :meth:`to_mapping` (artefact loading)."""
         data = dict(mapping)
         required = {"parameters", "metrics", "confidence", "bits", "symbols"}
-        known = required | {"detection_counts"}
+        known = required | {"detection_counts", "budget"}
         unknown = sorted(set(data) - known)
         if unknown:
             raise ValueError(f"unknown experiment-point key(s): {', '.join(unknown)}")
@@ -324,7 +339,10 @@ class ExperimentRunner:
 
     # -- report assembly -------------------------------------------------------
     def build_point(
-        self, parameters: Mapping[str, Any], outcome: PointOutcome
+        self,
+        parameters: Mapping[str, Any],
+        outcome: PointOutcome,
+        budget: Optional[Mapping[str, Any]] = None,
     ) -> ExperimentPoint:
         """Evaluate the scenario's metrics on one point outcome.
 
@@ -333,6 +351,7 @@ class ExperimentRunner:
         boundaries.  Infinite values always raise; ``NaN`` raises unless the
         metric was registered with ``allow_nan=True`` (the NoC traffic
         metrics, whose ratios are legitimately undefined on an empty point).
+        ``budget`` (adaptive runs only) is recorded on the point verbatim.
         """
         values, confidence = evaluate_metrics(self.scenario.metrics, outcome)
         for name, value in values.items():
@@ -348,6 +367,7 @@ class ExperimentRunner:
             bits=outcome.bits,
             symbols=outcome.symbols,
             detection_counts=outcome.detection_counts,
+            budget=budget,
         )
 
     def assemble_report(

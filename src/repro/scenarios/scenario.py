@@ -81,6 +81,11 @@ _CONFIG_FIELDS: Tuple[str, ...] = tuple(
 
 SEED_POLICIES: Tuple[str, ...] = ("per-point", "shared")
 
+#: How a point's trials are drawn: ``"naive"`` is plain Monte Carlo;
+#: ``"importance"`` biases the rare-event draws and weights samples back
+#: (requires a backend whose capabilities flag ``supports_importance``).
+TRIAL_MODES: Tuple[str, ...] = ("naive", "importance")
+
 _DEFAULT_STACK_THICKNESS = 15.0 * UM
 
 
@@ -139,6 +144,18 @@ class Scenario:
         ``"per-point"`` derives an independent seed per grid point (sweep
         points are statistically independent); ``"shared"`` reuses the run
         seed at every point (common-random-number comparisons).
+    trial_mode:
+        ``"naive"`` (default) is plain Monte Carlo; ``"importance"`` runs
+        the likelihood-weighted rare-event estimator (the backend must flag
+        ``supports_importance``).
+    ci_target:
+        Optional adaptive-budget target: a point keeps simulating whole
+        chunks until the 95 % CI half-width of its first confidence-bearing
+        metric drops to this value (``bits_per_point`` becomes the size of
+        the first installment rather than the total).
+    max_symbols:
+        Optional hard cap on the symbols an adaptive point may simulate
+        before giving up on ``ci_target``.
     """
 
     name: str
@@ -150,6 +167,9 @@ class Scenario:
     backend: str = "batch"
     channels: int = 1
     seed_policy: str = "per-point"
+    trial_mode: str = "naive"
+    ci_target: Optional[float] = None
+    max_symbols: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -245,6 +265,48 @@ class Scenario:
             raise ValueError(
                 f"seed_policy must be one of {SEED_POLICIES}, got {self.seed_policy!r}"
             )
+        if self.trial_mode not in TRIAL_MODES:
+            raise ValueError(
+                f"trial_mode must be one of {TRIAL_MODES}, got {self.trial_mode!r}"
+            )
+        if self.trial_mode == "importance":
+            if not backend_capabilities(self.backend).supports_importance:
+                raise ValueError(
+                    f"backend {self.backend!r} does not support importance "
+                    f"sampling; use a backend with supports_importance "
+                    f"(e.g. 'batch')"
+                )
+            if crosstalk_keys:
+                raise ValueError(
+                    "importance sampling does not support crosstalk "
+                    "(interference couples channel likelihoods); drop "
+                    "crosstalk_pitch/crosstalk_floor or use trial_mode='naive'"
+                )
+            if noc_keys:
+                raise ValueError(
+                    "NoC traffic points do not support importance sampling; "
+                    "use trial_mode='naive'"
+                )
+        if self.ci_target is not None:
+            if not isinstance(self.ci_target, (int, float)) or not self.ci_target > 0:
+                raise ValueError(
+                    f"ci_target must be a positive number, got {self.ci_target!r}"
+                )
+            if noc_keys:
+                raise ValueError(
+                    "adaptive ci_target budgets apply to link error statistics; "
+                    "NoC traffic points do not support them"
+                )
+        if self.max_symbols is not None:
+            if not isinstance(self.max_symbols, int) or self.max_symbols <= 0:
+                raise ValueError(
+                    f"max_symbols must be a positive int, got {self.max_symbols!r}"
+                )
+            if self.ci_target is None:
+                raise ValueError(
+                    "max_symbols caps an adaptive budget and has no effect "
+                    "without ci_target"
+                )
 
     def __hash__(self) -> int:
         # The generated frozen-dataclass __hash__ would raise on the dict
@@ -261,6 +323,9 @@ class Scenario:
                 self.backend,
                 self.channels,
                 self.seed_policy,
+                self.trial_mode,
+                self.ci_target,
+                self.max_symbols,
             )
         )
 
@@ -391,8 +456,14 @@ class Scenario:
 
     # -- serialisation -------------------------------------------------------------
     def to_mapping(self) -> Dict[str, Any]:
-        """Plain-data form of the scenario (JSON-serialisable)."""
-        return {
+        """Plain-data form of the scenario (JSON-serialisable).
+
+        The rare-event fields (``trial_mode``, ``ci_target``,
+        ``max_symbols``) are emitted only when they differ from their
+        defaults, so the canonical mapping — and every digest derived from
+        it — of a pre-existing naive scenario is unchanged.
+        """
+        mapping = {
             "name": self.name,
             "description": self.description,
             "link_overrides": dict(self.link_overrides),
@@ -403,6 +474,13 @@ class Scenario:
             "channels": self.channels,
             "seed_policy": self.seed_policy,
         }
+        if self.trial_mode != "naive":
+            mapping["trial_mode"] = self.trial_mode
+        if self.ci_target is not None:
+            mapping["ci_target"] = self.ci_target
+        if self.max_symbols is not None:
+            mapping["max_symbols"] = self.max_symbols
+        return mapping
 
     @classmethod
     def from_mapping(cls, mapping: Mapping[str, Any]) -> "Scenario":
@@ -428,3 +506,22 @@ class Scenario:
     def with_channels(self, channels: int) -> "Scenario":
         """Copy running a different number of parallel channels."""
         return dataclasses.replace(self, channels=channels)
+
+    def with_trial_mode(
+        self,
+        trial_mode: str,
+        ci_target: Optional[float] = None,
+        max_symbols: Optional[int] = None,
+    ) -> "Scenario":
+        """Copy running a different trial mode and/or adaptive budget.
+
+        ``ci_target``/``max_symbols`` replace the scenario's values when
+        given and are kept otherwise, so a naive scenario can be switched to
+        the rare-event estimator in one call.
+        """
+        return dataclasses.replace(
+            self,
+            trial_mode=trial_mode,
+            ci_target=ci_target if ci_target is not None else self.ci_target,
+            max_symbols=max_symbols if max_symbols is not None else self.max_symbols,
+        )

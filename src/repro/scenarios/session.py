@@ -29,11 +29,23 @@ the stream (see :meth:`~repro.scenarios.runner.ExperimentRunner.run`).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+import dataclasses
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.scenarios.executors import Executor, PointTask
 from repro.scenarios.faults import PointFailure
-from repro.scenarios.metrics import PointOutcome
+from repro.scenarios.metrics import PointOutcome, resolve_metric
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
     from repro.scenarios.runner import ExperimentPoint, ExperimentReport, ExperimentRunner
@@ -79,6 +91,14 @@ class ExperimentSession:
         self._checkpoint = checkpoint
         self._last_index: Optional[int] = None
         self._resumed: Dict[int, "ExperimentPoint"] = {}
+        # Adaptive-budget state (scenarios with a ci_target): the merged
+        # outcome and finished-round count per unconverged point, plus the
+        # continuation tasks queued for the next wave.
+        self._adaptive = runner.scenario.ci_target is not None
+        self._accumulated: Dict[int, PointOutcome] = {}
+        self._rounds: Dict[int, int] = {}
+        self._next_wave: List[PointTask] = []
+        self._wave_started = False
         if checkpoint is not None:
             from repro.scenarios.runner import ExperimentPoint
 
@@ -87,6 +107,21 @@ class ExperimentSession:
                     point = ExperimentPoint.from_mapping(mapping)
                     self._points[index] = point
                     self._resumed[index] = point
+            if self._adaptive:
+                for index, partial in checkpoint.load_partials().items():
+                    if index in self._points or not 0 <= index < len(self._tasks):
+                        continue
+                    outcome_mapping = partial.get("outcome")
+                    if not isinstance(outcome_mapping, Mapping):
+                        continue
+                    task = self._tasks[index]
+                    config, _channel = runner.scenario.config_for_point(
+                        task.parameters
+                    )
+                    self._accumulated[index] = PointOutcome.from_accumulator_mapping(
+                        config, outcome_mapping
+                    )
+                    self._rounds[index] = int(partial.get("rounds", 1))
 
     # -- introspection ---------------------------------------------------------
     @property
@@ -120,6 +155,11 @@ class ExperimentSession:
         return self
 
     def __next__(self) -> "ExperimentPoint":
+        if self._adaptive:
+            return self._next_adaptive()
+        return self._next_plain()
+
+    def _next_plain(self) -> "ExperimentPoint":
         while True:
             if self._closed:
                 raise StopIteration
@@ -144,31 +184,184 @@ class ExperimentSession:
                 # it and keep streaming the surviving points.
                 self._failed[index] = outcome
                 continue
-            try:
+            point = self._finish_point(index, outcome, budget=None)
+            if point is not None:
+                return point
+
+    def _finish_point(
+        self,
+        index: int,
+        outcome: PointOutcome,
+        budget: Optional[Mapping[str, Any]],
+    ) -> Optional["ExperimentPoint"]:
+        """Metric-evaluate a completed outcome and record the point.
+
+        Returns ``None`` when metric evaluation failed under the
+        ``"continue"`` policy (the point degraded to a structured failure);
+        raises otherwise on metric errors, exactly as point delivery would.
+        """
+        try:
+            # budget= is only passed when set, so substitute build_point
+            # implementations (tests, subclasses) predating it keep working
+            # on fixed-budget runs.
+            if budget is None:
                 point = self._runner.build_point(self._tasks[index].parameters, outcome)
-            except Exception as error:
-                if getattr(self._executor, "failure_policy", "fail_fast") == "continue":
-                    # Metric evaluation failed, but the run was asked to keep
-                    # going — degrade this point to a structured failure too.
-                    self._failed[index] = PointFailure(
-                        index=index,
-                        parameters=self._tasks[index].parameters,
-                        error_type=type(error).__name__,
-                        message=str(error),
-                        attempts=1,
-                        elapsed=0.0,
-                    )
+            else:
+                point = self._runner.build_point(
+                    self._tasks[index].parameters, outcome, budget=budget
+                )
+        except Exception as error:
+            if getattr(self._executor, "failure_policy", "fail_fast") == "continue":
+                # Metric evaluation failed, but the run was asked to keep
+                # going — degrade this point to a structured failure too.
+                self._failed[index] = PointFailure(
+                    index=index,
+                    parameters=self._tasks[index].parameters,
+                    error_type=type(error).__name__,
+                    message=str(error),
+                    attempts=1,
+                    elapsed=0.0,
+                )
+                return None
+            # The executor delivered the outcome; metric evaluation failed.
+            # Remember why, so a later report() raises the real cause
+            # instead of claiming the point was never delivered.
+            self._failures[index] = error
+            raise
+        self._points[index] = point
+        self._last_index = index
+        if self._checkpoint is not None:
+            self._checkpoint.append(index, point.to_mapping())
+        return point
+
+    # -- adaptive budgets --------------------------------------------------------
+    def _half_width(self, outcome: PointOutcome) -> Tuple[Optional[str], Optional[float]]:
+        """Name and 95 % half-width of the first confidence-bearing metric."""
+        for name in self._runner.scenario.metrics:
+            _function, ci = resolve_metric(name)
+            if ci is None:
+                continue
+            half = ci(outcome)
+            if half is not None:
+                return name, float(half)
+        return None, None
+
+    def _continuation(self, task: PointTask, outcome: PointOutcome) -> PointTask:
+        """The next-round installment for an unconverged point.
+
+        Installments double the point's sample size (CI half-widths shrink
+        as ``1/sqrt(n)``, so doubling overshoots the target by at most
+        ``sqrt(2)``), clipped to any ``max_symbols`` cap.  The continuation
+        starts at the absolute symbol offset already simulated, so chunk
+        seeds — and hence the merged result — match a single longer run.
+        """
+        cap = self._runner.scenario.max_symbols
+        installment = outcome.symbols
+        if cap is not None:
+            installment = min(installment, cap - outcome.symbols)
+        return dataclasses.replace(
+            task, start_symbol=outcome.symbols, symbols=max(1, installment)
+        )
+
+    def _initial_task(self, task: PointTask) -> PointTask:
+        """The first-round installment, clipped to any ``max_symbols`` cap."""
+        scenario = self._runner.scenario
+        cap = scenario.max_symbols
+        if cap is None:
+            return task
+        config, _channel = scenario.config_for_point(task.parameters)
+        first = max(1, -(-scenario.bits_per_point // config.ppm_bits))
+        if first <= cap:
+            return task
+        return dataclasses.replace(task, symbols=cap)
+
+    def _pending_wave(self) -> List[PointTask]:
+        """Tasks for the next adaptive wave (initial grid, then continuations)."""
+        if not self._wave_started:
+            self._wave_started = True
+            wave: List[PointTask] = []
+            for task in self._tasks:
+                if task.index in self._points:
                     continue
-                # The executor delivered the outcome; metric evaluation failed.
-                # Remember why, so a later report() raises the real cause
-                # instead of claiming the point was never delivered.
-                self._failures[index] = error
+                restored = self._accumulated.get(task.index)
+                if restored is None:
+                    wave.append(self._initial_task(task))
+                else:
+                    # A partial round restored from the checkpoint: continue
+                    # from its absolute offset instead of re-simulating.
+                    wave.append(self._continuation(task, restored))
+            return wave
+        wave, self._next_wave = self._next_wave, []
+        return wave
+
+    def _next_adaptive(self) -> "ExperimentPoint":
+        scenario = self._runner.scenario
+        while True:
+            if self._closed:
+                raise StopIteration
+            if self._stream is None:
+                wave = self._pending_wave()
+                if not wave:
+                    raise StopIteration
+                self._stream = self._executor.map_tasks(wave)
+            try:
+                index, outcome = next(self._stream)
+            except StopIteration:
+                # Wave drained; continuation tasks (if any) form the next one.
+                self._stream = None
+                continue
+            except Exception as error:
+                self._stream_error = error
                 raise
-            self._points[index] = point
-            self._last_index = index
-            if self._checkpoint is not None:
-                self._checkpoint.append(index, point.to_mapping())
-            return point
+            if isinstance(outcome, PointFailure):
+                self._failed[index] = outcome
+                self._accumulated.pop(index, None)
+                continue
+            merged = outcome
+            if index in self._accumulated:
+                # Installments are disjoint continuations of one notional
+                # longer run, so summed accumulators reproduce it exactly.
+                merged = self._accumulated[index].merge(outcome)
+            rounds = self._rounds.get(index, 0) + 1
+            metric_name, half = self._half_width(merged)
+            if metric_name is None:
+                raise RuntimeError(
+                    f"scenario {scenario.name!r} declares ci_target="
+                    f"{scenario.ci_target} but none of its metrics reports a "
+                    f"confidence half-width to converge on"
+                )
+            converged = half <= scenario.ci_target
+            capped = (
+                scenario.max_symbols is not None
+                and merged.symbols >= scenario.max_symbols
+            )
+            if not converged and not capped:
+                self._accumulated[index] = merged
+                self._rounds[index] = rounds
+                self._next_wave.append(self._continuation(self._tasks[index], merged))
+                if self._checkpoint is not None:
+                    self._checkpoint.append_partial(
+                        index,
+                        {
+                            "rounds": rounds,
+                            "outcome": merged.to_accumulator_mapping(),
+                        },
+                    )
+                continue
+            self._accumulated.pop(index, None)
+            self._rounds.pop(index, None)
+            budget = {
+                "ci_target": scenario.ci_target,
+                "metric": metric_name,
+                "achieved": half,
+                "rounds": rounds,
+                "converged": bool(converged),
+            }
+            if scenario.max_symbols is not None:
+                budget["max_symbols"] = scenario.max_symbols
+            point = self._finish_point(index, merged, budget=budget)
+            if point is not None:
+                return point
 
     def indexed(self) -> Iterator[Tuple[int, "ExperimentPoint"]]:
         """Stream ``(grid_index, point)`` pairs as points complete.

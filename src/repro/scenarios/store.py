@@ -496,6 +496,14 @@ class RunCheckpoint:
     Appends are flushed and fsynced, so a killed run loses at most the point
     that was mid-write — and :meth:`load` tolerates exactly that: a torn
     final line is ignored rather than poisoning the resume.
+
+    Adaptive-budget runs additionally journal *partial rounds*:
+    ``{"index": <grid index>, "partial": <accumulated outcome mapping>}``
+    lines record a point's cumulative Monte-Carlo state after each
+    unconverged round (see :meth:`append_partial` / :meth:`load_partials`),
+    so a resumed run continues from the last finished round instead of
+    re-simulating it.  Partial lines carry no ``"point"`` key, so
+    :meth:`load` — and therefore any pre-adaptive reader — skips them.
     """
 
     def __init__(self, path: Path, run_key: str) -> None:
@@ -542,8 +550,53 @@ class RunCheckpoint:
                 points[entry["index"]] = entry["point"]
         return points
 
-    def append(self, index: int, point_mapping: Mapping[str, Any]) -> None:
-        """Durably record one completed point."""
+    def load_partials(self) -> Dict[int, Mapping[str, Any]]:
+        """Last recorded partial round per grid index (adaptive resume).
+
+        Each partial line carries the point's *cumulative* accumulated
+        outcome, so only the latest one per index matters.  Indices that
+        later completed (a ``"point"`` line exists) are excluded — their
+        partial history is superseded.  Header/torn-tail tolerance matches
+        :meth:`load`.
+        """
+        if not self.path.is_file():
+            return {}
+        lines = self.path.read_text().splitlines()
+        if not lines:
+            return {}
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            return {}
+        if (
+            not isinstance(header, dict)
+            or header.get("format") != CHECKPOINT_FORMAT
+            or header.get("run") != self.run_key
+        ):
+            return {}
+        partials: Dict[int, Mapping[str, Any]] = {}
+        completed = set()
+        for line in lines[1:]:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                break
+            if not isinstance(entry, dict) or not isinstance(entry.get("index"), int):
+                continue
+            if isinstance(entry.get("point"), dict):
+                completed.add(entry["index"])
+            elif isinstance(entry.get("partial"), dict):
+                partials[entry["index"]] = entry["partial"]
+        return {
+            index: partial
+            for index, partial in partials.items()
+            if index not in completed
+        }
+
+    def _append_entry(self, entry: Mapping[str, Any]) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         write_header = not self.path.is_file() or self.path.stat().st_size == 0
         with open(self.path, "a") as handle:
@@ -551,9 +604,17 @@ class RunCheckpoint:
                 handle.write(
                     json.dumps({"format": CHECKPOINT_FORMAT, "run": self.run_key}) + "\n"
                 )
-            handle.write(json.dumps({"index": index, "point": dict(point_mapping)}) + "\n")
+            handle.write(json.dumps(dict(entry)) + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+
+    def append(self, index: int, point_mapping: Mapping[str, Any]) -> None:
+        """Durably record one completed point."""
+        self._append_entry({"index": index, "point": dict(point_mapping)})
+
+    def append_partial(self, index: int, partial_mapping: Mapping[str, Any]) -> None:
+        """Durably record one unconverged adaptive round (cumulative state)."""
+        self._append_entry({"index": index, "partial": dict(partial_mapping)})
 
     def discard(self) -> None:
         """Delete the checkpoint (done after the final artefact is saved)."""

@@ -10,8 +10,9 @@ method    path                        meaning
 POST      ``/runs``                   submit a run request (dedupes in flight, cache-hits
                                       completed runs); body fields: ``scenario`` (library
                                       name or scenario mapping), ``seed``, ``backend``,
-                                      ``chunk_symbols``, ``bits`` — all but ``scenario``
-                                      optional
+                                      ``chunk_symbols``, ``bits``, ``trial_mode``,
+                                      ``ci_target``, ``max_symbols`` — all but
+                                      ``scenario`` optional
 GET       ``/runs``                   status snapshots of every known run
 GET       ``/runs/{id}``              one run's status (``id`` is the run key digest)
 GET       ``/runs/{id}/events``       the run's server-sent event stream: one ``point``
@@ -67,7 +68,10 @@ Handler = Callable[[Any, Dict[str, str], Dict[str, str], Any], Any]
 
 def _run_request_from_fields(fields: Dict[str, Any]) -> frontdoor.RunRequest:
     """Build a :class:`~repro.frontdoor.RunRequest` from loose HTTP fields."""
-    known = {"scenario", "seed", "backend", "chunk_symbols", "bits"}
+    known = {
+        "scenario", "seed", "backend", "chunk_symbols", "bits",
+        "trial_mode", "ci_target", "max_symbols",
+    }
     unknown = sorted(set(fields) - known)
     if unknown:
         raise HttpError(400, f"unknown run field(s): {', '.join(unknown)}")
@@ -80,6 +84,9 @@ def _run_request_from_fields(fields: Dict[str, Any]) -> frontdoor.RunRequest:
             backend=fields.get("backend"),
             chunk_symbols=fields.get("chunk_symbols", frontdoor.DEFAULT_CHUNK_SYMBOLS),
             bits=fields.get("bits"),
+            trial_mode=fields.get("trial_mode"),
+            ci_target=fields.get("ci_target"),
+            max_symbols=fields.get("max_symbols"),
         )
     except (TypeError, ValueError) as error:
         raise HttpError(400, str(error)) from error
@@ -89,11 +96,16 @@ def _coerce_query_fields(query: Dict[str, str]) -> Dict[str, Any]:
     """Query-string run fields (``GET /probe``) with ints parsed."""
     fields: Dict[str, Any] = {}
     for name, value in query.items():
-        if name in ("seed", "chunk_symbols", "bits"):
+        if name in ("seed", "chunk_symbols", "bits", "max_symbols"):
             try:
                 fields[name] = int(value)
             except ValueError:
                 raise HttpError(400, f"{name} must be an integer, got {value!r}") from None
+        elif name == "ci_target":
+            try:
+                fields[name] = float(value)
+            except ValueError:
+                raise HttpError(400, f"{name} must be a number, got {value!r}") from None
         else:
             fields[name] = value
     return fields

@@ -101,6 +101,11 @@ class LinkBatchTrial:
     on_result: Optional[Callable] = None
     channels: Optional[int] = None
     crosstalk: object = None
+    #: Optional :class:`~repro.spad.device.ImportanceSettings`; when set, the
+    #: link runs the importance-sampled path and samples become likelihood-
+    #: *weighted* per-symbol error figures (w_i * errors_i), whose mean is an
+    #: unbiased estimate of the naive sample mean.
+    importance: object = None
 
     def __post_init__(self) -> None:
         if self.per_symbol not in ("error_indicator", "bit_errors"):
@@ -121,6 +126,7 @@ class LinkBatchTrial:
             seed=int(generator.integers(0, 2**31)),
             channels=self.channels,
             crosstalk=self.crosstalk,
+            importance=self.importance,
         )
         payload = generator.integers(0, 2, size=count * self.config.ppm_bits).tolist()
         result = link.transmit_bits(payload)
@@ -130,8 +136,12 @@ class LinkBatchTrial:
         received = np.asarray(result.received_bits).reshape(count, -1)
         mismatches = sent != received
         if self.per_symbol == "bit_errors":
-            return np.count_nonzero(mismatches, axis=1).astype(float)
-        return np.any(mismatches, axis=1).astype(float)
+            samples = np.count_nonzero(mismatches, axis=1).astype(float)
+        else:
+            samples = np.any(mismatches, axis=1).astype(float)
+        if self.importance is not None:
+            samples = samples * np.asarray(result.symbol_weights, dtype=float)
+        return samples
 
 
 def link_batch_trial(
@@ -142,6 +152,7 @@ def link_batch_trial(
     on_result: Optional[Callable] = None,
     channels: Optional[int] = None,
     crosstalk=None,
+    importance=None,
 ) -> LinkBatchTrial:
     """Build a :meth:`MonteCarloRunner.run_batch` trial over the optical link.
 
@@ -167,6 +178,10 @@ def link_batch_trial(
     statistics such as detection-origin counts (a
     :class:`~repro.core.multilink.MultichannelResult` for multichannel
     backends, carrying the per-channel breakdown).
+
+    ``importance`` (an :class:`~repro.spad.device.ImportanceSettings`) turns
+    the trial into its likelihood-weighted rare-event form: samples become
+    ``w_i * errors_i``.
     """
     return LinkBatchTrial(
         config=config,
@@ -176,6 +191,7 @@ def link_batch_trial(
         on_result=on_result,
         channels=channels,
         crosstalk=crosstalk,
+        importance=importance,
     )
 
 
@@ -406,6 +422,7 @@ class MonteCarloRunner:
         trials: int,
         chunk_size: int = 4096,
         progress: Optional[Callable[[int, int], None]] = None,
+        first_trial: int = 0,
     ) -> MonteCarloResult:
         """Execute ``trials`` repetitions through a *vectorised* trial function.
 
@@ -425,15 +442,23 @@ class MonteCarloRunner:
         progress:
             Optional callback ``(trials_done, trials_total)`` invoked after
             each chunk.
+        first_trial:
+            Absolute index of the first trial: chunk seeds derive from the
+            *absolute* trial offset, so a run continued from ``first_trial``
+            (a multiple of ``chunk_size``) reproduces exactly the chunks a
+            single longer run would have evaluated — the layout adaptive
+            budgets and resume rely on.
         """
         if trials <= 0:
             raise ValueError(f"trials must be positive, got {trials}")
         if chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        if first_trial < 0:
+            raise ValueError(f"first_trial must be non-negative, got {first_trial}")
         values = np.empty(trials, dtype=float)
         for start in range(0, trials, chunk_size):
             count = min(chunk_size, trials - start)
-            seed = split_seed(self._seed, f"{self._label}:batch:{start}")
+            seed = split_seed(self._seed, f"{self._label}:batch:{first_trial + start}")
             generator = np.random.default_rng(seed)
             chunk = np.asarray(batch_trial(generator, count), dtype=float)
             if chunk.shape != (count,):

@@ -61,6 +61,39 @@ CODE_BY_ORIGIN = {origin: code for code, origin in ORIGIN_BY_CODE.items()}
 
 
 @dataclass(frozen=True)
+class ImportanceSettings:
+    """Proposal floors for importance-sampled window detection.
+
+    Rare-event BER simulation biases the three *error-producing* draw
+    families so the rare outcomes happen often enough to measure, and
+    compensates with per-window likelihood weights:
+
+    * photon-miss probability is floored at ``min_miss_probability``
+      (a missed pulse is the dominant error at high photon budgets);
+    * the expected dark counts per window are floored at
+      ``min_dark_expectation``;
+    * the afterpulse trap-fill probability is floored at
+      ``min_trap_probability``.
+
+    Proposals only ever *raise* the natural rare-event probabilities —
+    whenever a floor does not bind, the proposal equals the natural
+    distribution and the likelihood weight is exactly 1.
+    """
+
+    min_miss_probability: float = 0.02
+    min_dark_expectation: float = 0.05
+    min_trap_probability: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.min_miss_probability < 1.0:
+            raise ValueError("min_miss_probability must be within (0, 1)")
+        if self.min_dark_expectation < 0.0:
+            raise ValueError("min_dark_expectation must be non-negative")
+        if not 0.0 <= self.min_trap_probability < 1.0:
+            raise ValueError("min_trap_probability must be within [0, 1)")
+
+
+@dataclass(frozen=True)
 class DetectionEvent:
     """A single reported SPAD detection."""
 
@@ -288,7 +321,8 @@ class SpadDevice:
         photon_offsets: np.ndarray,
         mean_photons: float = 1.0,
         start_time: float = 0.0,
-    ) -> Tuple[np.ndarray, np.ndarray]:
+        importance: Optional[ImportanceSettings] = None,
+    ) -> Tuple[np.ndarray, ...]:
         """Batch analogue of :meth:`detect_in_window` over consecutive windows.
 
         Simulates one measurement window per entry of ``photon_offsets``
@@ -310,6 +344,18 @@ class SpadDevice:
         :data:`ORIGIN_BY_CODE`; ``-1`` = missed).  Device state (last fire,
         pending afterpulse) is updated so batches can be chained with scalar
         calls.
+
+        When ``importance`` is given, the photon/dark/afterpulse draws are
+        taken from floored proposal distributions (see
+        :class:`ImportanceSettings`) and a third array of per-window
+        likelihood weights is returned: ``(times, origins, weights)``.
+        ``weights[i]`` is the Radon–Nikodym ratio of the natural to the
+        proposal distribution over every biased draw that can influence
+        window ``i``'s outcome.  The weight product restarts whenever the
+        device enters a window in the *fresh* state (armed, no pending
+        afterpulse), since earlier draws can then no longer affect later
+        windows — weighted statistics of any per-window outcome are
+        unbiased estimates of the naive-path statistics.
         """
         if window_duration <= 0:
             raise ValueError("window_duration must be positive")
@@ -320,10 +366,16 @@ class SpadDevice:
             raise ValueError("cannot start a batch before the last avalanche")
         count = offsets.size
         if count == 0:
+            if importance is not None:
+                return np.empty(0), np.empty(0, dtype=np.int8), np.empty(0)
             return np.empty(0), np.empty(0, dtype=np.int8)
         has_pulse = ~np.isnan(offsets)
         if np.any((offsets[has_pulse] < 0) | (offsets[has_pulse] >= window_duration)):
             raise ValueError("photon offsets must lie inside the window")
+        if importance is not None:
+            return self._detect_in_windows_importance(
+                window_duration, offsets, has_pulse, mean_photons, start_time, importance
+            )
 
         rng = self._random.generator
         duration = float(window_duration)
@@ -414,6 +466,149 @@ class SpadDevice:
         self._pending_afterpulse = pending
         self._rearmed_at = None
         return np.asarray(out_times, dtype=float), np.asarray(out_origins, dtype=np.int8)
+
+    def _detect_in_windows_importance(
+        self,
+        window_duration: float,
+        offsets: np.ndarray,
+        has_pulse: np.ndarray,
+        mean_photons: float,
+        start_time: float,
+        importance: ImportanceSettings,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Importance-sampled twin of the :meth:`detect_in_windows` scan.
+
+        Same state machine, same winner rules; only the three Bernoulli /
+        Poisson draw families are taken from floored proposals, and the scan
+        additionally tracks a running likelihood-weight product with a
+        regenerative reset at fresh-state window starts.
+        """
+        rng = self._random.generator
+        count = offsets.size
+        duration = float(window_duration)
+
+        # Photon detection: floor the *miss* probability (the rare event).
+        p_detect = self.detection_probability_for_photons(mean_photons)
+        miss_prob = 1.0 - p_detect
+        proposal_miss = max(miss_prob, importance.min_miss_probability)
+        proposal_detect = 1.0 - proposal_miss
+        weight_detect = p_detect / proposal_detect if proposal_detect > 0.0 else 0.0
+        weight_miss = miss_prob / proposal_miss
+        detected = (rng.random(count) < proposal_detect) & has_pulse
+        jitter = self.jitter.sample_array(self._random, count)
+        photon_rel = np.maximum(np.where(has_pulse, offsets, 0.0) + jitter, 0.0)
+        photon_valid = detected & (photon_rel < duration)
+
+        # Dark counts: floor the expected counts per window.  The count is
+        # Poisson-biased; arrival positions stay uniform under both measures,
+        # so only the count carries weight:
+        # w(k) = exp(lam' - lam) * (lam / lam')**k.
+        dark_rate = self.dark_counts.rate(self.config.temperature, self.config.excess_bias)
+        dark_mean = dark_rate * duration
+        proposal_dark_mean = max(dark_mean, importance.min_dark_expectation)
+        dark_counts = rng.poisson(proposal_dark_mean, count)
+        dark_rel = rng.uniform(0.0, duration, int(dark_counts.sum()))
+        dark_bounds = np.zeros(count + 1, dtype=np.int64)
+        np.cumsum(dark_counts, out=dark_bounds[1:])
+        if proposal_dark_mean > 0.0:
+            dark_ratio = dark_mean / proposal_dark_mean
+            dark_weight = np.exp(proposal_dark_mean - dark_mean) * np.power(
+                dark_ratio, dark_counts.astype(float)
+            )
+        else:
+            dark_weight = np.ones(count)
+
+        # Afterpulse trap fill: floor the fill probability.  The trap draw is
+        # only *consumed* when the window fires, so its weight factor applies
+        # at the fire site.
+        trap_prob = self.afterpulsing.probability
+        proposal_trap = max(trap_prob, importance.min_trap_probability)
+        trap_filled = rng.random(count) < proposal_trap
+        trap_release = rng.exponential(self.afterpulsing.time_constant, count)
+        weight_trap_filled = trap_prob / proposal_trap if proposal_trap > 0.0 else 1.0
+        weight_trap_empty = (
+            (1.0 - trap_prob) / (1.0 - proposal_trap) if proposal_trap < 1.0 else 0.0
+        )
+
+        photon_rel_l = photon_rel.tolist()
+        photon_valid_l = photon_valid.tolist()
+        has_pulse_l = has_pulse.tolist()
+        detected_l = detected.tolist()
+        dark_rel_l = dark_rel.tolist()
+        dark_bounds_l = dark_bounds.tolist()
+        dark_weight_l = dark_weight.tolist()
+        trap_filled_l = trap_filled.tolist()
+        trap_release_l = trap_release.tolist()
+
+        dead_time = self.quenching.dead_time
+        gate_recovery = self.quenching.effective_gate_recovery
+        last_fire = -inf if self._last_fire_time is None else self._last_fire_time
+        pending = self._pending_afterpulse
+
+        out_times: List[float] = []
+        out_origins: List[int] = []
+        out_weights: List[float] = []
+        running = 1.0
+        base = float(start_time)
+        for index in range(count):
+            window_start = base + index * duration
+            window_end = window_start + duration
+            if window_start - last_fire >= gate_recovery:
+                ready = window_start
+                # Regenerative reset: with the device armed at the window
+                # start and no trap pending, no earlier biased draw can
+                # influence this or any later window.
+                if pending is None:
+                    running = 1.0
+            else:
+                ready = last_fire + dead_time
+            if has_pulse_l[index]:
+                running *= weight_detect if detected_l[index] else weight_miss
+            running *= dark_weight_l[index]
+            best = inf
+            origin = ORIGIN_CODE_MISSED
+            if photon_valid_l[index]:
+                time = window_start + photon_rel_l[index]
+                if time >= ready:
+                    best = time
+                    origin = 0
+            for position in range(dark_bounds_l[index], dark_bounds_l[index + 1]):
+                time = window_start + dark_rel_l[position]
+                if time >= ready and time < best:
+                    best = time
+                    origin = 1
+            if (
+                pending is not None
+                and window_start <= pending < window_end
+                and pending >= ready
+                and pending < best
+            ):
+                best = pending
+                origin = 2
+            if pending is not None and pending < window_end:
+                pending = None
+            if origin >= 0:
+                out_times.append(best)
+                out_origins.append(origin)
+                last_fire = best
+                running *= weight_trap_filled if trap_filled_l[index] else weight_trap_empty
+                if trap_filled_l[index]:
+                    pending = best + trap_release_l[index]
+                else:
+                    pending = None
+            else:
+                out_times.append(nan)
+                out_origins.append(ORIGIN_CODE_MISSED)
+            out_weights.append(running)
+
+        self._last_fire_time = None if isinf(last_fire) else last_fire
+        self._pending_afterpulse = pending
+        self._rearmed_at = None
+        return (
+            np.asarray(out_times, dtype=float),
+            np.asarray(out_origins, dtype=np.int8),
+            np.asarray(out_weights, dtype=float),
+        )
 
     # -- continuous detection -------------------------------------------------------
     def first_detection(

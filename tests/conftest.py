@@ -24,6 +24,12 @@ def pytest_configure(config):
         "corrupt results) proving recovery stays bit-identical; also run "
         "standalone in CI via `pytest -m chaos`",
     )
+    config.addinivalue_line(
+        "markers",
+        "stats: statistical-equivalence suite (importance sampling vs naive "
+        "Monte-Carlo, adaptive CI budgets) built on tests/_stats.py; also "
+        "run standalone in CI via `pytest -m stats`",
+    )
 from repro.simulation.randomness import RandomSource
 from repro.tdc.fpga import VIRTEX2PRO_PROFILE, build_fpga_delay_line, build_fpga_tdc
 

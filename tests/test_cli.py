@@ -314,7 +314,7 @@ class TestRegressionCheckExitCodes:
 
     def test_missing_reference_exits_3_with_guidance(self, gate, tmp_path, capsys):
         gate.REFERENCE_DIR = tmp_path / "nowhere"
-        assert gate.main() == gate.EXIT_BAD_REFERENCE == 3
+        assert gate.main([]) == gate.EXIT_BAD_REFERENCE == 3
         err = capsys.readouterr().err
         assert "no committed reference artefact" in err
         assert "regenerate it with" in err
@@ -323,7 +323,7 @@ class TestRegressionCheckExitCodes:
         gate.REFERENCE_DIR = tmp_path
         bogus = tmp_path / "ber-vs-photons__batch__seed1__000000000000.json"
         bogus.write_text("{truncated")
-        assert gate.main() == 3
+        assert gate.main([]) == 3
         assert "unreadable" in capsys.readouterr().err
 
 

@@ -113,6 +113,29 @@ def test_readme_documents_every_backend_and_subpackage():
 
 
 @pytest.mark.docs_smoke
+def test_docs_cover_the_rare_event_engine():
+    # The importance-sampling story — proposals, weighting, the statistical
+    # vs bit-identical equivalence contract — must stay written down next
+    # to the code (README quickstart + ARCHITECTURE design section).
+    readme = README.read_text()
+    assert "## Rare-event BER" in readme
+    for anchor in ("trial_mode", "ci_target", "max_symbols", "--trial-mode"):
+        assert anchor in readme, f"README rare-event section lost {anchor!r}"
+    doc = (README.parent / "docs" / "ARCHITECTURE.md").read_text()
+    assert "## Rare-event estimation" in doc
+    for anchor in (
+        "ImportanceSettings",
+        "likelihood",
+        "weighted_mean_confidence_95",
+        "error_strata",
+        "append_partial",
+        "tests/_stats.py",
+        "--mode",
+    ):
+        assert anchor in doc, f"ARCHITECTURE.md rare-event section lost {anchor!r}"
+
+
+@pytest.mark.docs_smoke
 def test_architecture_doc_covers_the_service_design():
     # The service's design doc is part of the contract: the run-key/dedupe
     # story must stay written down next to the code that implements it.

@@ -25,6 +25,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from _stats import assert_proportions_equal
 from repro.analysis.units import NS
 from repro.core.config import LinkConfig
 from repro.noc import OpticalBus, Packet, StackTopology, broadcast
@@ -118,14 +119,17 @@ class TestScalarBatchEquivalence:
             batch_errors += b.bit_errors
             offered += s.packets_offered
             bits += s.bits_delivered
-        # Binomial-noise bounds (~5 sigma), same shape as the fastlink
-        # equivalence tests: the paths share physics, not draws.
-        p = max(scalar_delivered, batch_delivered) / offered
-        tolerance = 5.0 * math.sqrt(max(p * (1 - p), 0.25 / offered) / offered)
-        assert abs(scalar_delivered - batch_delivered) / offered <= tolerance
-        ber = max(scalar_errors, batch_errors) / bits
-        ber_tolerance = 5.0 * math.sqrt(max(ber, 1.0 / bits) / bits) + 5.0 / bits
-        assert abs(scalar_errors - batch_errors) / bits <= ber_tolerance
+        # The paths share physics, not draws: both claims go through the
+        # shared two-proportion z-test at the 5-sigma budget, Bonferroni-
+        # split across the two comparisons.
+        assert_proportions_equal(
+            scalar_delivered, offered, batch_delivered, offered,
+            sigma=5.0, comparisons=2, label="delivery ratio",
+        )
+        assert_proportions_equal(
+            scalar_errors, bits, batch_errors, bits,
+            sigma=5.0, comparisons=2, label="bit-error rate",
+        )
 
     def test_epoch_size_never_changes_arbitration(self):
         # Flush grouping (hence outcome order and randomness consumption)
@@ -209,9 +213,9 @@ class TestBroadcastEquivalence:
     def test_multichannel_pass_matches_per_receiver_links(self):
         multi, total = self.coverage_counts(None)  # default: one (S, C) pass
         scalar, _ = self.coverage_counts("batch")
-        p = max(multi, scalar) / total
-        tolerance = 5.0 * math.sqrt(max(p * (1 - p), 0.25 / total) / total)
-        assert abs(multi - scalar) / total <= tolerance
+        assert_proportions_equal(
+            multi, total, scalar, total, sigma=5.0, label="broadcast coverage"
+        )
 
     def test_broadcast_deterministic_and_seeded_per_receiver(self):
         packet = Packet.broadcast_packet(source=1, payload=[0, 1] * 16)
