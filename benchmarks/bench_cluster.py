@@ -1,0 +1,182 @@
+"""CLUSTER — socket-fleet dispatch vs. the serial executor.
+
+Boots ``WORKERS`` real ``python -m repro worker`` subprocesses on ephemeral
+localhost ports and runs two workloads through ``ExperimentRunner`` twice —
+once serial, once on the :class:`~repro.cluster.ClusterExecutor`:
+
+* ``design-space-grid`` — 9 independent grid points, the point-level
+  fan-out story (the distributed twin of ``bench_parallel_scenarios.py``);
+* ``spad-array-imager`` — a **single** heavy point, which only the cluster
+  executor can spread: chunk-level fan-out splits it into per-chunk tasks
+  with absolute-offset seeds, so even one point saturates a fleet.
+
+Points/sec and chunks/sec for each land in ``BENCH_cluster.json`` at the
+repository root (the ``BENCH_parallel.json`` pattern).  Because chunk seeds
+are absolute and partial outcomes merge in symbol order, the runs are
+**bit-identical** — the record asserts ``to_mapping()`` equality on top of
+timing, so the perf record can never drift away from the correctness
+contract.  The speedup bar (>=1.5x points/sec at 4 workers) only applies on
+machines with >=4 usable cores; the record always captures ``cpu_count`` so
+longitudinal readers can interpret single-core CI numbers.
+
+Run directly with ``python benchmarks/bench_cluster.py`` or through the
+benchmark harness.
+"""
+
+import json
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.report import ReportTable, TextReport
+from repro.scenarios import ExperimentRunner, get_scenario
+from repro.scenarios.executors import usable_cpu_count
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+WORKERS = 4
+SEED = 0
+# Heavy enough per point that socket framing and dispatch are noise next to
+# the physics; the single spad point gets a bigger budget because chunk
+# fan-out is the only parallelism it has.
+WORKLOADS = (
+    {"scenario": "design-space-grid", "bits": 400_000},
+    {"scenario": "spad-array-imager", "bits": 4_194_304},
+)
+RECORD_PATH = REPO_ROOT / "BENCH_cluster.json"
+READY_PATTERN = re.compile(r"^worker listening on (?P<address>[\d.]+:\d+)\s*$")
+
+
+def start_fleet(count=WORKERS):
+    """Spawn real worker subprocesses; returns (processes, addresses)."""
+    processes, addresses = [], []
+    for _ in range(count):
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker", "--listen", "127.0.0.1:0"],
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PYTHONUNBUFFERED": "1"},
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+        )
+        processes.append(process)
+        match = READY_PATTERN.match(process.stdout.readline().strip())
+        if match is None:
+            raise RuntimeError("worker subprocess never printed its ready line")
+        addresses.append(match.group("address"))
+    return processes, addresses
+
+
+def stop_fleet(processes):
+    for process in processes:
+        process.kill()
+    for process in processes:
+        process.wait(timeout=10)
+
+
+def run_executor(workload, executor, workers=None):
+    scenario = get_scenario(workload["scenario"]).with_budget(workload["bits"])
+    runner = ExperimentRunner(scenario, seed=SEED, executor=executor, workers=workers)
+    start = time.perf_counter()
+    with runner.session() as session:
+        for _point in session:
+            pass
+        report = session.report()
+        stats = session.executor_stats
+    return report, time.perf_counter() - start, stats
+
+
+def run_comparison():
+    processes, addresses = start_fleet()
+    try:
+        results = []
+        for workload in WORKLOADS:
+            serial_report, serial_elapsed, _ = run_executor(workload, "serial")
+            cluster_report, cluster_elapsed, stats = run_executor(
+                workload, "cluster", workers=addresses
+            )
+            results.append(
+                (workload, serial_report, serial_elapsed, cluster_report,
+                 cluster_elapsed, stats)
+            )
+        return results
+    finally:
+        stop_fleet(processes)
+
+
+def evaluate(results):
+    cpu_count = usable_cpu_count()
+    record = {"workers": WORKERS, "cpu_count": cpu_count, "workloads": []}
+    report = TextReport(
+        "CLUSTER",
+        "Socket-fleet dispatch (chunk-level fan-out, work stealing) vs. serial executor",
+        paper_claim="chunk seeds are absolute offsets, so splitting a point "
+                    "across a fleet changes wall clock, never content",
+    )
+    table = ReportTable(columns=["workload", "executor", "wall time",
+                                 "points/sec", "chunks/sec"])
+    for workload, serial_report, serial_elapsed, cluster_report, cluster_elapsed, stats in results:
+        points = len(serial_report.points)
+        # The cluster run's dispatched chunk-task count is the unit of work;
+        # both rates use it, so serial and cluster chunks/sec are comparable.
+        chunks = stats.get("chunk_tasks", points)
+        entry = {
+            "scenario": workload["scenario"],
+            "points": points,
+            "bits_per_point": workload["bits"],
+            "seed": SEED,
+            "chunk_tasks": chunks,
+            "max_fan_out": stats.get("max_fan_out", 1),
+            "serial": {
+                "seconds": serial_elapsed,
+                "points_per_sec": points / serial_elapsed,
+                "chunks_per_sec": chunks / serial_elapsed,
+            },
+            "cluster": {
+                "seconds": cluster_elapsed,
+                "points_per_sec": points / cluster_elapsed,
+                "chunks_per_sec": chunks / cluster_elapsed,
+            },
+            "speedup": serial_elapsed / cluster_elapsed,
+            "reports_bit_identical":
+                serial_report.to_mapping() == cluster_report.to_mapping(),
+        }
+        record["workloads"].append(entry)
+        table.add_row(workload["scenario"], "serial", f"{serial_elapsed:.3f} s",
+                      f"{entry['serial']['points_per_sec']:.2f}",
+                      f"{entry['serial']['chunks_per_sec']:.2f}")
+        table.add_row("", f"cluster (w={WORKERS})", f"{cluster_elapsed:.3f} s",
+                      f"{entry['cluster']['points_per_sec']:.2f}",
+                      f"{entry['cluster']['chunks_per_sec']:.2f}")
+        report.add_comparison(
+            f"{workload['scenario']} speedup",
+            f">=1.5x at {WORKERS} workers (needs >=4 cores)",
+            f"{entry['speedup']:.2f}x on {cpu_count} core(s), "
+            f"fan-out <={entry['max_fan_out']}",
+        )
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    report.add_table(table, caption=f"{WORKERS} socket workers, {cpu_count} CPU(s)")
+    print()
+    print(report.render())
+    print(f"perf record written to {RECORD_PATH}")
+    return record
+
+
+def test_cluster_dispatch(benchmark):
+    results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    record = evaluate(results)
+
+    for entry in record["workloads"]:
+        # The correctness half of the contract holds everywhere, always.
+        assert entry["reports_bit_identical"], entry["scenario"]
+        # The single spad point must genuinely have been split for the fleet.
+        if entry["points"] == 1:
+            assert entry["max_fan_out"] > 1
+        # The perf half needs real cores to mean anything.
+        if record["cpu_count"] >= 4:
+            assert entry["speedup"] >= 1.5, entry["scenario"]
+
+
+if __name__ == "__main__":
+    evaluate(run_comparison())

@@ -1,6 +1,6 @@
 """``python -m repro`` — drive the experiment layer without writing Python.
 
-Six subcommands cover the run/inspect/serve loop:
+Eight subcommands cover the run/inspect/serve loop:
 
 * ``repro list`` — catalogue the named library scenarios (``--json`` prints
   the shared machine-readable catalogue,
@@ -25,11 +25,21 @@ Six subcommands cover the run/inspect/serve loop:
   two artefacts, for longitudinal figure tracking;
 * ``repro serve`` — boot the :mod:`repro.service` HTTP daemon on the same
   store: completed runs become O(1) cache hits, identical in-flight
-  requests coalesce, and progress streams as server-sent events.
+  requests coalesce, and progress streams as server-sent events;
+* ``repro worker`` — join the distributed fleet: listen for a coordinator
+  (``--listen host:port``, port 0 for ephemeral; prints a machine-parseable
+  ``worker listening on host:port`` line) or dial one (``--connect``);
+* ``repro workers <addrs>`` — probe a fleet's workers and list their status.
+
+Distributed runs reuse the ordinary run surface: ``repro run <scenario>
+--executor cluster --workers host:port,host:port`` dispatches chunk tasks
+over the fleet — ``--workers`` accepts either a process-pool size (an int)
+or cluster worker addresses, and implies the matching executor.
 
 Determinism carries through unchanged: ``repro run`` output is a function of
-``(scenario, seed, chunk size)`` only — never of the executor or worker
-count, and never of how many retries (``--retry``) a faulty machine needed.
+``(scenario, seed, chunk size)`` only — never of the executor, the worker
+count or fleet, and never of how many retries (``--retry``) a faulty
+machine needed.
 Exit status is 0 on success, 2 for usage errors (argparse), 1 for domain
 errors (unknown scenario, missing artefact), 3 for a corrupt artefact
 (:class:`~repro.scenarios.store.CorruptArtifactError` — the file exists but
@@ -100,6 +110,23 @@ def _status(message: str) -> None:
         pass
 
 
+def _workers_arg(value: str):
+    """``--workers`` accepts a pool size (int) or cluster addresses.
+
+    ``"4"`` → 4 (process pool); ``"host:port[,host:port…]"`` passes through
+    as a string for the cluster executor to parse.  The distinction drives
+    executor inference when ``--executor`` is omitted.
+    """
+    if ":" in value:
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a pool size or host:port addresses, got {value!r}"
+        ) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -122,8 +149,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help=f"link backend override ({', '.join(available_backends())})")
     run_cmd.add_argument("--executor", default=None, choices=available_executors(),
                          help="grid-point dispatch (default: serial)")
-    run_cmd.add_argument("--workers", type=int, default=None,
-                         help="process-pool size (implies --executor process)")
+    run_cmd.add_argument("--workers", type=_workers_arg, default=None,
+                         help="process-pool size (implies --executor process) or "
+                              "cluster worker addresses host:port,… (implies "
+                              "--executor cluster)")
     run_cmd.add_argument("--seed", type=int, default=0, help="root seed (default 0)")
     run_cmd.add_argument("--bits", type=int, default=None,
                          help="payload bits per grid point (default: the scenario's budget)")
@@ -218,10 +247,34 @@ def build_parser() -> argparse.ArgumentParser:
                            help=f"artefact store directory (default {DEFAULT_STORE!r})")
     serve_cmd.add_argument("--executor", default=None, choices=available_executors(),
                            help="grid-point dispatch for served runs (default: serial)")
-    serve_cmd.add_argument("--workers", type=int, default=None,
-                           help="process-pool size (implies --executor process)")
+    serve_cmd.add_argument("--workers", type=_workers_arg, default=None,
+                           help="process-pool size or cluster worker addresses "
+                                "host:port,… (implies the matching executor)")
     serve_cmd.add_argument("--chunk-symbols", type=int, default=DEFAULT_CHUNK_SYMBOLS,
                            help="default chunk size for requests that omit one")
+
+    worker_cmd = commands.add_parser(
+        "worker", help="join the distributed execution fleet"
+    )
+    worker_cmd.add_argument("--listen", default=None, metavar="HOST:PORT",
+                            help="bind and await the coordinator (port 0 picks "
+                                 "an ephemeral one; the bound address is "
+                                 "printed on stdout)")
+    worker_cmd.add_argument("--connect", default=None, metavar="HOST:PORT",
+                            help="dial a listening coordinator instead "
+                                 "(re-dials while it is away)")
+    worker_cmd.add_argument("--name", default=None,
+                            help="display name for telemetry (default worker-<pid>)")
+    worker_cmd.add_argument("--heartbeat", type=float, default=None, metavar="SECONDS",
+                            help="liveness frame interval while attached")
+
+    workers_cmd = commands.add_parser(
+        "workers", help="probe a fleet's workers and list their status"
+    )
+    workers_cmd.add_argument("addresses", metavar="HOST:PORT[,HOST:PORT…]",
+                             help="comma-separated worker addresses to probe")
+    workers_cmd.add_argument("--json", action="store_true",
+                             help="machine-readable output")
     return parser
 
 
@@ -304,6 +357,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 shown = _format_parameters(point.parameters)
                 _status(f"  [{session.completed_points}/{session.total_points}] {shown}")
         report = session.report()
+        stats = session.executor_stats
+        if not args.quiet and "tasks_stolen" in stats:
+            _status(
+                f"cluster: {stats.get('chunk_tasks', 0)} chunk task(s), "
+                f"fan-out ≤{stats.get('max_fan_out', 1)}, "
+                f"{stats.get('tasks_stolen', 0)} stolen, "
+                f"{stats.get('tasks_requeued', 0)} requeued, "
+                f"{stats.get('workers_lost', 0)} worker(s) lost"
+            )
         for failure in session.failed_points:
             _status(
                 f"  FAILED {_format_parameters(failure.parameters)}: "
@@ -409,6 +471,52 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterWorker
+
+    kwargs = {}
+    if args.heartbeat is not None:
+        kwargs["heartbeat_interval"] = args.heartbeat
+    worker = ClusterWorker(
+        listen=args.listen, connect=args.connect, name=args.name, **kwargs
+    )
+
+    def _ready(host: str, port: int) -> None:
+        # Machine-parseable readiness line on stdout (the cluster smoke
+        # harness scrapes it for the ephemeral port); detail on stderr.
+        print(f"worker listening on {host}:{port}", flush=True)
+        _status(f"cluster worker {worker.name!r} awaiting a coordinator (Ctrl-C to stop)")
+
+    if args.connect is not None:
+        _status(f"cluster worker {worker.name!r} dialling {args.connect} (Ctrl-C to stop)")
+    try:
+        worker.serve_forever(on_ready=_ready)
+    except KeyboardInterrupt:
+        worker.stop()
+    return 0
+
+
+def _cmd_workers(args: argparse.Namespace) -> int:
+    from repro.cluster import parse_addresses, probe_worker
+
+    rows = [probe_worker(address) for address in parse_addresses(args.addresses)]
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    table = ReportTable(columns=["address", "name", "state", "tasks done", "uptime"])
+    for row in rows:
+        table.add_row(
+            row.get("address", "?"),
+            row.get("name", "-"),
+            row.get("state", "?"),
+            row.get("tasks_done", "-"),
+            row.get("uptime", "-"),
+        )
+    print(table.render())
+    # Like `repro probe`: an all-dead fleet is a distinct, scriptable status.
+    return 0 if any(row.get("state") != "unreachable" for row in rows) else 1
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "run": _cmd_run,
@@ -416,6 +524,8 @@ _COMMANDS = {
     "show": _cmd_show,
     "compare": _cmd_compare,
     "serve": _cmd_serve,
+    "worker": _cmd_worker,
+    "workers": _cmd_workers,
 }
 
 

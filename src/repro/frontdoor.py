@@ -39,7 +39,7 @@ import json
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Union
 
-from repro.scenarios.executors import Executor
+from repro.scenarios.executors import Executor, WorkersArg
 from repro.scenarios.faults import RetryPolicy
 from repro.scenarios.library import get_scenario, named_scenarios
 from repro.scenarios.runner import (
@@ -225,7 +225,7 @@ class RunRequest:
     def runner(
         self,
         executor: Union[None, str, Executor] = None,
-        workers: Optional[int] = None,
+        workers: WorkersArg = None,
         retry: Optional[RetryPolicy] = None,
         failure_policy: Optional[str] = None,
     ) -> ExperimentRunner:

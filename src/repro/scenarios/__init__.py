@@ -13,8 +13,9 @@ over operating points.  This subsystem makes them first-class:
   ``multi-chip-bus``, ``spad-array-imager``, ``crosstalk-vs-pitch``,
   ``ppm-order-sweep``).
 * :mod:`repro.scenarios.executors` — pluggable grid-point dispatch:
-  :class:`SerialExecutor` (in-process) and :class:`ProcessExecutor`
-  (process pool), bit-identical to each other by construction.
+  :class:`SerialExecutor` (in-process), :class:`ProcessExecutor` (process
+  pool), and the cluster executor (:mod:`repro.cluster`, socket fleet) —
+  all bit-identical to each other by construction.
 * :mod:`repro.scenarios.faults` — fault tolerance: :class:`RetryPolicy`
   (retries/timeouts/deterministic backoff), :class:`PointFailure` records,
   and the seeded :class:`ChaosSchedule`/:class:`ChaosExecutor` fault-
@@ -58,6 +59,7 @@ from repro.scenarios.executors import (
     PointTask,
     ProcessExecutor,
     SerialExecutor,
+    WorkerCountError,
     available_executors,
     evaluate_point,
     make_point_tasks,
@@ -69,6 +71,7 @@ from repro.scenarios.faults import (
     PointFailure,
     PointTimeoutError,
     RetryPolicy,
+    WorkerLostError,
 )
 from repro.scenarios.session import ExperimentSession
 from repro.scenarios.runner import (
@@ -107,6 +110,8 @@ __all__ = [
     "RetryPolicy",
     "PointFailure",
     "PointTimeoutError",
+    "WorkerCountError",
+    "WorkerLostError",
     "ChaosSchedule",
     "ChaosExecutor",
     "ExperimentSession",

@@ -151,6 +151,51 @@ def usable_cpu_count() -> int:
         return os.cpu_count() or 1
 
 
+class WorkerCountError(ValueError):
+    """A parallelism knob (pool size, cluster fan-out) got a bad value.
+
+    A distinct type so callers can tell a misconfigured worker count apart
+    from other ``ValueError`` shapes — and so the CLI can report it without
+    a traceback (``concurrent.futures`` raising deep inside a dispatch loop
+    is not an error message).
+    """
+
+
+def validate_worker_count(workers: Optional[int]) -> Optional[int]:
+    """Validate a worker/fan-out count: ``None`` (auto) or a positive int.
+
+    The single definition of "how parallel" validation, shared by
+    :class:`ProcessExecutor` (pool size) and the cluster executor (chunk
+    fan-out) — both reject the same shapes with the same message instead of
+    passing nonsense through to ``concurrent.futures`` or the socket layer.
+    """
+    if workers is None:
+        return None
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise WorkerCountError(f"workers must be a positive int, got {workers!r}")
+    if workers < 1:
+        raise WorkerCountError(f"workers must be a positive int, got {workers!r}")
+    return workers
+
+
+def require_plain_scenarios(tasks: Sequence["PointTask"], boundary: str) -> None:
+    """Refuse tasks whose live scenario is a :class:`Scenario` *subclass*.
+
+    Workers on the far side of ``boundary`` (a process pool, the cluster
+    wire) rebuild plain ``Scenario`` values from the task mapping, so
+    subclass overrides would silently vanish — refuse up front instead of
+    diverging from a serial run.
+    """
+    for task in tasks:
+        live = task.live_scenario
+        if live is not None and type(live) is not Scenario:
+            raise TypeError(
+                f"scenario type {type(live).__name__!r} cannot cross "
+                f"{boundary}: only plain Scenario values ship to workers; "
+                f"run subclassed scenarios on the serial executor"
+            )
+
+
 def derive_point_seed(scenario: Scenario, seed: int, parameters: Mapping[str, Any]) -> int:
     """The seed-policy derivation — the single definition of per-point seeds.
 
@@ -595,9 +640,7 @@ class ProcessExecutor:
         retry: Optional[RetryPolicy] = None,
         failure_policy: str = "fail_fast",
     ) -> None:
-        if workers is not None and workers < 1:
-            raise ValueError(f"workers must be a positive int, got {workers!r}")
-        self.workers = workers
+        self.workers = validate_worker_count(workers)
         self.start_method = start_method
         self.retry = retry
         self.failure_policy = validate_failure_policy(failure_policy)
@@ -618,17 +661,7 @@ class ProcessExecutor:
         tasks = list(tasks)
         if not tasks:
             return
-        for task in tasks:
-            live = task.live_scenario
-            if live is not None and type(live) is not Scenario:
-                # Workers rebuild plain Scenario values from the mapping, so
-                # subclass overrides would silently vanish across the process
-                # boundary — refuse instead of diverging from a serial run.
-                raise TypeError(
-                    f"scenario type {type(live).__name__!r} cannot cross a "
-                    f"process boundary: only plain Scenario values ship to "
-                    f"workers; run subclassed scenarios on the serial executor"
-                )
+        require_plain_scenarios(tasks, boundary="a process boundary")
         policy = self.retry or RetryPolicy(max_attempts=1)
         workers = self.workers or usable_cpu_count()
         workers = max(1, min(workers, len(tasks)))
@@ -789,48 +822,78 @@ class ProcessExecutor:
         return f"ProcessExecutor(workers={self.workers!r})"
 
 
-_EXECUTORS: Dict[str, type] = {
-    "serial": SerialExecutor,
-    "process": ProcessExecutor,
-}
+#: The built-in executor names.  ``"cluster"`` is registered here but its
+#: class lives in :mod:`repro.cluster` and is imported lazily inside
+#: :func:`resolve_executor` — :mod:`repro.cluster.executor` imports *this*
+#: module (PointTask, the shared validation helpers), so a module-level
+#: import would be a cycle.
+_EXECUTOR_NAMES: Tuple[str, ...] = ("serial", "process", "cluster")
+
+#: ``workers=`` values accepted by each named executor: ``process`` takes a
+#: pool size (int), ``cluster`` takes addresses (``"host:port,…"`` or a
+#: sequence); ``serial`` takes none.
+WorkersArg = Union[None, int, str, Sequence[Any]]
 
 
 def available_executors() -> Tuple[str, ...]:
     """Names accepted by :func:`resolve_executor` (and the CLI ``--executor``)."""
-    return tuple(_EXECUTORS)
+    return _EXECUTOR_NAMES
+
+
+def _looks_like_addresses(workers: WorkersArg) -> bool:
+    """Whether a ``workers=`` value names cluster addresses, not a pool size."""
+    if isinstance(workers, str):
+        return ":" in workers
+    return isinstance(workers, (list, tuple)) and len(workers) > 0
 
 
 def resolve_executor(
     executor: Union[None, str, Executor] = None,
-    workers: Optional[int] = None,
+    workers: WorkersArg = None,
     retry: Optional[RetryPolicy] = None,
     failure_policy: Optional[str] = None,
 ) -> Executor:
     """Normalise an executor argument to an :class:`Executor` instance.
 
-    ``None`` means serial; a string names a built-in executor (``workers`` is
-    forwarded to :class:`ProcessExecutor`); an instance passes through
-    unchanged, in which case ``workers`` must be left unset (the instance
-    already fixed its pool size).  ``retry`` and ``failure_policy``, when
-    given, are applied to whatever executor results — including passed-in
-    instances, whose previous settings they override.
+    ``None`` infers from ``workers``: unset means serial, a pool size (int)
+    means process, worker addresses (``"host:port,…"`` or a sequence) mean
+    cluster.  A string names a built-in executor, with ``workers`` forwarded
+    (``"process"`` takes a pool size, ``"cluster"`` takes addresses).  An
+    instance passes through unchanged, in which case ``workers`` must be
+    left unset (the instance already fixed its fleet).  ``retry`` and
+    ``failure_policy``, when given, are applied to whatever executor
+    results — including passed-in instances, whose previous settings they
+    override.
     """
     if executor is None:
-        executor = "process" if workers is not None else "serial"
+        if workers is None:
+            executor = "serial"
+        elif _looks_like_addresses(workers):
+            executor = "cluster"
+        else:
+            executor = "process"
     if isinstance(executor, str):
-        try:
-            factory = _EXECUTORS[executor]
-        except KeyError:
-            known = ", ".join(sorted(_EXECUTORS))
+        if executor not in _EXECUTOR_NAMES:
+            known = ", ".join(sorted(_EXECUTOR_NAMES))
             raise ValueError(
                 f"unknown executor {executor!r}; available: {known}"
             ) from None
-        if factory is ProcessExecutor:
-            resolved: Executor = ProcessExecutor(workers=workers)
+        if executor == "cluster":
+            from repro.cluster import ClusterExecutor  # lazy: avoids a cycle
+
+            resolved: Executor = ClusterExecutor(workers=workers)
+        elif executor == "process":
+            if _looks_like_addresses(workers):
+                raise WorkerCountError(
+                    f"executor 'process' takes a pool size, not worker "
+                    f"addresses; got {workers!r} — use executor='cluster' "
+                    f"for a socket fleet"
+                )
+            resolved = ProcessExecutor(workers=workers)
         else:
             if workers is not None:
                 raise ValueError(f"executor {executor!r} does not take workers=")
-            resolved = factory()
+            resolved = SerialExecutor()
     else:
         if workers is not None:
             raise ValueError("pass workers= only with a named executor, not an instance")

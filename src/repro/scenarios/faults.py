@@ -71,6 +71,18 @@ class PointTimeoutError(RuntimeError):
     """A point evaluation exceeded its :attr:`RetryPolicy.timeout`."""
 
 
+class WorkerLostError(RuntimeError):
+    """A worker died (or vanished) while its task was in flight.
+
+    The distributed analogue of ``BrokenProcessPool``: the
+    :class:`~repro.cluster.executor.ClusterExecutor` raises it against the
+    in-flight chunk of a worker whose connection dropped or whose heartbeats
+    stopped, charging that chunk one attempt before requeueing it on a
+    surviving worker — the same semantics the process pool applies to a dead
+    pool member.
+    """
+
+
 class InjectedWorkerCrash(RuntimeError):
     """A :class:`ChaosSchedule` crash fault, raised on the in-process path.
 

@@ -37,6 +37,7 @@ from repro.core.backend import backend_capabilities, resolve_backend
 from repro.scenarios.executors import (
     Executor,
     PointTask,
+    WorkersArg,
     make_point_tasks,
     resolve_executor,
 )
@@ -291,8 +292,9 @@ class ExperimentRunner:
         :class:`~repro.scenarios.executors.ProcessExecutor` pool, and any
         :class:`~repro.scenarios.executors.Executor` instance is used as is.
     workers:
-        Pool size for a named ``"process"`` executor (implies it when set
-        without ``executor=``).
+        Pool size for a named ``"process"`` executor, or cluster worker
+        addresses (``"host:port,…"`` / a sequence) for ``"cluster"`` —
+        either implies its executor when set without ``executor=``.
     retry:
         Optional :class:`~repro.scenarios.faults.RetryPolicy` applied to the
         resolved executor: failed/hung point attempts are retried with
@@ -309,7 +311,7 @@ class ExperimentRunner:
         backend: Optional[str] = None,
         chunk_symbols: int = DEFAULT_CHUNK_SYMBOLS,
         executor: Union[None, str, Executor] = None,
-        workers: Optional[int] = None,
+        workers: WorkersArg = None,
         retry: Optional[RetryPolicy] = None,
         failure_policy: Optional[str] = None,
     ) -> None:
@@ -389,7 +391,7 @@ class ExperimentRunner:
     def session(
         self,
         executor: Union[None, str, Executor] = None,
-        workers: Optional[int] = None,
+        workers: WorkersArg = None,
         checkpoint: Optional["RunCheckpoint"] = None,
     ) -> ExperimentSession:
         """Start a streaming :class:`ExperimentSession` for this run.
@@ -412,7 +414,7 @@ class ExperimentRunner:
         self,
         progress: Optional[Callable[[int, int], None]] = None,
         executor: Union[None, str, Executor] = None,
-        workers: Optional[int] = None,
+        workers: WorkersArg = None,
     ) -> ExperimentReport:
         """Evaluate every grid point and assemble the structured report.
 
@@ -439,7 +441,7 @@ def run_scenario(
     backend: Optional[str] = None,
     chunk_symbols: int = DEFAULT_CHUNK_SYMBOLS,
     executor: Union[None, str, Executor] = None,
-    workers: Optional[int] = None,
+    workers: WorkersArg = None,
     store: Union[None, str, "ReportStore"] = None,  # noqa: F821 - forward ref
     retry: Optional[RetryPolicy] = None,
     failure_policy: Optional[str] = None,

@@ -129,6 +129,17 @@ class ExperimentSession:
         return self._executor
 
     @property
+    def executor_stats(self) -> Dict[str, int]:
+        """A snapshot of the executor's telemetry counters.
+
+        Every built-in executor exposes a ``stats`` dict (retries, failures;
+        the cluster executor adds workers connected/lost, tasks dispatched/
+        stolen/requeued and the chunk fan-out factor).  Executors without
+        one — the protocol does not require it — snapshot as empty.
+        """
+        return dict(getattr(self._executor, "stats", None) or {})
+
+    @property
     def total_points(self) -> int:
         return len(self._tasks)
 

@@ -32,6 +32,7 @@ import threading
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Union
 
+from repro.scenarios.executors import WorkersArg
 from repro.scenarios.runner import DEFAULT_CHUNK_SYMBOLS
 from repro.scenarios.store import CorruptArtifactError, ReportStore
 from repro.service.registry import RunRegistry
@@ -77,7 +78,8 @@ class ExperimentService:
         store the CLI uses, so server and shell share one cache.
     executor / workers:
         How each simulation dispatches its grid points (the ordinary
-        executor layer); simulations themselves always run off the event
+        executor layer: a pool size for ``"process"``, worker addresses for
+        ``"cluster"``); simulations themselves always run off the event
         loop, on worker threads.
     chunk_symbols:
         Default chunk size for requests that do not specify one.  Part of
@@ -89,7 +91,7 @@ class ExperimentService:
         self,
         store: Union[str, Path, ReportStore] = "artifacts",
         executor: Optional[str] = None,
-        workers: Optional[int] = None,
+        workers: "WorkersArg" = None,
         chunk_symbols: int = DEFAULT_CHUNK_SYMBOLS,
     ) -> None:
         self.store = store if isinstance(store, ReportStore) else ReportStore(store)
@@ -314,7 +316,7 @@ def serve_app(
     port: int = 8765,
     store: Union[str, Path, ReportStore] = "artifacts",
     executor: Optional[str] = None,
-    workers: Optional[int] = None,
+    workers: "WorkersArg" = None,
     chunk_symbols: int = DEFAULT_CHUNK_SYMBOLS,
     block: bool = True,
     on_ready: Optional[Callable[[str, int], None]] = None,

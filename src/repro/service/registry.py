@@ -33,6 +33,7 @@ import threading
 from typing import Any, AsyncIterator, Dict, List, Optional, Tuple
 
 from repro.frontdoor import RunRequest
+from repro.scenarios.executors import WorkersArg, _looks_like_addresses
 from repro.scenarios.store import ReportStore
 from repro.service.sse import ERROR_EVENT, POINT_EVENT, REPORT_EVENT, TERMINAL_EVENTS
 
@@ -136,7 +137,7 @@ class RunRegistry:
         store: ReportStore,
         loop: asyncio.AbstractEventLoop,
         executor: Optional[str] = None,
-        workers: Optional[int] = None,
+        workers: "WorkersArg" = None,
     ) -> None:
         self.store = store
         self.executor = executor
@@ -145,6 +146,10 @@ class RunRegistry:
         self._handles: Dict[str, RunHandle] = {}
         #: Simulations actually started (cache hits and joins excluded).
         self.executions = 0
+        #: Aggregated executor telemetry across completed runs (cluster runs
+        #: report workers connected, tasks stolen/requeued, fan-out, …).
+        self._executor_stats: Dict[str, int] = {}
+        self._executor_stats_lock = threading.Lock()
 
     # -- introspection ---------------------------------------------------------
     def get(self, run_key: str) -> Optional[RunHandle]:
@@ -156,12 +161,43 @@ class RunRegistry:
 
     def stats(self) -> Dict[str, Any]:
         states = [handle.state for handle in self._handles.values()]
+        with self._executor_stats_lock:
+            executor_stats = dict(self._executor_stats)
         return {
             "executions": self.executions,
             "runs": len(self._handles),
             "running": states.count(RUNNING),
             "artifacts": len(self.store.list()),
+            "executor": {"name": self._executor_name(), **executor_stats},
         }
+
+    def _executor_name(self) -> str:
+        """The executor name this service dispatches runs with."""
+        if self.executor is not None:
+            return self.executor
+        if self.workers is None:
+            return "serial"
+        return "cluster" if _looks_like_addresses(self.workers) else "process"
+
+    def _record_executor_stats(self, snapshot: Dict[str, int]) -> None:
+        """Fold one run's executor counters into the service totals.
+
+        Counters sum across runs; gauges (``workers_connected``,
+        ``max_fan_out``) keep the most recent / largest value seen — the
+        shape ``GET /stats`` and ``repro workers`` report.
+        """
+        with self._executor_stats_lock:
+            for key, value in snapshot.items():
+                if key == "workers_connected":
+                    self._executor_stats[key] = value
+                elif key == "max_fan_out":
+                    self._executor_stats[key] = max(
+                        self._executor_stats.get(key, 0), value
+                    )
+                else:
+                    self._executor_stats[key] = (
+                        self._executor_stats.get(key, 0) + value
+                    )
 
     # -- submission (event loop only) ------------------------------------------
     def submit(self, request: RunRequest) -> Tuple[RunHandle, str]:
@@ -240,6 +276,7 @@ class RunRegistry:
                         },
                     )
                 report = session.report()
+                self._record_executor_stats(session.executor_stats)
             path = self.store.save(report, run_key=handle.run_key)
             handle.post(
                 REPORT_EVENT,

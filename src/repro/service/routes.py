@@ -23,7 +23,7 @@ GET       ``/probe``                  cache probe: ``?scenario=&seed=&backend=&
 GET       ``/artifacts``              artefact ids in the store
 GET       ``/artifacts/{key}``        one artefact's verified envelope
 GET       ``/compare``                ``?a=&b=&metric=`` — per-point metric deltas
-GET       ``/stats``                  execution counter, run and artefact counts
+GET       ``/stats``                  execution/run/artefact counts + executor telemetry
 ========  ==========================  =====================================================
 
 Handlers return :class:`JsonResponse` or :class:`EventStreamResponse`; all

@@ -30,6 +30,12 @@ def pytest_configure(config):
         "Monte-Carlo, adaptive CI budgets) built on tests/_stats.py; also "
         "run standalone in CI via `pytest -m stats`",
     )
+    config.addinivalue_line(
+        "markers",
+        "cluster: distributed-execution suite (repro.cluster) driving real "
+        "localhost socket workers; the heavier fleet scenarios also run "
+        "standalone in CI via scripts/cluster_smoke.py",
+    )
 from repro.simulation.randomness import RandomSource
 from repro.tdc.fpga import VIRTEX2PRO_PROFILE, build_fpga_delay_line, build_fpga_tdc
 

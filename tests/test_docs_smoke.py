@@ -150,3 +150,41 @@ def test_architecture_doc_covers_the_service_design():
         assert heading in text, f"ARCHITECTURE.md lost its {heading!r} section"
     for anchor in ("RunRequest", "find_run", "serve_app", "ServiceBindError"):
         assert anchor in text, f"ARCHITECTURE.md no longer mentions {anchor}"
+
+
+@pytest.mark.docs_smoke
+def test_docs_cover_the_cluster_executor():
+    # The distributed-execution story — the socket transport, chunk fan-out,
+    # work stealing, and the bit-identity contract across worker deaths —
+    # must stay written down next to the code (README quickstart +
+    # ARCHITECTURE design section).
+    readme = README.read_text()
+    assert "## Distributed execution" in readme
+    for anchor in (
+        "repro worker",
+        "--executor cluster",
+        "--workers 127.0.0.1:7001,127.0.0.1:7002",
+        "work stealing",
+        "WorkerLostError",
+        "fan-out",
+    ):
+        assert anchor in readme, f"README cluster section lost {anchor!r}"
+    doc = (README.parent / "docs" / "ARCHITECTURE.md").read_text()
+    assert "## Distributed execution" in doc
+    for heading in (
+        "### The transport",
+        "### Chunk-level fan-out",
+        "### Work stealing and failure semantics",
+    ):
+        assert heading in doc, f"ARCHITECTURE.md lost its {heading!r} section"
+    for anchor in (
+        "ClusterExecutor",
+        "split_seed",
+        "merge_chunk_outcomes",
+        "heartbeat",
+        "WorkerLostError",
+        "RetryPolicy",
+        "scripts/cluster_smoke.py",
+        "host:port",
+    ):
+        assert anchor in doc, f"ARCHITECTURE.md cluster section lost {anchor!r}"

@@ -264,7 +264,7 @@ class TestResolveExecutor:
         assert isinstance(process, ProcessExecutor) and process.workers == 3
         # workers alone implies the process executor.
         assert isinstance(resolve_executor(None, workers=2), ProcessExecutor)
-        assert set(available_executors()) == {"serial", "process"}
+        assert set(available_executors()) == {"serial", "process", "cluster"}
 
     def test_instances_pass_through(self):
         executor = ProcessExecutor(workers=2)

@@ -117,10 +117,19 @@ class TestRunLifecycle:
         assert len(report["points"]) == 2
 
     def test_stats_counts_runs_and_artifacts(self, service, client):
-        assert client.stats() == {"executions": 0, "runs": 0, "running": 0, "artifacts": 0}
+        assert client.stats() == {
+            "executions": 0,
+            "runs": 0,
+            "running": 0,
+            "artifacts": 0,
+            "executor": {"name": "serial"},
+        }
         client.run_and_wait(SCENARIO, seed=3, bits=BITS)
         stats = client.stats()
         assert stats["executions"] == 1 and stats["artifacts"] == 1
+        # Serial runs still surface their executor telemetry on /stats.
+        assert stats["executor"]["name"] == "serial"
+        assert stats["executor"]["failures"] == 0
 
 
 class TestDedupe:
