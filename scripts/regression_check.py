@@ -23,6 +23,12 @@ Two modes (``--mode``):
   swaps): their draws differ by design, so bit-identity is the wrong
   contract, but the physics may not move.
 
+The scratch run repeats once per *available compute kernel*
+(:func:`repro.kernels.available_kernels`, forced via ``REPRO_KERNEL``), so
+the gate simultaneously checks that the simulation has not drifted *and*
+that every kernel — python reference, vectorised, numba, C extension —
+still reproduces the committed artefact bit for bit.
+
 Exit status: 0 when the gate holds, 1 on drift, 3 when the reference
 artefact is missing or unreadable (a broken *gate*, not a regression — fix
 the reference, don't chase the simulation).
@@ -31,6 +37,7 @@ the reference, don't chase the simulation).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import tempfile
 from pathlib import Path
@@ -120,37 +127,63 @@ def main(argv=None) -> int:
         )
         return EXIT_BAD_REFERENCE
 
-    with tempfile.TemporaryDirectory() as scratch:
-        status = cli_main(
-            [
-                "run",
-                SCENARIO,
-                "--bits",
-                str(BITS),
-                "--seed",
-                str(SEED),
-                "--store",
-                scratch,
-                "--quiet",
-            ]
-        )
+    from repro.kernels import available_kernels
+
+    # One scratch run per available compute kernel: the gate doubles as the
+    # cross-kernel bit-identity check against the committed artefact.
+    for kernel_name in available_kernels():
+        status = _check_kernel(args.mode, reference, kernel_name)
         if status != 0:
             return status
-        store = ReportStore(scratch)
-        current = store.latest(SCENARIO)
-        comparison = store.compare(reference, current, METRIC)
-        if args.mode == "confidence":
-            reference_points = _point_intervals(
-                ReportStore(REFERENCE_DIR), reference, METRIC
-            )
-            current_points = _point_intervals(store, current, METRIC)
-            ci_drifted = _confidence_drift(reference_points, current_points, METRIC)
+    return 0
 
-    if args.mode == "confidence":
+
+def _check_kernel(mode, reference, kernel_name) -> int:
+    """Run the scratch simulation under one kernel and gate it."""
+    from repro.cli import main as cli_main
+    from repro.scenarios.store import ReportStore
+
+    saved = os.environ.get("REPRO_KERNEL")
+    os.environ["REPRO_KERNEL"] = kernel_name
+    try:
+        with tempfile.TemporaryDirectory() as scratch:
+            status = cli_main(
+                [
+                    "run",
+                    SCENARIO,
+                    "--bits",
+                    str(BITS),
+                    "--seed",
+                    str(SEED),
+                    "--store",
+                    scratch,
+                    "--quiet",
+                ]
+            )
+            if status != 0:
+                return status
+            store = ReportStore(scratch)
+            current = store.latest(SCENARIO)
+            comparison = store.compare(reference, current, METRIC)
+            if mode == "confidence":
+                reference_points = _point_intervals(
+                    ReportStore(REFERENCE_DIR), reference, METRIC
+                )
+                current_points = _point_intervals(store, current, METRIC)
+                ci_drifted = _confidence_drift(
+                    reference_points, current_points, METRIC
+                )
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_KERNEL", None)
+        else:
+            os.environ["REPRO_KERNEL"] = saved
+
+    if mode == "confidence":
         if ci_drifted or comparison["only_a"] or comparison["only_b"]:
             print(
-                f"REGRESSION: {SCENARIO!r} statistically incompatible with "
-                f"{reference.name}",
+                f"REGRESSION: {SCENARIO!r} (kernel {kernel_name!r}) statistically "
+                f"incompatible with {reference.name}",
                 file=sys.stderr,
             )
             for key, value_a, half_a, value_b, half_b in ci_drifted:
@@ -164,14 +197,18 @@ def main(argv=None) -> int:
                     print(f"  point only in {side}: {parameters}", file=sys.stderr)
             return 1
         print(
-            f"regression gate ok: {SCENARIO!r} ({len(comparison['points'])} points) "
-            f"within 95% confidence of {reference.name}"
+            f"regression gate ok: {SCENARIO!r} ({len(comparison['points'])} points, "
+            f"kernel {kernel_name!r}) within 95% confidence of {reference.name}"
         )
         return 0
 
     drifted = [row for row in comparison["points"] if row["delta"] != 0.0]
     if drifted or comparison["only_a"] or comparison["only_b"]:
-        print(f"REGRESSION: {SCENARIO!r} drifted from {reference.name}", file=sys.stderr)
+        print(
+            f"REGRESSION: {SCENARIO!r} (kernel {kernel_name!r}) drifted from "
+            f"{reference.name}",
+            file=sys.stderr,
+        )
         for row in drifted:
             print(
                 f"  {row['parameters']}: {METRIC} {row['a']} -> {row['b']} "
@@ -188,8 +225,8 @@ def main(argv=None) -> int:
         )
         return 1
     print(
-        f"regression gate ok: {SCENARIO!r} ({len(comparison['points'])} points) "
-        f"bit-identical to {reference.name}"
+        f"regression gate ok: {SCENARIO!r} ({len(comparison['points'])} points, "
+        f"kernel {kernel_name!r}) bit-identical to {reference.name}"
     )
     return 0
 

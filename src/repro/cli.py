@@ -66,6 +66,7 @@ from typing import List, Optional, Sequence
 from repro import frontdoor
 from repro.analysis.report import ReportTable
 from repro.core.backend import available_backends
+from repro.kernels import KERNEL_NAMES
 from repro.scenarios import (
     CorruptArtifactError,
     ExperimentRunner,
@@ -147,6 +148,10 @@ def build_parser() -> argparse.ArgumentParser:
     # at runtime must stay usable, so validation happens in resolve_backend.
     run_cmd.add_argument("--backend", default=None,
                          help=f"link backend override ({', '.join(available_backends())})")
+    run_cmd.add_argument("--kernel", default=None, choices=KERNEL_NAMES,
+                         help="compute kernel for the hot loops (default: the "
+                              "REPRO_KERNEL env var, else auto — the fastest "
+                              "available; all kernels are bit-identical)")
     run_cmd.add_argument("--executor", default=None, choices=available_executors(),
                          help="grid-point dispatch (default: serial)")
     run_cmd.add_argument("--workers", type=_workers_arg, default=None,
@@ -201,6 +206,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="probe a scenario from a JSON mapping instead")
     probe_cmd.add_argument("--backend", default=None,
                            help=f"link backend override ({', '.join(available_backends())})")
+    probe_cmd.add_argument("--kernel", default=None, choices=KERNEL_NAMES,
+                           help="compute kernel pin (part of the cache key "
+                                "when set)")
     probe_cmd.add_argument("--seed", type=int, default=0, help="root seed (default 0)")
     probe_cmd.add_argument("--bits", type=int, default=None,
                            help="payload bits per grid point (default: the scenario's budget)")
@@ -321,6 +329,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ci_target=args.ci_target,
         max_symbols=args.max_symbols,
     )
+    if args.kernel is not None:
+        scenario = scenario.with_kernel(args.kernel)
     runner = ExperimentRunner(
         scenario,
         seed=args.seed,
@@ -399,6 +409,7 @@ def _cmd_probe(args: argparse.Namespace) -> int:
         trial_mode=args.trial_mode,
         ci_target=args.ci_target,
         max_symbols=args.max_symbols,
+        kernel=args.kernel,
     )
     result = frontdoor.probe(ReportStore(args.store), request)
     if args.json:

@@ -74,9 +74,11 @@ class FastOpticalLink(OpticalLink):
         channel: Optional[OpticalChannel] = None,
         seed: int = 0,
         importance: Optional[ImportanceSettings] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         super().__init__(config=config, channel=channel, seed=seed)
         self.importance = importance
+        self.kernel = kernel
 
     def transmit_bits(self, bits: Sequence[int]) -> TransmissionResult:
         """Send a payload over the link, simulating every symbol in one batch.
@@ -119,7 +121,7 @@ class FastOpticalLink(OpticalLink):
             )
         else:
             times, origins = self.spad.detect_in_windows(
-                symbol_duration, pulse_offsets, mean_photons
+                symbol_duration, pulse_offsets, mean_photons, kernel=self.kernel
             )
 
         detected = origins >= 0

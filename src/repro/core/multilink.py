@@ -178,6 +178,7 @@ class MultichannelOpticalLink(OpticalLink):
         crosstalk: Optional[CrosstalkModel] = None,
         channel_gains: Optional[Sequence[float]] = None,
         importance: Optional[ImportanceSettings] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         super().__init__(config, channel=channel, seed=seed)
         if channels < 1:
@@ -188,6 +189,7 @@ class MultichannelOpticalLink(OpticalLink):
                 "(interference couples channel likelihoods)"
             )
         self.importance = importance
+        self.kernel = kernel
         self.channels = int(channels)
         self.crosstalk = crosstalk
         self.channel_gains: Optional[np.ndarray] = None
@@ -343,6 +345,7 @@ class MultichannelOpticalLink(OpticalLink):
                 secondary_offsets=secondary_offsets,
                 secondary_photons=secondary_photons,
                 background_mean=background,
+                kernel=self.kernel,
             )
 
         detected = origins >= 0

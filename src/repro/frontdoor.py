@@ -174,8 +174,14 @@ class RunRequest:
         trial_mode: Optional[str] = None,
         ci_target: Optional[float] = None,
         max_symbols: Optional[int] = None,
+        kernel: Optional[str] = None,
     ) -> "RunRequest":
-        """Resolve loose inputs (CLI flags, HTTP body fields) into a request."""
+        """Resolve loose inputs (CLI flags, HTTP body fields) into a request.
+
+        ``kernel`` pins the scenario's compute kernel
+        (:meth:`Scenario.with_kernel`); ``None`` leaves the scenario as-is,
+        deferring to the ``REPRO_KERNEL`` environment at execution time.
+        """
         if isinstance(scenario, Scenario):
             if file is not None:
                 raise ValueError("pass exactly one of a scenario and --file PATH")
@@ -207,6 +213,8 @@ class RunRequest:
             raise ValueError(
                 f"scenario must be a name, a Scenario or a mapping, got {scenario!r}"
             )
+        if kernel is not None:
+            resolved = resolved.with_kernel(kernel)
         if not isinstance(seed, int) or isinstance(seed, bool):
             raise ValueError(f"seed must be an int, got {seed!r}")
         if not isinstance(chunk_symbols, int) or chunk_symbols <= 0:
@@ -258,11 +266,17 @@ def probe(store: ReportStore, request: RunRequest) -> Dict[str, Any]:
 
     Returns the shared probe shape: ``state`` is ``"hit"`` (a completed
     artefact exists for this exact run — ``artifact`` names it) or
-    ``"pending"`` (it would have to be simulated).
+    ``"pending"`` (it would have to be simulated).  ``kernels`` reports the
+    compute kernels available in *this* interpreter
+    (:func:`repro.kernels.available_kernels`) — what ``kernel="auto"`` can
+    select from here.
     """
+    from repro.kernels import available_kernels
+
     key = request.run_key()
     artifact = store.find_run(key)
     result = request.describe()
     result["state"] = "hit" if artifact is not None else "pending"
     result["artifact"] = artifact
+    result["kernels"] = list(available_kernels())
     return result

@@ -1,0 +1,155 @@
+"""Vectorised round-robin arbitration scheduling.
+
+:func:`round_robin_schedule` computes *every* grant of one
+:meth:`~repro.noc.bus.OpticalBus.run` call as array operations, replacing the
+per-slot Python loop over :meth:`~repro.noc.arbitration.RoundRobinArbiter.grant`
+for runs whose kernel carries an ``arbitrate`` implementation.  The grant
+sequence, start slots, final slot clock and final rotation pointer are
+**identical** to the scalar loop's — arbitration defines slot assignments and
+latencies, so the schedule is part of the bit-identity contract (locked by
+``tests/test_kernels.py``).
+
+Why this vectorises exactly
+---------------------------
+Work-conserving round robin over fixed per-node FIFOs has a closed-form grant
+order whenever every candidate has already arrived: in each *round* the
+active nodes are served once, in rotation order from the pointer.  Number
+each queued item by its ``round`` (position relative to its node's queue
+head) and its ``rank`` (cyclic node distance from the rotation pointer), and
+the all-arrived grant order is simply the lexicographic ``(round, rank)``
+sort.  Start slots then follow from a cumulative sum of per-item slot costs.
+
+Arrivals are handled *speculatively*: the schedule is computed as if every
+candidate were eligible, then validated (``arrival <= start`` and
+``start < horizon``) and the longest valid prefix committed — within a valid
+prefix no node was ever skipped, so the speculative order is the true order.
+At the first invalid position the scheduler falls back to one exact scalar
+arbitration step (the same node scan ``grant`` performs, including the
+idle-slot jump to the next arrival) and re-speculates from the advanced
+state.  Saturated buses commit whole batches; lightly loaded ones degrade
+gracefully toward the scalar walk.
+
+The per-iteration lookahead is bounded (``lookahead // active_nodes`` rounds
+per node) so one commit never sorts more candidates than it can plausibly
+grant, keeping the worst case near-linear in grants issued.
+
+This module is a leaf (NumPy only) so the kernel registry stays importable
+from everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def round_robin_schedule(
+    arrivals: np.ndarray,
+    slot_costs: np.ndarray,
+    node_bounds: np.ndarray,
+    start_node: int,
+    start_slot: int,
+    horizon: int,
+    lookahead: int = 2048,
+) -> Tuple[np.ndarray, np.ndarray, int, int]:
+    """Compute all round-robin grants of one bus run as array ops.
+
+    Parameters
+    ----------
+    arrivals:
+        ``(R,)`` arrival slot of every queued item, grouped by node in queue
+        order (each node's run is non-decreasing — the arbiter enforces it).
+    slot_costs:
+        ``(R,)`` slots each item occupies once granted (>= 1).
+    node_bounds:
+        ``(N + 1,)`` CSR bounds: node ``n`` owns items
+        ``node_bounds[n]:node_bounds[n + 1]``.
+    start_node:
+        The arbiter's rotation pointer (first node considered).
+    start_slot / horizon:
+        The slot clock at entry and the exclusive slot limit; a grant is
+        issued only while the clock is strictly below ``horizon``.
+    lookahead:
+        Speculation budget: candidates sorted per iteration (split across the
+        active nodes).
+
+    Returns ``(items, starts, final_slot, final_node)``: granted item indices
+    in grant order, their start slots, the slot clock after the last grant
+    (or the entry clock if the bus only idled), and the final rotation
+    pointer.
+    """
+    arrivals = np.asarray(arrivals, dtype=np.int64)
+    slot_costs = np.asarray(slot_costs, dtype=np.int64)
+    node_bounds = np.asarray(node_bounds, dtype=np.int64)
+    nodes = int(node_bounds.size - 1)
+    if nodes <= 0:
+        raise ValueError("node_bounds must describe at least one node")
+    ptr = node_bounds[:-1].copy()
+    end = node_bounds[1:]
+    rotation = int(start_node) % nodes
+    slot = int(start_slot)
+    horizon = int(horizon)
+    granted_items = []
+    granted_starts = []
+
+    while slot < horizon:
+        active = np.flatnonzero(ptr < end)
+        if active.size == 0:
+            break
+        rounds_per_node = max(1, lookahead // int(active.size))
+        counts = np.minimum(end[active] - ptr[active], rounds_per_node)
+        total = int(counts.sum())
+        cand_node = np.repeat(active, counts)
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        cand = ptr[cand_node] + offsets
+        rank = (cand_node - rotation) % nodes
+        order = np.lexsort((rank, offsets))
+        cand = cand[order]
+        cand_node = cand_node[order]
+        costs = slot_costs[cand]
+        starts = slot + np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(costs)[:-1])
+        )
+        valid = (arrivals[cand] <= starts) & (starts < horizon)
+        committed = total if bool(valid.all()) else int(np.argmin(valid))
+        if committed:
+            granted_items.append(cand[:committed])
+            granted_starts.append(starts[:committed])
+            ptr += np.bincount(cand_node[:committed], minlength=nodes)
+            slot = int(starts[committed - 1] + costs[committed - 1])
+            rotation = int(cand_node[committed - 1] + 1) % nodes
+            # Progress was made; re-speculate from the advanced state (the
+            # while condition also re-checks the horizon).
+            continue
+        # The very next decision is blocked on arrivals: replicate one exact
+        # RoundRobinArbiter.grant(slot) step — first node in rotation order
+        # with an already-arrived head — or the bus's idle-slot jump.
+        granted = False
+        for offset in range(nodes):
+            node = (rotation + offset) % nodes
+            head = int(ptr[node])
+            if head < int(end[node]) and int(arrivals[head]) <= slot:
+                granted_items.append(np.array([head], dtype=np.int64))
+                granted_starts.append(np.array([slot], dtype=np.int64))
+                slot += int(slot_costs[head])
+                ptr[node] += 1
+                rotation = (node + 1) % nodes
+                granted = True
+                break
+        if not granted:
+            heads = ptr[active]
+            next_arrival = int(arrivals[heads].min())
+            if next_arrival >= horizon:
+                break
+            slot = max(slot + 1, next_arrival)
+
+    if granted_items:
+        items = np.concatenate(granted_items)
+        starts = np.concatenate(granted_starts)
+    else:
+        items = np.empty(0, dtype=np.int64)
+        starts = np.empty(0, dtype=np.int64)
+    return items, starts, slot, rotation

@@ -1,0 +1,237 @@
+"""The ``"numba"`` compute kernels — JIT ports of the reference loops.
+
+Optional dependency: importing this module never fails, it just sets
+:data:`NUMBA_AVAILABLE` to ``False`` when :mod:`numba` is absent (install via
+``pip install repro[fast]``); the registry then leaves the ``"numba"`` kernel
+unregistered and :func:`repro.kernels.get_kernel` falls back gracefully.
+
+The jitted bodies are line-for-line the loops of
+:mod:`repro.kernels.reference`.  Numba's default (non-``fastmath``) codegen
+keeps IEEE-754 double semantics — no contraction, no reassociation — and
+every operation here is a single add/multiply/compare, so the outputs are
+**bit-identical** to the Python reference (locked by
+``tests/test_kernels.py``).
+
+``nogil=True`` is the property the executor layer builds on: while a chunk
+scans inside a jitted loop the GIL is released, so
+:class:`~repro.scenarios.executors.ThreadExecutor` threads run grid points
+genuinely in parallel with zero pickling/IPC cost.  ``cache=True`` persists
+the compiled machine code next to this module, so only the first process ever
+pays the JIT latency.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+except Exception:  # pragma: no cover - the numba-free default environment
+    NUMBA_AVAILABLE = False
+
+    def njit(*args, **kwargs):  # type: ignore[misc]
+        """Placeholder so the module object stays importable without numba."""
+
+        def decorate(function):
+            return function
+
+        return decorate
+
+
+@njit(cache=True, nogil=True)
+def _scan_windows(
+    photon_rel,
+    photon_valid,
+    dark_rel,
+    dark_bounds,
+    trap_filled,
+    trap_release,
+    dead_time,
+    gate_recovery,
+    duration,
+    base,
+    last_fire,
+    pending,
+):
+    count = photon_rel.shape[0]
+    out_times = np.empty(count, dtype=np.float64)
+    out_origins = np.empty(count, dtype=np.int8)
+    for index in range(count):
+        window_start = base + index * duration
+        window_end = window_start + duration
+        if window_start - last_fire >= gate_recovery:
+            ready = window_start
+        else:
+            ready = last_fire + dead_time
+        best = np.inf
+        origin = -1
+        if photon_valid[index]:
+            time = window_start + photon_rel[index]
+            if time >= ready:
+                best = time
+                origin = 0
+        for position in range(dark_bounds[index], dark_bounds[index + 1]):
+            time = window_start + dark_rel[position]
+            if time >= ready and time < best:
+                best = time
+                origin = 1
+        if (
+            window_start <= pending
+            and pending < window_end
+            and pending >= ready
+            and pending < best
+        ):
+            best = pending
+            origin = 2
+        if pending < window_end:
+            pending = np.inf
+        if origin >= 0:
+            out_times[index] = best
+            out_origins[index] = origin
+            last_fire = best
+            if trap_filled[index]:
+                pending = best + trap_release[index]
+            else:
+                pending = np.inf
+        else:
+            out_times[index] = np.nan
+            out_origins[index] = -1
+    return out_times, out_origins, last_fire, pending
+
+
+@njit(cache=True, nogil=True)
+def _resolve_windows(
+    primary,
+    secondary,
+    dark_rel,
+    dark_bounds,
+    background_rel,
+    background_bounds,
+    trap_filled,
+    trap_release,
+    dead_time,
+    gate_recovery,
+    duration,
+    base,
+):
+    windows, channels = primary.shape
+    n_secondary = secondary.shape[0]
+    out_times = np.empty((windows, channels), dtype=np.float64)
+    out_origins = np.empty((windows, channels), dtype=np.int8)
+    for c in range(channels):
+        last_fire = -np.inf
+        pending = np.inf
+        for s in range(windows):
+            ws = base + s * duration
+            we = ws + duration
+            if ws - last_fire >= gate_recovery:
+                ready = ws
+            else:
+                ready = last_fire + dead_time
+            best = np.inf
+            origin = -1
+            t = primary[s, c]
+            if np.isfinite(t) and t >= ready:
+                best = t
+                origin = 0
+            for k in range(n_secondary):
+                t = secondary[k, s, c]
+                if t >= ready and t < best:
+                    best = t
+                    origin = 3
+            flat = s * channels + c
+            for j in range(dark_bounds[flat], dark_bounds[flat + 1]):
+                t_abs = ws + dark_rel[j]
+                if t_abs >= ready and t_abs < best:
+                    best = t_abs
+                    origin = 1
+            for j in range(background_bounds[flat], background_bounds[flat + 1]):
+                t_abs = ws + background_rel[j]
+                if t_abs >= ready and t_abs < best:
+                    best = t_abs
+                    origin = 3
+            if pending >= ws and pending < we and pending >= ready and pending < best:
+                best = pending
+                origin = 2
+            consumed = pending < we
+            if origin >= 0:
+                out_times[s, c] = best
+                out_origins[s, c] = origin
+                last_fire = best
+                if trap_filled[s, c]:
+                    pending = best + trap_release[s, c]
+                else:
+                    pending = np.inf
+            else:
+                out_times[s, c] = np.nan
+                out_origins[s, c] = -1
+                if consumed:
+                    pending = np.inf
+    return out_times, out_origins
+
+
+def scan_windows(
+    photon_rel,
+    photon_valid,
+    dark_rel,
+    dark_bounds,
+    trap_filled,
+    trap_release,
+    dead_time,
+    gate_recovery,
+    duration,
+    base,
+    last_fire,
+    pending,
+) -> Tuple[np.ndarray, np.ndarray, float, float]:
+    """JIT dead-time winner scan (see :func:`repro.kernels.reference.scan_windows`)."""
+    times, origins, last_fire, pending = _scan_windows(
+        np.ascontiguousarray(photon_rel, dtype=np.float64),
+        np.ascontiguousarray(photon_valid, dtype=np.bool_),
+        np.ascontiguousarray(dark_rel, dtype=np.float64),
+        np.ascontiguousarray(dark_bounds, dtype=np.int64),
+        np.ascontiguousarray(trap_filled, dtype=np.bool_),
+        np.ascontiguousarray(trap_release, dtype=np.float64),
+        float(dead_time),
+        float(gate_recovery),
+        float(duration),
+        float(base),
+        float(last_fire),
+        float(pending),
+    )
+    return times, origins, float(last_fire), float(pending)
+
+
+def resolve_windows(
+    primary,
+    secondary,
+    dark_rel,
+    dark_bounds,
+    background_rel,
+    background_bounds,
+    trap_filled,
+    trap_release,
+    dead_time,
+    gate_recovery,
+    duration,
+    base,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """JIT multichannel resolution (see :func:`repro.kernels.reference.resolve_windows`)."""
+    return _resolve_windows(
+        np.ascontiguousarray(primary, dtype=np.float64),
+        np.ascontiguousarray(secondary, dtype=np.float64),
+        np.ascontiguousarray(dark_rel, dtype=np.float64),
+        np.ascontiguousarray(dark_bounds, dtype=np.int64),
+        np.ascontiguousarray(background_rel, dtype=np.float64),
+        np.ascontiguousarray(background_bounds, dtype=np.int64),
+        np.ascontiguousarray(trap_filled, dtype=np.bool_),
+        np.ascontiguousarray(trap_release, dtype=np.float64),
+        float(dead_time),
+        float(gate_recovery),
+        float(duration),
+        float(base),
+    )

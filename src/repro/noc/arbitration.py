@@ -13,9 +13,12 @@ schemes are provided:
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -38,6 +41,13 @@ class TdmaSchedule:
         if slot < 0:
             raise ValueError("slot must be non-negative")
         return self.owners[slot % self.frame_length]
+
+    def owners_of_slots(self, slots: Sequence[int]) -> np.ndarray:
+        """Vectorised :meth:`owner_of_slot` over an array of slots."""
+        slots = np.asarray(slots, dtype=np.int64)
+        if slots.size and int(slots.min()) < 0:
+            raise ValueError("slot must be non-negative")
+        return np.asarray(self.owners, dtype=np.int64)[slots % self.frame_length]
 
     def slots_for(self, owner: int) -> List[int]:
         """Slot offsets within a frame owned by ``owner``."""
@@ -89,6 +99,10 @@ class RoundRobinArbiter:
         self._pending: Dict[int, Deque[tuple]] = {node: deque() for node in range(node_count)}
         self._next = 0
         self._grants = 0
+        # Lazy-deletion min-heap over (arrival, node) of every request ever
+        # enqueued; next_arrival() pops entries that no longer match their
+        # node's queue head instead of scanning all nodes.
+        self._heads: List[Tuple[int, int]] = []
 
     def request(self, node: int, item: object, arrival: int = 0) -> None:
         """Enqueue a transmission request for ``node``, arriving at ``arrival``."""
@@ -99,9 +113,11 @@ class RoundRobinArbiter:
         queue = self._pending[node]
         if queue and queue[-1][0] > arrival:
             raise ValueError(
-                f"requests for node {node} must be enqueued in arrival order"
+                f"requests for node {node} must be enqueued in arrival order "
+                f"(got arrival {arrival} after arrival {queue[-1][0]})"
             )
         queue.append((arrival, item))
+        heapq.heappush(self._heads, (arrival, node))
 
     def pending_count(self, node: Optional[int] = None) -> int:
         if node is None:
@@ -112,10 +128,21 @@ class RoundRobinArbiter:
         """Earliest arrival slot among pending requests (``None`` when empty).
 
         The slot at which an idling bus next has work — callers skip idle
-        slots to it instead of polling slot by slot.
+        slots to it instead of polling slot by slot.  Amortised O(1): the
+        head heap is consulted top-down and stale entries (items already
+        granted) are discarded lazily, so the total cleanup work over a run
+        is bounded by the number of requests ever enqueued.
         """
-        heads = [queue[0][0] for queue in self._pending.values() if queue]
-        return min(heads) if heads else None
+        while self._heads:
+            arrival, node = self._heads[0]
+            queue = self._pending[node]
+            # Every queued item was pushed on the heap, so the heap top is a
+            # lower bound on every current head; when it still matches its
+            # node's head it IS the minimum.
+            if queue and queue[0][0] == arrival:
+                return arrival
+            heapq.heappop(self._heads)
+        return None
 
     def grant(self, slot: Optional[int] = None) -> Optional[tuple]:
         """Grant the bus to the next requesting node.
@@ -134,6 +161,53 @@ class RoundRobinArbiter:
                 self._grants += 1
                 return node, item
         return None
+
+    def snapshot(self) -> Tuple[np.ndarray, List[object], np.ndarray]:
+        """Flatten the pending queues for the vectorised arbitration kernel.
+
+        Returns ``(arrivals, items, node_bounds)``: every queued item's
+        arrival slot and payload grouped by node in queue order, with CSR
+        bounds mapping node ``n`` to ``arrivals[node_bounds[n]:node_bounds[n+1]]``
+        — the layout :func:`repro.kernels.round_robin_schedule` consumes.
+        The queues are not modified; pair with :meth:`commit_grants`.
+        """
+        arrivals: List[int] = []
+        items: List[object] = []
+        bounds = np.zeros(self.node_count + 1, dtype=np.int64)
+        for node in range(self.node_count):
+            for arrival, item in self._pending[node]:
+                arrivals.append(arrival)
+                items.append(item)
+            bounds[node + 1] = len(arrivals)
+        return np.asarray(arrivals, dtype=np.int64), items, bounds
+
+    def commit_grants(self, granted_per_node: Sequence[int], next_pointer: int) -> None:
+        """Apply the outcome of a scheduled epoch computed from a snapshot.
+
+        Pops ``granted_per_node[n]`` items from the head of node ``n``'s
+        queue (the kernel grants strictly in queue order) and moves the
+        rotation pointer to ``next_pointer``, keeping :attr:`grants_issued`
+        and :meth:`next_arrival` consistent with the scalar grant loop.
+        """
+        total = 0
+        for node, count in enumerate(granted_per_node):
+            count = int(count)
+            queue = self._pending[node]
+            if count > len(queue):
+                raise ValueError(
+                    f"cannot commit {count} grants for node {node}: "
+                    f"only {len(queue)} pending"
+                )
+            for _ in range(count):
+                queue.popleft()
+            total += count
+        self._next = int(next_pointer) % self.node_count
+        self._grants += total
+
+    @property
+    def next_node(self) -> int:
+        """The rotation pointer: first node considered by the next grant."""
+        return self._next
 
     @property
     def grants_issued(self) -> int:

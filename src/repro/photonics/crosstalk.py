@@ -11,9 +11,28 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
+
+
+@lru_cache(maxsize=128)
+def _cached_coupling_profile(model: "CrosstalkModel", channels: int) -> np.ndarray:
+    fraction = model._capture_fractions(np.arange(channels) * model.channel_pitch)
+    profile = fraction / fraction[0]
+    profile[0] = 1.0
+    profile.setflags(write=False)
+    return profile
+
+
+@lru_cache(maxsize=128)
+def _cached_crosstalk_matrix(model: "CrosstalkModel", channels: int) -> np.ndarray:
+    profile = _cached_coupling_profile(model, channels)
+    indices = np.arange(channels)
+    matrix = profile[np.abs(indices[:, None] - indices[None, :])]
+    matrix.setflags(write=False)
+    return matrix
 
 
 @dataclass(frozen=True)
@@ -105,13 +124,14 @@ class CrosstalkModel:
         This is the quantity the multichannel link engine injects as
         per-neighbour photon budgets — and, by construction, row ``i`` of
         :meth:`crosstalk_matrix` is ``profile[|i - j|]``.
+
+        Profiles are memoised per ``(model, channels)`` (the dataclass is
+        frozen, hence hashable) and returned read-only: multichannel chunks
+        rebuild the same geometry for every call otherwise.
         """
         if channels <= 0:
             raise ValueError("channels must be positive")
-        fraction = self._capture_fractions(np.arange(channels) * self.channel_pitch)
-        profile = fraction / fraction[0]
-        profile[0] = 1.0
-        return profile
+        return _cached_coupling_profile(self, channels)
 
     def crosstalk_matrix(self, channels: int) -> np.ndarray:
         """``channels x channels`` relative power-coupling matrix of a linear array.
@@ -123,10 +143,13 @@ class CrosstalkModel:
         scattered-light floor.  The multichannel link engine consumes this
         coupling (via :meth:`coupling_profile`, which holds one row's distance
         dependence) to size per-neighbour interference photon budgets.
+
+        Memoised per ``(model, channels)`` like :meth:`coupling_profile`; the
+        returned array is read-only — copy before mutating.
         """
-        profile = self.coupling_profile(channels)
-        indices = np.arange(channels)
-        return profile[np.abs(indices[:, None] - indices[None, :])]
+        if channels <= 0:
+            raise ValueError("channels must be positive")
+        return _cached_crosstalk_matrix(self, channels)
 
     def aggregate_interference(self, channels: int, victim: int) -> float:
         """Total crosstalk power landing on ``victim``, relative to its own channel."""

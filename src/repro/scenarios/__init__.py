@@ -13,9 +13,10 @@ over operating points.  This subsystem makes them first-class:
   ``multi-chip-bus``, ``spad-array-imager``, ``crosstalk-vs-pitch``,
   ``ppm-order-sweep``).
 * :mod:`repro.scenarios.executors` — pluggable grid-point dispatch:
-  :class:`SerialExecutor` (in-process), :class:`ProcessExecutor` (process
-  pool), and the cluster executor (:mod:`repro.cluster`, socket fleet) —
-  all bit-identical to each other by construction.
+  :class:`SerialExecutor` (in-process), :class:`ThreadExecutor` (thread
+  pool, GIL-free with the native compute kernels), :class:`ProcessExecutor`
+  (process pool), and the cluster executor (:mod:`repro.cluster`, socket
+  fleet) — all bit-identical to each other by construction.
 * :mod:`repro.scenarios.faults` — fault tolerance: :class:`RetryPolicy`
   (retries/timeouts/deterministic backoff), :class:`PointFailure` records,
   and the seeded :class:`ChaosSchedule`/:class:`ChaosExecutor` fault-
@@ -59,6 +60,7 @@ from repro.scenarios.executors import (
     PointTask,
     ProcessExecutor,
     SerialExecutor,
+    ThreadExecutor,
     WorkerCountError,
     available_executors,
     evaluate_point,
@@ -102,6 +104,7 @@ __all__ = [
     "Executor",
     "PointTask",
     "SerialExecutor",
+    "ThreadExecutor",
     "ProcessExecutor",
     "available_executors",
     "resolve_executor",

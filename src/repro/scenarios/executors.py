@@ -9,10 +9,15 @@ exploit this: they take a sequence of :class:`PointTask` work units and yield
 ``(index, PointOutcome)`` pairs *in completion order*, leaving ordering and
 report assembly to the caller.
 
-Two executors ship with the package:
+Three executors ship with the package:
 
 * :class:`SerialExecutor` — evaluates tasks in grid order in the calling
   process (the reference implementation);
+* :class:`ThreadExecutor` — dispatches tasks onto a thread pool in the
+  calling process.  No pickling, no IPC, no worker start-up: tasks run the
+  original scenario objects directly, so even subclassed scenarios work.
+  Threads only run concurrently when point evaluation releases the GIL,
+  which the native compute kernels (:mod:`repro.kernels`) do;
 * :class:`ProcessExecutor` — dispatches tasks onto a
   :class:`concurrent.futures.ProcessPoolExecutor`.  Work units are pickled as
   plain data (scenario mapping, point parameters, point seed, backend name,
@@ -49,6 +54,7 @@ import heapq
 import itertools
 import multiprocessing
 import os
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -335,6 +341,7 @@ def evaluate_point(
         channels=channels if channels > 1 else None,
         crosstalk=crosstalk,
         importance=importance,
+        kernel=scenario.kernel,
     )
 
     runner = MonteCarloRunner(seed=seed, label=scenario.point_label(parameters))
@@ -430,6 +437,7 @@ def evaluate_noc_point(
             offered_load=offered_load,
             packet_bits=packet_bits,
             on_result=accumulate,
+            kernel=scenario.kernel,
         )
         chunk_packets = max(1, chunk_symbols // trial.slots_per_packet)
         runner = MonteCarloRunner(seed=seed, label=scenario.point_label(parameters))
@@ -505,6 +513,54 @@ def evaluate_task_attempt(task: PointTask, attempt: int) -> PointOutcome:
     return evaluate_task(task)
 
 
+def _evaluate_with_retry(
+    executor: Union["SerialExecutor", "ThreadExecutor"], task: PointTask
+) -> Union[PointOutcome, PointFailure]:
+    """Evaluate one task under the executor's retry policy, in-process.
+
+    The shared attempt loop of the in-process executors (serial and thread):
+    the executor contributes its ``retry``/``failure_policy`` settings and a
+    ``_bump`` counter hook (plain increments serially, lock-guarded under
+    threads).  Pre-emption is impossible in-process, so a ``timeout`` is
+    enforced *post hoc*: an attempt that overran is discarded and retried.
+    """
+    policy = executor.retry or RetryPolicy(max_attempts=1)
+    started = time.monotonic()
+    last_error: Optional[BaseException] = None
+    for attempt in range(1, policy.max_attempts + 1):
+        attempt_started = time.monotonic()
+        try:
+            outcome = evaluate_task_attempt(task, attempt)
+        except Exception as error:
+            last_error = error
+        else:
+            elapsed = time.monotonic() - attempt_started
+            if policy.timeout is not None and elapsed > policy.timeout:
+                last_error = PointTimeoutError(
+                    f"point {task.index} attempt {attempt} ran {elapsed:.3f}s, "
+                    f"over the {policy.timeout}s budget"
+                )
+            else:
+                return outcome
+        if attempt < policy.max_attempts:
+            executor._bump("retries")
+            delay = policy.delay(task.seed, attempt)
+            if delay > 0:
+                time.sleep(delay)
+    executor._bump("failures")
+    assert last_error is not None
+    if executor.failure_policy == "continue":
+        return PointFailure(
+            index=task.index,
+            parameters=task.parameters,
+            error_type=type(last_error).__name__,
+            message=str(last_error),
+            attempts=policy.max_attempts,
+            elapsed=time.monotonic() - started,
+        )
+    raise last_error
+
+
 @runtime_checkable
 class Executor(Protocol):
     """Structural protocol every grid-point executor implements.
@@ -554,47 +610,86 @@ class SerialExecutor:
         self, tasks: Sequence[PointTask]
     ) -> Iterator[Tuple[int, Union[PointOutcome, PointFailure]]]:
         for task in tasks:
-            yield task.index, self._evaluate_with_retry(task)
+            yield task.index, _evaluate_with_retry(self, task)
 
-    def _evaluate_with_retry(self, task: PointTask) -> Union[PointOutcome, PointFailure]:
-        policy = self.retry or RetryPolicy(max_attempts=1)
-        started = time.monotonic()
-        last_error: Optional[BaseException] = None
-        for attempt in range(1, policy.max_attempts + 1):
-            attempt_started = time.monotonic()
-            try:
-                outcome = evaluate_task_attempt(task, attempt)
-            except Exception as error:
-                last_error = error
-            else:
-                elapsed = time.monotonic() - attempt_started
-                if policy.timeout is not None and elapsed > policy.timeout:
-                    last_error = PointTimeoutError(
-                        f"point {task.index} attempt {attempt} ran {elapsed:.3f}s, "
-                        f"over the {policy.timeout}s budget"
-                    )
-                else:
-                    return outcome
-            if attempt < policy.max_attempts:
-                self.stats["retries"] += 1
-                delay = policy.delay(task.seed, attempt)
-                if delay > 0:
-                    time.sleep(delay)
-        self.stats["failures"] += 1
-        assert last_error is not None
-        if self.failure_policy == "continue":
-            return PointFailure(
-                index=task.index,
-                parameters=task.parameters,
-                error_type=type(last_error).__name__,
-                message=str(last_error),
-                attempts=policy.max_attempts,
-                elapsed=time.monotonic() - started,
-            )
-        raise last_error
+    def _bump(self, key: str) -> None:
+        self.stats[key] += 1
 
     def __repr__(self) -> str:
         return "SerialExecutor()"
+
+
+class ThreadExecutor:
+    """Dispatches tasks across a thread pool in the calling process.
+
+    Threads share the interpreter, so this only pays off when point
+    evaluation spends its time *outside* the GIL — which the native compute
+    kernels do (:mod:`repro.kernels`: numba ``nogil=True`` functions and
+    ``ctypes`` C-extension calls both release the GIL for the duration of a
+    window scan).  Under the pure-``"python"`` kernel the threads serialise
+    on the GIL and a thread pool is no faster than :class:`SerialExecutor`;
+    use :class:`ProcessExecutor` there instead.
+
+    What threads buy over processes: zero pickling, zero IPC, zero worker
+    start-up, and no picklability contract at all — subclassed scenarios and
+    runtime-registered backends work unchanged because every task runs in
+    the parent interpreter.  Reports are **bit-identical** to a serial run:
+    tasks funnel through the same :func:`evaluate_point` with pre-derived
+    seeds, so scheduling order is unobservable in the results.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; defaults to the *usable* CPU count capped at the number
+        of tasks.  Results are independent of ``workers``.
+    retry:
+        Optional :class:`~repro.scenarios.faults.RetryPolicy`, with the
+        in-process semantics of :class:`SerialExecutor` (post-hoc timeout
+        enforcement; a running attempt cannot be pre-empted).
+    failure_policy:
+        ``"fail_fast"`` (default) re-raises the final error of an exhausted
+        point; ``"continue"`` yields a structured
+        :class:`~repro.scenarios.faults.PointFailure` and keeps draining.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        failure_policy: str = "fail_fast",
+    ) -> None:
+        self.workers = validate_worker_count(workers)
+        self.retry = retry
+        self.failure_policy = validate_failure_policy(failure_policy)
+        self.stats: Dict[str, int] = {"retries": 0, "failures": 0}
+        self._stats_lock = threading.Lock()
+
+    def _bump(self, key: str) -> None:
+        with self._stats_lock:
+            self.stats[key] += 1
+
+    def map_tasks(
+        self, tasks: Sequence[PointTask]
+    ) -> Iterator[Tuple[int, Union[PointOutcome, PointFailure]]]:
+        tasks = list(tasks)
+        if not tasks:
+            return
+        workers = self.workers or usable_cpu_count()
+        workers = max(1, min(workers, len(tasks)))
+        pool = concurrent.futures.ThreadPoolExecutor(max_workers=workers)
+        try:
+            futures = {
+                pool.submit(_evaluate_with_retry, self, task): task for task in tasks
+            }
+            for future in concurrent.futures.as_completed(futures):
+                yield futures[future].index, future.result()
+        finally:
+            # Abandoned streams must not evaluate the rest of the grid:
+            # cancel queued tasks, wait only for points already running.
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __repr__(self) -> str:
+        return f"ThreadExecutor(workers={self.workers!r})"
 
 
 class ProcessExecutor:
@@ -827,11 +922,11 @@ class ProcessExecutor:
 #: :func:`resolve_executor` — :mod:`repro.cluster.executor` imports *this*
 #: module (PointTask, the shared validation helpers), so a module-level
 #: import would be a cycle.
-_EXECUTOR_NAMES: Tuple[str, ...] = ("serial", "process", "cluster")
+_EXECUTOR_NAMES: Tuple[str, ...] = ("serial", "thread", "process", "cluster")
 
-#: ``workers=`` values accepted by each named executor: ``process`` takes a
-#: pool size (int), ``cluster`` takes addresses (``"host:port,…"`` or a
-#: sequence); ``serial`` takes none.
+#: ``workers=`` values accepted by each named executor: ``thread`` and
+#: ``process`` take a pool size (int), ``cluster`` takes addresses
+#: (``"host:port,…"`` or a sequence); ``serial`` takes none.
 WorkersArg = Union[None, int, str, Sequence[Any]]
 
 
@@ -890,6 +985,14 @@ def resolve_executor(
                     f"for a socket fleet"
                 )
             resolved = ProcessExecutor(workers=workers)
+        elif executor == "thread":
+            if _looks_like_addresses(workers):
+                raise WorkerCountError(
+                    f"executor 'thread' takes a pool size, not worker "
+                    f"addresses; got {workers!r} — use executor='cluster' "
+                    f"for a socket fleet"
+                )
+            resolved = ThreadExecutor(workers=workers)
         else:
             if workers is not None:
                 raise ValueError(f"executor {executor!r} does not take workers=")

@@ -160,6 +160,8 @@ class RunRegistry:
         return [handle.snapshot() for handle in self._handles.values()]
 
     def stats(self) -> Dict[str, Any]:
+        from repro.kernels import available_kernels
+
         states = [handle.state for handle in self._handles.values()]
         with self._executor_stats_lock:
             executor_stats = dict(self._executor_stats)
@@ -169,6 +171,10 @@ class RunRegistry:
             "running": states.count(RUNNING),
             "artifacts": len(self.store.list()),
             "executor": {"name": self._executor_name(), **executor_stats},
+            # The compute kernels this server can dispatch ("auto" resolves
+            # to the fastest of these) — clients use it to decide whether a
+            # kernel="numba" request is worth sending here.
+            "kernels": list(available_kernels()),
         }
 
     def _executor_name(self) -> str:

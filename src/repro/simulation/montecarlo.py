@@ -106,6 +106,9 @@ class LinkBatchTrial:
     #: *weighted* per-symbol error figures (w_i * errors_i), whose mean is an
     #: unbiased estimate of the naive sample mean.
     importance: object = None
+    #: Optional compute-kernel name forwarded to :func:`make_link`; kernels
+    #: are bit-identical by contract, so this never changes the samples.
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.per_symbol not in ("error_indicator", "bit_errors"):
@@ -127,6 +130,7 @@ class LinkBatchTrial:
             channels=self.channels,
             crosstalk=self.crosstalk,
             importance=self.importance,
+            kernel=self.kernel,
         )
         payload = generator.integers(0, 2, size=count * self.config.ppm_bits).tolist()
         result = link.transmit_bits(payload)
@@ -153,6 +157,7 @@ def link_batch_trial(
     channels: Optional[int] = None,
     crosstalk=None,
     importance=None,
+    kernel: Optional[str] = None,
 ) -> LinkBatchTrial:
     """Build a :meth:`MonteCarloRunner.run_batch` trial over the optical link.
 
@@ -192,6 +197,7 @@ def link_batch_trial(
         channels=channels,
         crosstalk=crosstalk,
         importance=importance,
+        kernel=kernel,
     )
 
 
@@ -239,6 +245,9 @@ class NocTrafficTrial:
     emitted_photons: Optional[float] = None
     epoch_packets: int = 64
     on_result: Optional[Callable] = None
+    #: Optional compute-kernel name forwarded to the bus (vectorised
+    #: arbitration + link kernels); bit-identical by contract.
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.traffic not in TRAFFIC_PATTERNS:
@@ -314,6 +323,7 @@ class NocTrafficTrial:
             seed=bus_seed,
             backend=self.backend,
             epoch_packets=self.epoch_packets,
+            kernel=self.kernel,
         )
         nodes = topology.node_count
         sources = generator.integers(0, nodes, size=count)

@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.kernels import get_kernel
 from repro.simulation.randomness import RandomSource
 from repro.spad.device import (
     ORIGIN_CODE_MISSED,
@@ -44,6 +45,7 @@ def detect_in_windows_multichannel(
     start_time: float = 0.0,
     resolver: str = "fast",
     importance: Optional[ImportanceSettings] = None,
+    kernel: Optional[str] = None,
 ) -> Tuple[np.ndarray, ...]:
     """Batch window detection across ``C`` parallel channels at once.
 
@@ -97,6 +99,12 @@ def detect_in_windows_multichannel(
         scans every window.  Both consume the same pre-drawn randomness and
         produce bit-identical output (locked by ``tests/test_spad_array.py``);
         the seam exists so the equivalence stays testable.
+    kernel:
+        Compute-kernel name (see :func:`repro.kernels.get_kernel`; ``None``
+        defers to ``$REPRO_KERNEL`` / ``"auto"``).  When the resolved kernel
+        carries a native resolver and ``resolver`` is ``"fast"``, the window
+        resolution runs natively; all kernels are bit-identical to the
+        Python paths, so the choice affects speed only.
 
     Returns ``(times, origins)``: ``(S, C)`` absolute detection times (``NaN``
     when a window reported nothing) and int8 origin codes (see
@@ -179,6 +187,29 @@ def detect_in_windows_multichannel(
 
     if resolver not in ("fast", "reference"):
         raise ValueError(f"resolver must be 'fast' or 'reference', got {resolver!r}")
+    native = get_kernel(kernel).resolve_windows
+    if native is not None and resolver == "fast":
+        # Native kernels take the interference candidates stacked to
+        # (K, S, C) and skip the per-window count arrays (bounds suffice).
+        stacked = (
+            np.stack(secondary)
+            if secondary
+            else np.empty((0, windows, channels))
+        )
+        return native(
+            primary,
+            stacked,
+            dark_rel,
+            dark_bounds,
+            background_rel,
+            background_bounds,
+            trap_filled,
+            trap_release,
+            device.quenching.dead_time,
+            device.quenching.effective_gate_recovery,
+            duration,
+            base,
+        )
     resolve = _resolve_windows_fast if resolver == "fast" else _resolve_windows_reference
     return resolve(
         primary,

@@ -26,6 +26,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.analysis.units import NM, NS, UM
+from repro.kernels import get_kernel
 from repro.simulation.randomness import RandomSource
 from repro.spad.afterpulsing import AfterpulsingModel
 from repro.spad.dark_counts import DarkCountModel
@@ -322,6 +323,7 @@ class SpadDevice:
         mean_photons: float = 1.0,
         start_time: float = 0.0,
         importance: Optional[ImportanceSettings] = None,
+        kernel: Optional[str] = None,
     ) -> Tuple[np.ndarray, ...]:
         """Batch analogue of :meth:`detect_in_window` over consecutive windows.
 
@@ -336,8 +338,11 @@ class SpadDevice:
         per-window work is the *sequential-dependency scan* that cannot be
         vectorised: the dead-time/re-arm state and the pending afterpulse of
         window ``i`` depend on the winning detection of window ``i-1``.  The
-        scan runs over plain Python floats (no per-event RNG calls, no object
-        construction), which is what makes the batch path fast.
+        scan dispatches through the compute-kernel layer
+        (:func:`repro.kernels.get_kernel`): ``kernel`` selects an
+        implementation by name, ``None`` defers to ``$REPRO_KERNEL`` and the
+        ``"auto"`` preference.  Every kernel is bit-identical to the
+        ``"python"`` reference, so the choice affects speed only.
 
         Returns ``(times, origins)``: absolute detection times (``NaN`` when
         the window reported nothing) and int8 origin codes (see
@@ -396,76 +401,32 @@ class SpadDevice:
         trap_filled = rng.random(count) < self.afterpulsing.probability
         trap_release = rng.exponential(self.afterpulsing.time_constant, count)
 
-        # Sequential-dependency scan over plain Python scalars.
-        photon_rel_l = photon_rel.tolist()
-        photon_valid_l = photon_valid.tolist()
-        dark_rel_l = dark_rel.tolist()
-        dark_bounds_l = dark_bounds.tolist()
-        trap_filled_l = trap_filled.tolist()
-        trap_release_l = trap_release.tolist()
-
-        dead_time = self.quenching.dead_time
-        gate_recovery = self.quenching.effective_gate_recovery
+        # Sequential-dependency scan, dispatched through the kernel layer.
+        # Optional state crosses the boundary as float sentinels: last fire
+        # ``None`` -> -inf (armed since forever), pending afterpulse ``None``
+        # -> +inf (never) — see ``repro.kernels.reference``.
         last_fire = -inf if self._last_fire_time is None else self._last_fire_time
-        pending = self._pending_afterpulse
-
-        out_times: List[float] = []
-        out_origins: List[int] = []
-        base = float(start_time)
-        for index in range(count):
-            # Multiply rather than accumulate so window boundaries match the
-            # ``start_time + i*T`` grid callers reconstruct bit-exactly.
-            window_start = base + index * duration
-            window_end = window_start + duration
-            # Gated re-arm at the window start (scalar path: ``rearm``); when
-            # the quench/recharge has not finished, the device only recovers
-            # once the free-running dead time elapses.
-            if window_start - last_fire >= gate_recovery:
-                ready = window_start
-            else:
-                ready = last_fire + dead_time
-            best = inf
-            origin = ORIGIN_CODE_MISSED
-            if photon_valid_l[index]:
-                time = window_start + photon_rel_l[index]
-                if time >= ready:
-                    best = time
-                    origin = 0
-            for position in range(dark_bounds_l[index], dark_bounds_l[index + 1]):
-                time = window_start + dark_rel_l[position]
-                if time >= ready and time < best:
-                    best = time
-                    origin = 1
-            if (
-                pending is not None
-                and window_start <= pending < window_end
-                and pending >= ready
-                and pending < best
-            ):
-                best = pending
-                origin = 2
-            # A trap release inside this window is consumed whether or not it
-            # fired (scalar path: end of ``detect_in_window``).
-            if pending is not None and pending < window_end:
-                pending = None
-            if origin >= 0:
-                out_times.append(best)
-                out_origins.append(origin)
-                last_fire = best
-                # ``_register_fire``: sample the next trap release.
-                if trap_filled_l[index]:
-                    pending = best + trap_release_l[index]
-                else:
-                    pending = None
-            else:
-                out_times.append(nan)
-                out_origins.append(ORIGIN_CODE_MISSED)
+        pending = inf if self._pending_afterpulse is None else self._pending_afterpulse
+        out_times, out_origins, last_fire, pending = get_kernel(kernel).scan_windows(
+            photon_rel,
+            photon_valid,
+            dark_rel,
+            dark_bounds,
+            trap_filled,
+            trap_release,
+            self.quenching.dead_time,
+            self.quenching.effective_gate_recovery,
+            duration,
+            float(start_time),
+            last_fire,
+            pending,
+        )
 
         # Persist the carry-over state for chained batches / scalar calls.
         self._last_fire_time = None if isinf(last_fire) else last_fire
-        self._pending_afterpulse = pending
+        self._pending_afterpulse = None if isinf(pending) else pending
         self._rearmed_at = None
-        return np.asarray(out_times, dtype=float), np.asarray(out_origins, dtype=np.int8)
+        return out_times, out_origins
 
     def _detect_in_windows_importance(
         self,

@@ -153,6 +153,30 @@ def test_architecture_doc_covers_the_service_design():
 
 
 @pytest.mark.docs_smoke
+def test_docs_cover_the_kernel_layer():
+    # The compute-kernel story — the registry, the bit-identity contract,
+    # GIL-free thread execution — must stay written down next to the code
+    # (README install + kernels sections, ARCHITECTURE design section).
+    readme = README.read_text()
+    assert "## Compute kernels" in readme
+    for anchor in ("repro[fast]", "--kernel numba", "--executor thread", "REPRO_KERNEL"):
+        assert anchor in readme, f"README kernels section lost {anchor!r}"
+    doc = (README.parent / "docs" / "ARCHITECTURE.md").read_text()
+    assert "## Compute kernels" in doc
+    for anchor in (
+        "get_kernel",
+        "available_kernels",
+        "REPRO_KERNEL",
+        "nogil",
+        "ThreadExecutor",
+        "round_robin_schedule",
+        "commit_grants",
+        "benchmarks/bench_kernels.py",
+    ):
+        assert anchor in doc, f"ARCHITECTURE.md kernels section lost {anchor!r}"
+
+
+@pytest.mark.docs_smoke
 def test_docs_cover_the_cluster_executor():
     # The distributed-execution story — the socket transport, chunk fan-out,
     # work stealing, and the bit-identity contract across worker deaths —

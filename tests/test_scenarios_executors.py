@@ -18,6 +18,7 @@ from repro.scenarios import (
     ProcessExecutor,
     Scenario,
     SerialExecutor,
+    ThreadExecutor,
     available_executors,
     get_scenario,
     make_point_tasks,
@@ -44,23 +45,53 @@ def multi_axis_scenario(seed_policy: str) -> Scenario:
 
 
 class TestProcessSerialEquivalence:
+    @pytest.mark.parametrize("executor_name", ("process", "thread"))
     @pytest.mark.parametrize("seed_policy", ("per-point", "shared"))
-    def test_multi_axis_grid_bit_identical(self, seed_policy):
+    def test_multi_axis_grid_bit_identical(self, seed_policy, executor_name):
         scenario = multi_axis_scenario(seed_policy)
         serial = ExperimentRunner(scenario, seed=11).run()
-        process = ExperimentRunner(scenario, seed=11, executor="process", workers=2).run()
-        assert process.to_mapping() == serial.to_mapping()
+        parallel = ExperimentRunner(
+            scenario, seed=11, executor=executor_name, workers=2
+        ).run()
+        assert parallel.to_mapping() == serial.to_mapping()
 
     @pytest.mark.scenario_smoke
-    def test_every_named_scenario_bit_identical(self):
+    @pytest.mark.parametrize(
+        "executor",
+        (ProcessExecutor(workers=2), ThreadExecutor(workers=2)),
+        ids=("process", "thread"),
+    )
+    def test_every_named_scenario_bit_identical(self, executor):
         # The acceptance contract of the executor redesign: parallel dispatch
         # never changes a single bit of any library scenario's report.
-        executor = ProcessExecutor(workers=2)
         for name in named_scenarios():
             scenario = get_scenario(name).with_budget(128)
             serial = ExperimentRunner(scenario, seed=0).run()
-            process = ExperimentRunner(scenario, seed=0, executor=executor).run()
-            assert process.to_mapping() == serial.to_mapping(), name
+            parallel = ExperimentRunner(scenario, seed=0, executor=executor).run()
+            assert parallel.to_mapping() == serial.to_mapping(), name
+
+    def test_thread_executor_runs_subclassed_scenarios(self):
+        # Threads share the interpreter, so the no-subclass contract of the
+        # process/cluster boundary does not apply: the live scenario object
+        # (overrides and all) is evaluated directly.
+        class PinnedPhotons(Scenario):
+            def config_for_point(self, parameters=()):
+                config, channel = super().config_for_point(parameters)
+                import dataclasses
+
+                return dataclasses.replace(config, mean_detected_photons=0.5), channel
+
+        base = multi_axis_scenario("per-point")
+        pinned = PinnedPhotons(**{
+            "name": base.name,
+            "link_overrides": base.link_overrides,
+            "sweep_axes": base.sweep_axes,
+            "metrics": base.metrics,
+            "bits_per_point": base.bits_per_point,
+        })
+        serial = ExperimentRunner(pinned, seed=3).run()
+        threaded = ExperimentRunner(pinned, seed=3, executor="thread", workers=2).run()
+        assert threaded.to_mapping() == serial.to_mapping()
 
     def test_chunk_symbols_flows_into_work_units(self):
         scenario = multi_axis_scenario("per-point")
@@ -262,9 +293,12 @@ class TestResolveExecutor:
         assert isinstance(resolve_executor("serial"), SerialExecutor)
         process = resolve_executor("process", workers=3)
         assert isinstance(process, ProcessExecutor) and process.workers == 3
-        # workers alone implies the process executor.
+        thread = resolve_executor("thread", workers=3)
+        assert isinstance(thread, ThreadExecutor) and thread.workers == 3
+        # workers alone implies the process executor (threads are opt-in:
+        # they only pay off under a GIL-releasing compute kernel).
         assert isinstance(resolve_executor(None, workers=2), ProcessExecutor)
-        assert set(available_executors()) == {"serial", "process", "cluster"}
+        assert set(available_executors()) == {"serial", "thread", "process", "cluster"}
 
     def test_instances_pass_through(self):
         executor = ProcessExecutor(workers=2)
@@ -273,6 +307,8 @@ class TestResolveExecutor:
     def test_rejects_bad_arguments(self):
         with pytest.raises(ValueError, match="unknown executor"):
             resolve_executor("threads")
+        with pytest.raises(ValueError, match="takes a pool size"):
+            resolve_executor("thread", workers="host:9000")
         with pytest.raises(ValueError, match="does not take workers"):
             resolve_executor("serial", workers=2)
         with pytest.raises(ValueError, match="only with a named executor"):

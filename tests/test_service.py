@@ -117,12 +117,15 @@ class TestRunLifecycle:
         assert len(report["points"]) == 2
 
     def test_stats_counts_runs_and_artifacts(self, service, client):
+        from repro.kernels import available_kernels
+
         assert client.stats() == {
             "executions": 0,
             "runs": 0,
             "running": 0,
             "artifacts": 0,
             "executor": {"name": "serial"},
+            "kernels": list(available_kernels()),
         }
         client.run_and_wait(SCENARIO, seed=3, bits=BITS)
         stats = client.stats()
